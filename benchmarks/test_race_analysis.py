@@ -1,0 +1,27 @@
+"""E7/E11 — regenerate the Section IV-C race analysis and the live
+escape-rate comparison between the whole-kernel baseline and SATIN."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_race_analysis(benchmark, scale):
+    trials = 50_000 if scale else 10_000
+    result = run_once(benchmark, repro.run_race_analysis, mc_trials=trials)
+    print()
+    print(result.rendered)
+    assert result.values["s_bound"] == 1_218_351
+    assert abs(result.values["unprotected_fraction"] - 0.898) < 0.002
+    assert abs(result.values["mc_escape_rate"] - 0.90) < 0.04
+
+
+def test_escape_simulation(benchmark, scale):
+    rounds = 12 if scale else 6
+    result = run_once(
+        benchmark, repro.run_escape_comparison, rounds=rounds, mean_period=2.0
+    )
+    print()
+    print(result.rendered)
+    assert result.values["baseline"].escape_rate == 1.0
+    assert result.values["satin"].escape_rate == 0.0

@@ -1,0 +1,16 @@
+"""E3 — regenerate the Tns_recover measurement (Section IV-B2)."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_recover_delay(benchmark, scale):
+    repetitions = 50 if scale else 25
+    result = run_once(benchmark, repro.run_recover_delay, repetitions=repetitions)
+    print()
+    print(result.rendered)
+    assert result.values["a57_recovers_faster"]
+    summaries = result.values["summaries"]
+    assert abs(summaries["A53"].average - 5.80e-3) / 5.80e-3 < 0.06
+    assert abs(summaries["A57"].average - 4.96e-3) / 4.96e-3 < 0.06

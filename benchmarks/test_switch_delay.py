@@ -1,0 +1,14 @@
+"""E2 — regenerate the Ts_switch measurement (Section IV-B1)."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_switch_delay(benchmark, scale):
+    repetitions = 50 if scale else 25
+    result = run_once(benchmark, repro.run_switch_delay, repetitions=repetitions)
+    print()
+    print(result.rendered)
+    assert result.values["within_paper_range"]
+    assert result.values["clusters_similar"]

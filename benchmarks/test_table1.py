@@ -1,0 +1,17 @@
+"""E1 — regenerate Table I: secure world introspection time."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_table1(benchmark, scale):
+    repetitions = 50 if scale else 15
+    result = run_once(benchmark, repro.run_table1, repetitions=repetitions)
+    print()
+    print(result.rendered)
+    assert result.values["hash_not_slower_than_snapshot_a53"]
+    assert result.values["a57_faster_than_a53"]
+    # Shape: A57 scans ~1.6x faster than A53 (paper: 1.07e-8 vs 6.71e-9).
+    ratio = result.values["A53.hash"].average / result.values["A57.hash"].average
+    assert 1.4 < ratio < 1.8

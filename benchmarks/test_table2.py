@@ -1,0 +1,22 @@
+"""E4/E6 — regenerate Table II: probing threshold vs probing period."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_table2_all_cores(benchmark, scale):
+    rounds = 50 if scale else 50  # the paper's own size is cheap here
+    result = run_once(benchmark, repro.run_table2, rounds=rounds)
+    print()
+    print(result.rendered)
+    assert result.values["average_grows_with_period"]
+    assert result.values["worst_observed"] <= 2.0e-3
+
+
+def test_table2_single_core_ratio(benchmark):
+    result = run_once(benchmark, repro.run_single_core_ratio, rounds=200)
+    print()
+    print(result.rendered)
+    for ratio in result.values["ratios"].values():
+        assert abs(ratio - 0.25) < 0.1

@@ -1,0 +1,20 @@
+"""E8 — regenerate the user-level prober evaluation (Section III-B1)."""
+
+from benchmarks.conftest import run_once
+
+import repro
+
+
+def test_user_prober_eval(benchmark, scale):
+    rounds = 10 if scale else 5
+    result = run_once(
+        benchmark, repro.run_user_prober_eval, introspection_rounds=rounds
+    )
+    print()
+    print(result.rendered)
+    delays = result.values["delay_summary"]
+    assert delays is not None
+    assert delays.maximum < 5.97e-3   # the paper's Tns_delay bound
+    a57 = result.values["a57_check_summary"]
+    if a57 is not None:
+        assert abs(a57.average - 8.04e-2) / 8.04e-2 < 0.1

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Mini Figure 7: SATIN's overhead on UnixBench-like workloads.
+
+Runs a representative subset of the benchmark suite (one CPU-bound
+program, one syscall-heavy program, and the two programs the paper found
+most sensitive) with and without SATIN's self-activation, and prints the
+normalized degradation next to the paper's numbers.
+
+Run:  python examples/overhead_study.py          # quick subset
+      python examples/overhead_study.py --all    # all 12 programs
+"""
+
+import sys
+
+from repro import run_figure7
+from repro.workloads.programs import UNIXBENCH_PROGRAMS, program_by_name
+
+QUICK_SUBSET = (
+    "dhrystone2",
+    "syscall_overhead",
+    "file_copy_256B",
+    "pipe_context_switching",
+)
+
+
+def main() -> None:
+    if "--all" in sys.argv:
+        programs = list(UNIXBENCH_PROGRAMS)
+        task_counts = (1, 6)
+    else:
+        programs = [program_by_name(name) for name in QUICK_SUBSET]
+        task_counts = (1,)
+    print(f"running {len(programs)} programs x {len(task_counts)} task "
+          f"configuration(s), 8 s each, with and without SATIN...\n")
+    result = run_figure7(duration=8.0, task_counts=task_counts, programs=programs)
+    print(result.rendered)
+    print()
+    print("paper reference: 0.711% mean (1-task), 0.848% (6-task); "
+          "outliers file copy 256B = 3.556%, context switching = 3.912%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""SATIN defeating TZ-Evader: the paper's Section VI-B1 campaign, live.
+
+SATIN and a fully armed TZ-Evader run simultaneously.  The prober still
+notices every secure-world entry (the side channel cannot be closed), the
+evader still starts its recovery within ~2 ms — but each SATIN round scans
+only one sub-bound area, so the malicious bytes are hashed before the
+recovery lands.  Every scan of area 14 raises an alarm.
+
+Run:  python examples/satin_vs_evader.py [passes]
+"""
+
+import sys
+
+from repro import build_stack, run_detection_experiment
+
+
+def main() -> None:
+    passes = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    print(f"running {passes} full kernel pass(es) "
+          f"({passes * 19} introspection rounds at tp = 8 s)...\n")
+    stack = build_stack(seed=2019, with_satin=True, with_evader=True)
+    result = run_detection_experiment(passes=passes, stack=stack)
+    print(result.rendered)
+
+    stats = result.values["stats"]
+    print()
+    print("race anatomy for one round:")
+    assert stack.evader is not None and stack.prober is not None
+    if stack.evader.hide_latencies:
+        avg_hide = sum(stack.evader.hide_latencies) / len(stack.evader.hide_latencies)
+        print(f"  attacker: detect secure entry + restore trace "
+              f"~{avg_hide * 1e3:.1f} ms after t_start")
+    assert stack.satin is not None
+    avg_round = stack.satin.checker.average_round_duration()
+    print(f"  defender: one area scanned in ~{avg_round * 1e3:.1f} ms, and the")
+    print("            trace bytes sit near the area start — read within "
+          "tens of microseconds.")
+    print()
+    verdict = (
+        "SATIN detected the hijack on every area-14 scan"
+        if stats.all_trace_checks_detected
+        else "unexpected: some scans were evaded"
+    )
+    print(f"verdict: {verdict}.")
+
+
+if __name__ == "__main__":
+    main()

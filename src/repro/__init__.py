@@ -1,0 +1,125 @@
+"""repro — a full reproduction of SATIN (DSN 2019) in simulation.
+
+SATIN is a secure asynchronous introspection mechanism for multi-core ARM
+TrustZone processors; the paper also introduces TZ-Evader, the evasion
+attack SATIN defeats.  Since the original system runs inside an ARM Juno
+board's secure monitor, this library reproduces the entire stack on a
+discrete-event simulator calibrated to the paper's measurements:
+
+* :mod:`repro.sim` — the discrete-event substrate;
+* :mod:`repro.hw` — the simulated Juno r1 (big.LITTLE cores, TrustZone
+  worlds, GIC, secure timers, EL3 monitor);
+* :mod:`repro.kernel` — the rich OS (kernel image + System.map, syscall
+  and vector tables, CFS/SCHED_FIFO scheduler, HZ ticks);
+* :mod:`repro.secure` — secure-world software (djb2 hashing, trusted
+  boot, scanning, baseline introspection mechanisms);
+* :mod:`repro.core` — SATIN itself (the paper's contribution);
+* :mod:`repro.attacks` — the probers, rootkit and TZ-Evader;
+* :mod:`repro.workloads` — a UnixBench-like suite for the overhead study;
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import build_stack, run_detection_experiment
+    result = run_detection_experiment(passes=2)
+    print(result)
+"""
+
+from repro.attacks import (
+    KProberI,
+    KProberII,
+    PersistentRootkit,
+    ProbeController,
+    ProberAccelerationOracle,
+    TZEvader,
+    UserLevelProber,
+)
+from repro.attacks.predictor import PredictiveEvader
+from repro.config import (
+    MachineConfig,
+    ProberConfig,
+    SatinConfig,
+    generic_octa_config,
+    juno_r1_config,
+    smm_like_config,
+)
+from repro.core import (
+    RaceParameters,
+    Satin,
+    install_satin,
+    max_safe_area_size,
+    s_bound,
+    unprotected_fraction,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    build_stack,
+    run_ablations,
+    run_detection_experiment,
+    run_escape_comparison,
+    run_figure4,
+    run_figure7,
+    run_prober_comparison,
+    run_race_analysis,
+    run_recover_delay,
+    run_single_core_ratio,
+    run_switch_delay,
+    run_table1,
+    run_table2,
+    run_user_prober_eval,
+)
+from repro.hw import Machine, World, build_machine
+from repro.kernel import RichOS, boot_rich_os
+from repro.secure import SynchronousIntrospection, pkm_like, random_whole_kernel
+from repro.attacks import IrqStormAttacker, KnoxBypassAttack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KProberI",
+    "KProberII",
+    "Machine",
+    "MachineConfig",
+    "PersistentRootkit",
+    "PredictiveEvader",
+    "ProbeController",
+    "ProberAccelerationOracle",
+    "ProberConfig",
+    "RaceParameters",
+    "ReproError",
+    "RichOS",
+    "IrqStormAttacker",
+    "KnoxBypassAttack",
+    "Satin",
+    "SatinConfig",
+    "SynchronousIntrospection",
+    "TZEvader",
+    "UserLevelProber",
+    "World",
+    "boot_rich_os",
+    "build_machine",
+    "build_stack",
+    "install_satin",
+    "generic_octa_config",
+    "juno_r1_config",
+    "smm_like_config",
+    "max_safe_area_size",
+    "pkm_like",
+    "random_whole_kernel",
+    "run_ablations",
+    "run_detection_experiment",
+    "run_escape_comparison",
+    "run_figure4",
+    "run_figure7",
+    "run_prober_comparison",
+    "run_race_analysis",
+    "run_recover_delay",
+    "run_single_core_ratio",
+    "run_switch_delay",
+    "run_table1",
+    "run_table2",
+    "run_user_prober_eval",
+    "s_bound",
+    "unprotected_fraction",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Statistics, table rendering, and order-statistics helpers."""
+
+from repro.analysis.orderstats import (
+    expected_max_quantile,
+    sample_max_of_n,
+    sample_maxima,
+)
+from repro.analysis.stats import (
+    BoxplotStats,
+    Summary,
+    boxplot_stats,
+    geometric_mean,
+    percentile,
+    ratios_within,
+    relative_error,
+)
+from repro.analysis.tables import pct, render_comparison, render_table, sci
+from repro.analysis.timeline import (
+    TimelineEvent,
+    build_timeline,
+    render_timeline,
+    round_timeline,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "Summary",
+    "TimelineEvent",
+    "boxplot_stats",
+    "build_timeline",
+    "expected_max_quantile",
+    "geometric_mean",
+    "pct",
+    "percentile",
+    "ratios_within",
+    "relative_error",
+    "render_comparison",
+    "render_table",
+    "render_timeline",
+    "round_timeline",
+    "sample_max_of_n",
+    "sample_maxima",
+    "sci",
+]

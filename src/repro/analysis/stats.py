@@ -1,0 +1,116 @@
+"""Statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """avg/max/min (the paper's table format) plus spread measures."""
+
+    count: int
+    average: float
+    maximum: float
+    minimum: float
+    stdev: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Summary":
+        if not samples:
+            raise ReproError("cannot summarise zero samples")
+        n = len(samples)
+        mean = sum(samples) / n
+        if n > 1:
+            var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        else:
+            var = 0.0
+        return cls(
+            count=n,
+            average=mean,
+            maximum=max(samples),
+            minimum=min(samples),
+            stdev=math.sqrt(var),
+        )
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary + whiskers/outliers (Figure 4's box plot)."""
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: Tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not samples:
+        raise ReproError("cannot take a percentile of zero samples")
+    if not 0.0 <= p <= 100.0:
+        raise ReproError(f"percentile {p} out of [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def boxplot_stats(samples: Sequence[float]) -> BoxplotStats:
+    """Tukey box plot statistics (1.5*IQR whiskers)."""
+    q1 = percentile(samples, 25.0)
+    median = percentile(samples, 50.0)
+    q3 = percentile(samples, 75.0)
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    in_fence = [x for x in samples if low_fence <= x <= high_fence]
+    outliers = tuple(sorted(x for x in samples if x < low_fence or x > high_fence))
+    return BoxplotStats(
+        q1=q1,
+        median=median,
+        q3=q3,
+        whisker_low=min(in_fence) if in_fence else q1,
+        whisker_high=max(in_fence) if in_fence else q3,
+        outliers=outliers,
+    )
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean (UnixBench's aggregate)."""
+    if not samples:
+        raise ReproError("cannot take a geometric mean of zero samples")
+    if any(x <= 0 for x in samples):
+        raise ReproError("geometric mean needs positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """|measured - expected| / |expected| (EXPERIMENTS.md comparisons)."""
+    if expected == 0:
+        raise ReproError("expected value is zero")
+    return abs(measured - expected) / abs(expected)
+
+
+def ratios_within(samples: Sequence[float], lo: float, hi: float) -> float:
+    """Fraction of samples within [lo, hi]."""
+    if not samples:
+        raise ReproError("no samples")
+    hits = sum(1 for x in samples if lo <= x <= hi)
+    return hits / len(samples)

@@ -1,0 +1,72 @@
+"""ASCII table rendering in the paper's notation.
+
+The benchmark harness prints the same rows the paper's tables show, with
+values formatted like ``2.61 x 10^-4 s`` so visual comparison against the
+PDF is direct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+
+def sci(value: float, digits: int = 2, unit: str = "s") -> str:
+    """Format ``value`` as the paper does: ``m.dd x 10^e [unit]``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    exponent = int(math.floor(math.log10(abs(value))))
+    mantissa = value / (10 ** exponent)
+    # Guard against 9.9999 -> 10.0 rollover after rounding.
+    if round(abs(mantissa), digits) >= 10:
+        mantissa /= 10
+        exponent += 1
+    body = f"{mantissa:.{digits}f} x 10^{exponent}"
+    return f"{body} {unit}".strip() if unit else body
+
+
+def pct(value: float, digits: int = 3) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a boxed ASCII table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def fmt(cells: Sequence[str]) -> str:
+        padded = [f" {cell.ljust(widths[i])} " for i, cell in enumerate(cells)]
+        return "|" + "|".join(padded) + "|"
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line("="))
+    out.append(fmt(headers))
+    out.append(line("="))
+    for row in rows:
+        out.append(fmt(row))
+    out.append(line("-"))
+    return "\n".join(out)
+
+
+def render_comparison(
+    title: str,
+    rows: Sequence[Sequence[str]],
+    value_label: str = "measured",
+) -> str:
+    """A paper-vs-measured table (quantity / paper / measured)."""
+    return render_table(("quantity", "paper", value_label), rows, title=title)

@@ -1,0 +1,96 @@
+"""Timeline reconstruction from the simulation trace.
+
+Builds human-readable event timelines — world switches, introspection
+rounds, prober detections, rootkit hide/restore transitions — from the
+machine's :class:`~repro.sim.tracing.TraceRecorder`.  Used by the examples
+to *show* the race of Figure 3 instead of describing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hw.platform import Machine
+
+#: (category, message) pairs the timeline understands, with short labels.
+_EVENT_LABELS = {
+    ("monitor", "secure entry begins"): "core {core} -> secure world",
+    ("monitor", "normal world resumed"): "core {core} -> normal world",
+    ("satin", "round begins"): "round {round}: scanning area {area} on core {core}",
+    ("satin", "round complete"): "round {round}: area {area} {verdict}",
+    ("prober", "core suspected in secure world"):
+        "prober: core {suspect} vanished (seen by core {observer})",
+    ("prober", "suspected core reported again"):
+        "prober: core {suspect} is back",
+    ("rootkit", "traces hidden"): "rootkit: traces RESTORED (hidden)",
+    ("rootkit", "traces re-planted"): "rootkit: traces re-planted (attacking)",
+    ("evader", "recovery started"): "evader: recovery thread launched",
+    ("evader", "proactive hide"): "evader: PROACTIVE hide (schedule predicted)",
+    ("sync-introspection", "write blocked"):
+        "sync introspection: write to page {page} BLOCKED",
+}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One labelled event."""
+
+    time: float
+    category: str
+    label: str
+
+    def render(self, origin: float = 0.0) -> str:
+        return f"[{(self.time - origin) * 1e3:10.3f} ms] {self.label}"
+
+
+def build_timeline(
+    machine: Machine,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    categories: Optional[List[str]] = None,
+) -> List[TimelineEvent]:
+    """Extract labelled events from the machine trace, time-ordered."""
+    horizon = end if end is not None else float("inf")
+    events: List[TimelineEvent] = []
+    for record in machine.trace.records():
+        if not start <= record.time <= horizon:
+            continue
+        if categories is not None and record.category not in categories:
+            continue
+        template = _EVENT_LABELS.get((record.category, record.message))
+        if template is None:
+            continue
+        fields = dict(record.fields)
+        if (record.category, record.message) == ("satin", "round complete"):
+            fields["verdict"] = "CLEAN" if fields.get("match") else "ALARM"
+        try:
+            label = template.format(**fields)
+        except (KeyError, IndexError):
+            label = f"{record.category}: {record.message}"
+        events.append(TimelineEvent(record.time, record.category, label))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def render_timeline(
+    events: List[TimelineEvent],
+    origin: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render events as aligned text lines (times relative to ``origin``)."""
+    if not events:
+        return "(no events)"
+    base = origin if origin is not None else events[0].time
+    chosen = events if limit is None else events[:limit]
+    lines = [event.render(base) for event in chosen]
+    if limit is not None and len(events) > limit:
+        lines.append(f"... ({len(events) - limit} more events)")
+    return "\n".join(lines)
+
+
+def round_timeline(machine: Machine, round_start: float, window: float = 0.05) -> str:
+    """Convenience: the annotated story of one introspection round."""
+    events = build_timeline(machine, start=round_start - window / 5,
+                            end=round_start + window)
+    return render_timeline(events, origin=round_start)

@@ -1,0 +1,65 @@
+"""Normal-world attack components: probers, rootkit, TZ-Evader."""
+
+from repro.attacks.calibration import (
+    LearnedThreshold,
+    learn_from_controller,
+    learn_from_model,
+    recommend_threshold,
+)
+from repro.attacks.dkom import DkomModuleHider
+from repro.attacks.evader import EvaderState, TZEvader
+from repro.attacks.irq_storm import STORM_INTID, IrqStormAttacker
+from repro.attacks.knoxout import KnoxBypassAttack, WriteWhatWhereExploit
+from repro.attacks.kprober1 import EVIL_IRQ_HANDLER, KProberI, kprober1_threshold
+from repro.attacks.predictor import PredictiveEvader
+from repro.attacks.kprober2 import KProberII
+from repro.attacks.oracle import ProberAccelerationOracle
+from repro.attacks.prober import (
+    ProbeBuffer,
+    ProbeClear,
+    ProbeController,
+    ProbeDetection,
+)
+from repro.attacks.rootkit import (
+    EVIL_SYSCALL_HANDLER,
+    AttackTrace,
+    PersistentRootkit,
+)
+from repro.attacks.threshold_model import ThresholdStats, ThresholdWindowModel
+from repro.attacks.user_prober import (
+    DEFAULT_USER_INTERVAL,
+    DEFAULT_USER_THRESHOLD,
+    UserLevelProber,
+)
+
+__all__ = [
+    "AttackTrace",
+    "DEFAULT_USER_INTERVAL",
+    "DEFAULT_USER_THRESHOLD",
+    "EVIL_IRQ_HANDLER",
+    "EVIL_SYSCALL_HANDLER",
+    "DkomModuleHider",
+    "EvaderState",
+    "IrqStormAttacker",
+    "KnoxBypassAttack",
+    "KProberI",
+    "KProberII",
+    "LearnedThreshold",
+    "PersistentRootkit",
+    "ProbeBuffer",
+    "ProbeClear",
+    "ProbeController",
+    "ProbeDetection",
+    "PredictiveEvader",
+    "ProberAccelerationOracle",
+    "STORM_INTID",
+    "TZEvader",
+    "ThresholdStats",
+    "ThresholdWindowModel",
+    "UserLevelProber",
+    "WriteWhatWhereExploit",
+    "kprober1_threshold",
+    "learn_from_controller",
+    "learn_from_model",
+    "recommend_threshold",
+]

@@ -1,0 +1,82 @@
+"""Attacker-side threshold learning (Section VII-B).
+
+Before deploying TZ-Evader on a new device, the attacker must learn
+``Tns_threshold``: set the threshold too low and benign coherence noise
+triggers constant spurious hides; too high and the detection delay grows.
+With a fully controlled twin device she measures directly; otherwise she
+runs the Reporter/Comparer on the victim "for a relatively long time (e.g.
+one hour)" and takes the largest difference observed, plus a safety
+margin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.attacks.prober import ProbeController
+from repro.attacks.threshold_model import ThresholdWindowModel
+from repro.errors import AttackError
+
+
+@dataclass(frozen=True)
+class LearnedThreshold:
+    """Outcome of a threshold-learning campaign."""
+
+    observed_max: float
+    margin: float
+    study_duration: float
+
+    @property
+    def threshold(self) -> float:
+        return self.observed_max * self.margin
+
+
+def learn_from_model(
+    model: ThresholdWindowModel,
+    study_duration: float,
+    rng: random.Random,
+    margin: float = 1.0,
+    window: float = 30.0,
+) -> LearnedThreshold:
+    """Long-term study via the window-max model (victim-side learning).
+
+    The study is chopped into ``window``-second measurement windows; the
+    learned value is the max over all of them.
+    """
+    if study_duration <= 0:
+        raise AttackError("study_duration must be positive")
+    windows = max(int(study_duration / window), 1)
+    observed = max(
+        model.sample_window_max(window, rng) for _ in range(windows)
+    )
+    return LearnedThreshold(observed, margin, study_duration)
+
+
+def learn_from_controller(
+    controller: ProbeController,
+    margin: float = 1.2,
+    study_duration: Optional[float] = None,
+) -> LearnedThreshold:
+    """Derive a threshold from a recording controller's dense samples.
+
+    The controller must have been created with ``record_staleness=True``
+    and run (benignly, i.e. with no introspection active) for a while.
+    """
+    if not controller.record_staleness:
+        raise AttackError("controller was not recording staleness")
+    if not controller.staleness_samples:
+        raise AttackError("no staleness samples recorded yet")
+    return LearnedThreshold(
+        observed_max=controller.max_staleness,
+        margin=margin,
+        study_duration=study_duration if study_duration is not None else 0.0,
+    )
+
+
+def recommend_threshold(samples: Sequence[float], margin: float = 1.2) -> float:
+    """Plain helper: max(samples) * margin."""
+    if not samples:
+        raise AttackError("no samples to recommend a threshold from")
+    return max(samples) * margin

@@ -1,0 +1,76 @@
+"""DKOM module hiding: unlink without freeing.
+
+The classic Direct Kernel Object Manipulation rootkit move: remove the
+malicious module's record from the loaded-module linked list (so ``lsmod``
+and naive list walks no longer show it) while the module itself — and its
+slab record — stay resident.  Static hashing never sees it (the slab is
+*dynamic* data, legitimately mutable), which is exactly why the paper's
+introduction calls for fine-grained semantic checking on dynamic kernel
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AttackError
+from repro.hw.world import World
+from repro.kernel.modules import LIST_END, ModuleList, ModuleRecord
+
+
+class DkomModuleHider:
+    """Hides (and can re-link) one loaded module via pointer surgery."""
+
+    def __init__(self, modules: ModuleList, module_name: str) -> None:
+        self.modules = modules
+        self.module_name = module_name
+        self._hidden_record: Optional[ModuleRecord] = None
+        self._was_head = False
+        self.hides = 0
+        self.relinks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hidden(self) -> bool:
+        return self._hidden_record is not None
+
+    def hide(self) -> ModuleRecord:
+        """Unlink the module from the list, leaving its record live."""
+        if self.hidden:
+            raise AttackError(f"module {self.module_name!r} is already hidden")
+        prev: Optional[ModuleRecord] = None
+        cursor = self.modules.read_head(World.NORMAL)
+        while cursor != LIST_END:
+            record = self.modules.read_record(cursor, World.NORMAL)
+            if record.name == self.module_name:
+                if prev is None:
+                    self._was_head = True
+                    self.modules._write_head(record.next_offset, World.NORMAL)
+                else:
+                    self._was_head = False
+                    self.modules._write_record(
+                        prev.slot, prev.name, record.next_offset,
+                        prev.flags, World.NORMAL,
+                    )
+                # Crucially: the record's live flag stays set — the module
+                # is still resident and running.
+                self._hidden_record = record
+                self.hides += 1
+                return record
+            prev = record
+            cursor = record.next_offset
+        raise AttackError(f"module {self.module_name!r} is not in the list")
+
+    def relink(self) -> None:
+        """Put the module back on the list head (e.g. before a reboot)."""
+        if not self.hidden:
+            raise AttackError("module is not hidden")
+        record = self._hidden_record
+        assert record is not None
+        head = self.modules.read_head(World.NORMAL)
+        self.modules._write_record(
+            record.slot, record.name, head, record.flags, World.NORMAL
+        )
+        self.modules._write_head(record.offset, World.NORMAL)
+        self._hidden_record = None
+        self.relinks += 1

@@ -1,0 +1,152 @@
+"""TZ-Evader: the complete evasion attack (Section III-C).
+
+State machine driven by prober events:
+
+* **ATTACKING** — evil bytes planted, key-logger live.  On a probe
+  detection ("some core entered the secure world"), transition to
+* **HIDING** — a high-priority recovery thread is restoring the traces;
+  it takes ``Tns_recover`` per 8-byte trace.  When it finishes,
+* **HIDDEN** — the kernel looks benign.  When the prober observes the
+  suspected core reporting again (secure world left), re-plant the traces
+  after a short beat and return to ATTACKING.
+
+Whether the evasion *works* against a given introspection mechanism is
+exactly the Figure-3 race: the recovery must complete before the scanner
+reads the trace bytes.  The experiments measure both sides from ground
+truth (the rootkit's byte timeline vs. the checker's scan results).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, List, Optional
+
+from repro.attacks.prober import ProbeClear, ProbeController, ProbeDetection
+from repro.attacks.rootkit import PersistentRootkit
+from repro.errors import AttackError
+from repro.hw.platform import Machine
+from repro.kernel.os import RichOS
+from repro.kernel.threads import Task
+from repro.sim.process import cpu
+
+#: Priority of the recovery thread: just below the prober's, so probing
+#: never stalls behind a recovery.
+RECOVERY_PRIORITY = 98
+
+
+class EvaderState(enum.Enum):
+    IDLE = "idle"
+    ATTACKING = "attacking"
+    HIDING = "hiding"
+    HIDDEN = "hidden"
+
+
+class TZEvader:
+    """Prober-triggered hide/re-attack controller."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rich_os: RichOS,
+        rootkit: PersistentRootkit,
+        controller: ProbeController,
+        reattack_delay: float = 2e-4,
+    ) -> None:
+        self.machine = machine
+        self.rich_os = rich_os
+        self.rootkit = rootkit
+        self.controller = controller
+        self.reattack_delay = reattack_delay
+        self.state = EvaderState.IDLE
+        controller.add_detect_listener(self._on_detect)
+        controller.add_clear_listener(self._on_clear)
+        self._suspects: set = set()
+        # --- statistics ---------------------------------------------------
+        self.hide_attempts = 0
+        self.hides_completed = 0
+        self.reattacks = 0
+        self.detections_seen = 0
+        self.hide_latencies: List[float] = []
+        self._hide_started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TZEvader":
+        """Plant the rootkit and begin reacting to probe events."""
+        if self.state is not EvaderState.IDLE:
+            raise AttackError("TZ-Evader already started")
+        if not self.rootkit.installed:
+            self.rootkit.install()
+        self.state = EvaderState.ATTACKING
+        return self
+
+    def stop(self) -> None:
+        """Stop reacting (the rootkit stays in its current byte state)."""
+        self.state = EvaderState.IDLE
+
+    # ------------------------------------------------------------------
+    # Prober event handlers
+    # ------------------------------------------------------------------
+    def _on_detect(self, detection: ProbeDetection) -> None:
+        self.detections_seen += 1
+        self._suspects.add(detection.suspect_core)
+        if self.state is not EvaderState.ATTACKING:
+            return
+        self.state = EvaderState.HIDING
+        self.hide_attempts += 1
+        self._hide_started_at = self.machine.sim.now
+        self.rich_os.spawn_realtime(
+            f"evader-recover-{self.hide_attempts}",
+            self._recovery_body,
+            priority=RECOVERY_PRIORITY,
+        )
+        self.machine.trace.emit(
+            self.machine.sim.now, "evader", "recovery started",
+            suspect=detection.suspect_core,
+        )
+
+    def _on_clear(self, clear: ProbeClear) -> None:
+        self._suspects.discard(clear.suspect_core)
+        if self._suspects:
+            return
+        if self.state is EvaderState.HIDDEN:
+            self._schedule_reattack()
+
+    # ------------------------------------------------------------------
+    def _recovery_body(self, task: Task) -> Generator[Any, Any, None]:
+        core = self.machine.cores[task.core_index]
+        yield cpu(self.rootkit.recovery_time(core))
+        self.rootkit.apply_hide()
+        self.hides_completed += 1
+        if self._hide_started_at is not None:
+            self.hide_latencies.append(self.machine.sim.now - self._hide_started_at)
+            self._hide_started_at = None
+        if self.state is EvaderState.HIDING:
+            self.state = EvaderState.HIDDEN
+            if not self._suspects:
+                # The introspection already ended before we finished hiding.
+                self._schedule_reattack()
+
+    def _schedule_reattack(self) -> None:
+        self.rich_os.spawn_realtime(
+            f"evader-reattack-{self.reattacks + 1}",
+            self._reattack_body,
+            priority=RECOVERY_PRIORITY,
+        )
+
+    def _reattack_body(self, task: Task) -> Generator[Any, Any, None]:
+        yield cpu(self.reattack_delay)
+        if self.state is EvaderState.HIDDEN and not self._suspects:
+            self.rootkit.apply_reattack()
+            self.reattacks += 1
+            self.state = EvaderState.ATTACKING
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "state": self.state.value,
+            "detections_seen": self.detections_seen,
+            "hide_attempts": self.hide_attempts,
+            "hides_completed": self.hides_completed,
+            "reattacks": self.reattacks,
+            "captures": self.rootkit.captures,
+        }

@@ -1,0 +1,88 @@
+"""Interrupt-storm attacker: stretching preemptible introspection rounds.
+
+Section V-B: "the normal world interrupt signal is possible to interrupt
+the execution of secure world ... To prevent the normal world from using
+interrupts to interfere in the introspection process, SATIN needs to block
+all interrupts during each round".
+
+This module is the attack that motivates that sentence.  When the secure
+world runs *preemptible* (OP-TEE-style routing, ``block_ns_interrupts``
+off), a root-privileged attacker can flood the introspected core with
+device interrupts; every delivery pauses the scan for two world switches
+plus the handler, stretching the round far beyond the race bound and
+giving the recovery thread the time it needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import AttackError
+from repro.hw.core import Core
+from repro.hw.gic import InterruptGroup
+from repro.hw.platform import Machine
+from repro.sim.events import Event
+
+#: Interrupt ID the storm rides on (a "device" interrupt the attacker
+#: can trigger at will, e.g. by hammering a peripheral).
+STORM_INTID = 48
+
+
+class IrqStormAttacker:
+    """Floods cores in the secure world with non-secure interrupts."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        interval: float = 2e-4,
+        target_cores: Optional[List[int]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise AttackError("storm interval must be positive")
+        self.machine = machine
+        self.interval = interval
+        self.target_cores = (
+            list(target_cores) if target_cores is not None
+            else [c.index for c in machine.cores]
+        )
+        self.running = False
+        self._event: Optional[Event] = None
+        self.interrupts_fired = 0
+        # An attacker-owned handler: does nothing (the damage is the
+        # delivery path itself).
+        machine.gic.configure(STORM_INTID, InterruptGroup.NONSECURE)
+        machine.gic.register_ns_handler(STORM_INTID, self._handler)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "IrqStormAttacker":
+        if self.running:
+            raise AttackError("storm already running")
+        self.running = True
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        self._event = self.machine.sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self.running:
+            return
+        # Aim at cores currently away in the secure world — the only
+        # deliveries that matter (and the attacker can tell which those
+        # are from its prober anyway).
+        for index in self.target_cores:
+            core: Core = self.machine.cores[index]
+            if not core.available_to_normal_world:
+                self.interrupts_fired += 1
+                self.machine.gic.trigger(core, STORM_INTID)
+        self._schedule_next()
+
+    def _handler(self, core: Core, intid: int) -> None:
+        """The rich-OS-side handler body (attacker-installed, trivial)."""

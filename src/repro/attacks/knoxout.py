@@ -1,0 +1,104 @@
+"""The KNOX-bypass data attack (Section VII-A, reference [26]).
+
+Synchronous introspection traps writes to protected pages — but the page
+table entries carrying the Access Permission bits are ordinary kernel
+data.  A write-what-where kernel vulnerability therefore bypasses the
+whole mechanism in two moves:
+
+1. use the arbitrary-write primitive to flip the target page's PTE from
+   read-only to writable (the PTE's page is *not* in the hook list);
+2. write the payload into the now-writable "protected" page — no fault,
+   no mediation, no alarm.
+
+This is how the paper argues the TZ-Evader's premise (root in the rich OS
+despite deployed synchronous introspection) is realistic — and why the
+asynchronous layer is needed at all: the *bytes* are now wrong, and only
+something that re-reads memory (SATIN) can notice.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import AttackError
+from repro.hw.world import World
+from repro.kernel.paging import PTE_WRITABLE
+from repro.secure.sync_introspection import SynchronousIntrospection
+
+
+@dataclass(frozen=True)
+class BypassStep:
+    """One step of the bypass, for reporting/inspection."""
+
+    description: str
+    offset: int
+    succeeded: bool
+
+
+class WriteWhatWhereExploit:
+    """An arbitrary kernel-write primitive (the [26]-style vulnerability).
+
+    Models a kernel bug reachable from user space that writes
+    attacker-controlled bytes to an attacker-controlled kernel address.
+    It goes through the same protected write path as any other write —
+    the point is that the addresses it targets (PTEs) are unprotected.
+    """
+
+    def __init__(self, sync: SynchronousIntrospection) -> None:
+        self.sync = sync
+        self.invocations = 0
+
+    def write(self, offset: int, data: bytes) -> bool:
+        self.invocations += 1
+        return self.sync.protected_memory.write(offset, data, World.NORMAL)
+
+
+class KnoxBypassAttack:
+    """Flip the AP bits, then overwrite the protected bytes."""
+
+    def __init__(self, sync: SynchronousIntrospection) -> None:
+        if not sync.installed:
+            raise AttackError("nothing to bypass: protection not installed")
+        self.sync = sync
+        self.exploit = WriteWhatWhereExploit(sync)
+        self.steps: List[BypassStep] = []
+
+    # ------------------------------------------------------------------
+    def naive_write(self, offset: int, data: bytes) -> bool:
+        """What a script kiddie does: write the protected bytes directly.
+
+        Blocked and logged by the synchronous monitor.
+        """
+        ok = self.sync.write_as_attacker(offset, data)
+        self.steps.append(BypassStep("direct write to protected page", offset, ok))
+        return ok
+
+    def bypass_and_write(self, offset: int, data: bytes) -> bool:
+        """The real attack: PTE flip, then the payload write."""
+        table = self.sync.page_table
+        page = table.page_of(offset)
+        pte_offset = table.pte_offset(page)
+        current = table.read_pte(page, World.NORMAL)
+        flipped = struct.pack("<Q", current | PTE_WRITABLE)
+        # Step 1: the write-what-where hits the PTE — ordinary kernel
+        # data, not in the hook list, so no mediation fires.
+        step1 = self.exploit.write(pte_offset, flipped)
+        self.steps.append(BypassStep("write-what-where flips PTE", pte_offset, step1))
+        if not step1:
+            return False
+        # Step 2: the formerly protected page is now writable.
+        step2 = self.sync.write_as_attacker(offset, data)
+        self.steps.append(BypassStep("payload write lands", offset, step2))
+        return step2
+
+    # ------------------------------------------------------------------
+    def restore_protection(self, offset: int) -> None:
+        """Optionally flip the AP bit back (covering the preparation trace)."""
+        table = self.sync.page_table
+        page = table.page_of(offset)
+        current = table.read_pte(page, World.NORMAL)
+        self.exploit.write(
+            table.pte_offset(page), struct.pack("<Q", current & ~PTE_WRITABLE)
+        )

@@ -1,0 +1,66 @@
+"""Harness-side simulation accelerator for probe loops.
+
+A prober iterating every ``Tsleep = 2e-4 s`` over hundreds of simulated
+seconds generates tens of millions of events, almost all of them in periods
+where nothing observable happens.  The oracle lets a probe loop sleep
+straight through those quiet gaps: it peeks at the *simulator's* ground
+truth (the armed secure-timer fire times) and keeps the loop dense only in
+a guard window around secure-world activity.
+
+This is a computational optimisation, **not** attacker knowledge: skipped
+iterations would all have produced "every core alive, nothing stale"
+sweeps.  The comparer's self-gating (it discards the sweep after noticing
+its own oversleep) makes the post-skip behaviour identical to the dense
+one.  Tests in ``tests/attacks/test_oracle.py`` verify dense and
+accelerated runs produce the same detections.
+"""
+
+from __future__ import annotations
+
+from repro.hw.platform import Machine
+
+
+class ProberAccelerationOracle:
+    """Suggests safe long sleeps for probe loops during quiet periods."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        guard_before: float = 0.02,
+        guard_after: float = 0.05,
+        min_skip_factor: float = 8.0,
+    ) -> None:
+        self.machine = machine
+        #: wake the loop this long before the next secure-timer firing.
+        self.guard_before = guard_before
+        #: stay dense this long after the last secure-world exit (covers
+        #: the clear/re-attack handshake).
+        self.guard_after = guard_after
+        #: only skip when the gap is at least this many default sleeps.
+        self.min_skip_factor = min_skip_factor
+        self.skips = 0
+        self.skipped_time = 0.0
+        self._last_secure_exit = float("-inf")
+        for core in machine.cores:
+            core.on_exit_secure.append(self._note_exit)
+
+    def _note_exit(self, _core) -> None:
+        self._last_secure_exit = self.machine.sim.now
+
+    def adjust(self, default_sleep: float) -> float:
+        """The sleep a probe loop should take right now."""
+        now = self.machine.sim.now
+        if self.machine.secure_world_active():
+            return default_sleep
+        if now - self._last_secure_exit < self.guard_after:
+            return default_sleep
+        next_fire = self.machine.next_secure_timer_fire()
+        if next_fire is None:
+            return default_sleep
+        wake_target = next_fire - self.guard_before
+        gap = wake_target - now
+        if gap > default_sleep * self.min_skip_factor:
+            self.skips += 1
+            self.skipped_time += gap - default_sleep
+            return gap
+        return default_sleep

@@ -1,0 +1,155 @@
+"""Schedule-predicting evader (the attack SATIN's randomization kills).
+
+Against an introspection mechanism with a *fixed* period, an attacker does
+not need to win the reaction race at all: after observing a few wake-ups it
+predicts the next one and hides *ahead of time*, re-planting once the scan
+passes — the classic evasion the paper cites as defeating naive periodic
+checking, and the reason SATIN adds the random wake-up deviation.
+
+:class:`PredictiveEvader` extends :class:`~repro.attacks.evader.TZEvader`
+with an interval estimator: when the observed inter-round intervals are
+stable (relative jitter below ``stability_margin``), it schedules a
+proactive hide shortly before the predicted next round and an automatic
+re-attack after it.  Against SATIN's randomized schedule the estimator
+never stabilises and the evader degrades to the reactive race it loses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.attacks.evader import EvaderState, TZEvader
+from repro.attacks.prober import ProbeController, ProbeDetection
+from repro.attacks.rootkit import PersistentRootkit
+from repro.hw.platform import Machine
+from repro.kernel.os import RichOS
+from repro.kernel.threads import Task
+from repro.sim.process import cpu
+
+
+class PredictiveEvader(TZEvader):
+    """TZ-Evader plus a fixed-period schedule predictor."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rich_os: RichOS,
+        rootkit: PersistentRootkit,
+        controller: ProbeController,
+        min_observations: int = 3,
+        stability_margin: float = 0.10,
+        hide_lead: float = 2.5e-2,
+        reattack_lag: float = 2.0e-1,
+        reattack_delay: float = 2e-4,
+    ) -> None:
+        super().__init__(machine, rich_os, rootkit, controller,
+                         reattack_delay=reattack_delay)
+        self.min_observations = min_observations
+        self.stability_margin = stability_margin
+        #: hide this long before the predicted wake-up.
+        self.hide_lead = hide_lead
+        #: re-plant this long after the predicted wake-up (scan must be over).
+        self.reattack_lag = reattack_lag
+        self._round_times: List[float] = []
+        self._proactive_armed = False
+        self.proactive_hides = 0
+        self.predictions_made = 0
+
+    # ------------------------------------------------------------------
+    def _on_detect(self, detection: ProbeDetection) -> None:
+        self._record_round(detection.time)
+        super()._on_detect(detection)
+        self._maybe_arm_prediction()
+
+    def _record_round(self, time: float) -> None:
+        # One record per introspection round: collapse detections that are
+        # closer than the shortest plausible round spacing.
+        if self._round_times and time - self._round_times[-1] < 0.25:
+            return
+        self._round_times.append(time)
+
+    # ------------------------------------------------------------------
+    def predicted_period(self) -> float:
+        """Current interval estimate; 0.0 when the schedule looks random."""
+        if len(self._round_times) < self.min_observations + 1:
+            return 0.0
+        intervals = [
+            b - a for a, b in zip(self._round_times, self._round_times[1:])
+        ]
+        recent = intervals[-self.min_observations:]
+        mean = sum(recent) / len(recent)
+        if mean <= 0:
+            return 0.0
+        spread = max(recent) - min(recent)
+        if spread > self.stability_margin * mean:
+            return 0.0
+        return mean
+
+    def _maybe_arm_prediction(self) -> None:
+        if self._proactive_armed:
+            return
+        period = self.predicted_period()
+        if period <= 0:
+            return
+        next_round = self._round_times[-1] + period
+        hide_at = next_round - self.hide_lead
+        now = self.machine.sim.now
+        if hide_at <= now:
+            return
+        self._proactive_armed = True
+        self.predictions_made += 1
+        self.machine.sim.schedule_at(hide_at, self._proactive_hide, next_round)
+
+    # ------------------------------------------------------------------
+    def _proactive_hide(self, predicted_round: float) -> None:
+        self._proactive_armed = False
+        if self.state is not EvaderState.ATTACKING:
+            # Already hiding/hidden (a reactive hide beat us to it).
+            self._maybe_arm_prediction()
+            return
+        self.state = EvaderState.HIDING
+        self.hide_attempts += 1
+        self.proactive_hides += 1
+        self._hide_started_at = self.machine.sim.now
+        from repro.attacks.evader import RECOVERY_PRIORITY
+
+        self.rich_os.spawn_realtime(
+            f"evader-proactive-{self.proactive_hides}",
+            self._proactive_recovery_body(predicted_round),
+            priority=RECOVERY_PRIORITY,
+        )
+        self.machine.trace.emit(
+            self.machine.sim.now, "evader", "proactive hide",
+            predicted_round=predicted_round,
+        )
+
+    def _proactive_recovery_body(self, predicted_round: float):
+        def body(task: Task) -> Generator[Any, Any, None]:
+            core = self.machine.cores[task.core_index]
+            yield cpu(self.rootkit.recovery_time(core))
+            self.rootkit.apply_hide()
+            self.hides_completed += 1
+            if self._hide_started_at is not None:
+                self.hide_latencies.append(
+                    self.machine.sim.now - self._hide_started_at
+                )
+                self._hide_started_at = None
+            if self.state is EvaderState.HIDING:
+                self.state = EvaderState.HIDDEN
+            # Stay hidden through the predicted round, then re-plant.
+            resume_at = predicted_round + self.reattack_lag
+            lag = max(resume_at - self.machine.sim.now, self.reattack_delay)
+            yield cpu(self.reattack_delay)
+            remaining = lag - self.reattack_delay
+            if remaining > 0:
+                # Idle wait (not CPU): the evader lies low.
+                from repro.sim.process import sleep
+
+                yield sleep(remaining)
+            if self.state is EvaderState.HIDDEN and not self._suspects:
+                self.rootkit.apply_reattack()
+                self.reattacks += 1
+                self.state = EvaderState.ATTACKING
+                self._maybe_arm_prediction()
+
+        return body

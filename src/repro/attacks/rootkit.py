@@ -1,0 +1,186 @@
+"""The persistent kernel rootkit (Section IV-A2).
+
+The sample attack hijacks the ``GETTID`` system call by overwriting its
+8-byte entry in the system call table — kernel static ("text") data that
+TrustZone introspection hashes.  The rootkit is an APT: it wants to stay
+resident as long as possible (e.g. a key-logger collecting input), so it
+only *hides* (restores the original bytes) when its prober says an
+introspection is running, and re-installs afterwards.
+
+Restoring one 8-byte trace is not a single store: the attacker must locate
+the trace, fix page permissions, write, and clean derived state — the
+paper measured ``Tns_recover`` ≈ 5–6 ms per 8-byte trace.  That cost is
+charged to whichever core executes the recovery.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import AttackError
+from repro.hw.core import Core
+from repro.hw.platform import Machine
+from repro.hw.world import World
+from repro.kernel.os import RichOS
+from repro.kernel.syscalls import NR_GETTID
+from repro.kernel.threads import Task
+
+#: Synthetic address of the malicious syscall handler.
+EVIL_SYSCALL_HANDLER = 0xFFFF_0000_0BAD_0000
+
+
+@dataclass
+class AttackTrace:
+    """One contiguous piece of attack evidence in kernel static memory."""
+
+    name: str
+    offset: int
+    evil_bytes: bytes
+    original_bytes: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.evil_bytes)
+
+
+@dataclass(frozen=True)
+class StateTransition:
+    """Timeline entry: the rootkit's bytes changed at ``time``."""
+
+    time: float
+    active: bool
+
+
+class PersistentRootkit:
+    """GETTID-hijacking APT rootkit with timed hide/restore."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rich_os: RichOS,
+        syscall_nr: int = NR_GETTID,
+        evil_handler: int = EVIL_SYSCALL_HANDLER,
+        extra_traces: Optional[List[Tuple[str, int, bytes]]] = None,
+    ) -> None:
+        self.machine = machine
+        self.rich_os = rich_os
+        self.syscall_nr = syscall_nr
+        self.evil_handler = evil_handler
+        table = rich_os.syscall_table
+        entry_offset = table.entry_offset(syscall_nr)
+        original = rich_os.image.read(entry_offset, 8, World.NORMAL)
+        self.traces: List[AttackTrace] = [
+            AttackTrace(
+                name=f"syscall-{syscall_nr}-hijack",
+                offset=entry_offset,
+                evil_bytes=struct.pack("<Q", evil_handler),
+                original_bytes=original,
+            )
+        ]
+        for name, offset, evil in extra_traces or []:
+            existing = rich_os.image.read(offset, len(evil), World.NORMAL)
+            self.traces.append(
+                AttackTrace(name=name, offset=offset,
+                            evil_bytes=evil, original_bytes=existing)
+            )
+        self.active = False
+        self.installed = False
+        self.timeline: List[StateTransition] = []
+        self.captures = 0
+        self.hide_count = 0
+        self.reattack_count = 0
+        rich_os.register_syscall_interceptor(evil_handler, self._capture)
+
+    # ------------------------------------------------------------------
+    # Byte-level actions (instantaneous writes; timing is charged by the
+    # task driving them — see TZEvader)
+    # ------------------------------------------------------------------
+    def install(self) -> "PersistentRootkit":
+        """Plant every attack trace (requires root in the rich OS)."""
+        if self.installed:
+            raise AttackError("rootkit is already installed")
+        self.installed = True
+        self._write_evil()
+        return self
+
+    def apply_hide(self) -> None:
+        """Restore the original bytes (completes a recovery)."""
+        if not self.active:
+            return
+        image = self.rich_os.image
+        for trace in self.traces:
+            image.write(trace.offset, trace.original_bytes, World.NORMAL)
+        self.active = False
+        self.hide_count += 1
+        self.timeline.append(StateTransition(self.machine.sim.now, False))
+        self.machine.trace.emit(self.machine.sim.now, "rootkit", "traces hidden")
+
+    def apply_reattack(self) -> None:
+        """Re-plant the traces after the coast clears."""
+        if not self.installed or self.active:
+            return
+        self._write_evil()
+        self.reattack_count += 1
+        self.machine.trace.emit(self.machine.sim.now, "rootkit", "traces re-planted")
+
+    def _write_evil(self) -> None:
+        image = self.rich_os.image
+        for trace in self.traces:
+            image.write(trace.offset, trace.evil_bytes, World.NORMAL)
+        self.active = True
+        self.timeline.append(StateTransition(self.machine.sim.now, True))
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    @property
+    def trace_bytes(self) -> int:
+        """Total bytes the evader must clean (M in the race model)."""
+        return sum(trace.length for trace in self.traces)
+
+    def recovery_time(self, core: Core) -> float:
+        """Sampled time to restore every trace from ``core``."""
+        total = 0.0
+        for trace in self.traces:
+            units = -(-trace.length // 8)  # ceil(length / 8)
+            for _ in range(units):
+                total += core.perf.recover_trace_8b()
+        return total
+
+    # ------------------------------------------------------------------
+    # Ground truth for experiments
+    # ------------------------------------------------------------------
+    def active_at(self, time: float) -> bool:
+        """Were the evil bytes present at simulated ``time``?"""
+        state = False
+        for transition in self.timeline:
+            if transition.time > time:
+                break
+            state = transition.active
+        return state
+
+    def exposed_during(self, start: float, end: float) -> bool:
+        """Were the evil bytes present at any instant of [start, end]?"""
+        state = False
+        for transition in self.timeline:
+            if transition.time <= start:
+                state = transition.active
+                continue
+            if state:
+                return True  # active when entering (or within) the window
+            if transition.time > end:
+                return False
+            state = transition.active
+            if state:
+                return True
+        return state
+
+    def _capture(self, task: Task, nr: int) -> None:
+        """The malicious handler's observable effect (key-logging)."""
+        self.captures += 1
+
+    @property
+    def trace_offsets(self) -> List[int]:
+        return [trace.offset for trace in self.traces]

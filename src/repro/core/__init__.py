@@ -1,0 +1,51 @@
+"""SATIN — the paper's primary contribution."""
+
+from repro.core.activation import SelfActivationModule, WakeUpTimeQueue
+from repro.core.alarms import AlarmRecord, AlarmSink
+from repro.core.area_set import KernelAreaSet
+from repro.core.areas import (
+    Area,
+    area_containing,
+    build_partition,
+    partition_packed,
+    partition_sections,
+    partition_whole,
+    validate_partition,
+)
+from repro.core.checker import IntegrityCheckingModule
+from repro.core.policy import DerivedPolicy, derive_policy
+from repro.core.race import (
+    RaceParameters,
+    escape_probability,
+    evasion_succeeds,
+    max_safe_area_size,
+    s_bound,
+    unprotected_fraction,
+)
+from repro.core.satin import Satin, install_satin
+
+__all__ = [
+    "AlarmRecord",
+    "AlarmSink",
+    "Area",
+    "DerivedPolicy",
+    "IntegrityCheckingModule",
+    "KernelAreaSet",
+    "RaceParameters",
+    "Satin",
+    "SelfActivationModule",
+    "WakeUpTimeQueue",
+    "area_containing",
+    "build_partition",
+    "derive_policy",
+    "escape_probability",
+    "evasion_succeeds",
+    "install_satin",
+    "max_safe_area_size",
+    "partition_packed",
+    "partition_sections",
+    "partition_whole",
+    "s_bound",
+    "unprotected_fraction",
+    "validate_partition",
+]

@@ -1,0 +1,143 @@
+"""The Self Activation Module and the Wake-Up Time Queue (Section V-C/V-D).
+
+Each core's *secure* timer wakes the secure world without any normal-world
+involvement.  The next wake time is ``tp`` (the base period) plus a random
+deviation drawn from ``[-tp, +tp]``, so consecutive rounds are separated by
+anything in ``[0, 2*tp]`` and the rich OS can never lock onto a pattern.
+
+On multi-core, SATIN must also randomise *which core* wakes next without
+leaking the order.  Cross-core interrupts would be probe-visible, so the
+coordination lives entirely in secure memory: a wake-up time queue holds
+one future wake time per core; each core that finishes a round extracts a
+randomly assigned slot, and when all slots are consumed the queue is
+refreshed with newly generated times and a fresh random assignment.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import List, Optional
+
+from repro.errors import IntrospectionError
+from repro.hw.core import Core
+from repro.hw.memory import PhysicalMemory
+from repro.hw.platform import Machine
+from repro.hw.world import World
+
+#: Small guard so "immediately" still goes through the timer hardware.
+_MIN_ARM_DELAY = 1e-6
+
+
+class WakeUpTimeQueue:
+    """Future wake times in secure memory, consumed in random order."""
+
+    ENTRY_SIZE = 8  # microsecond-resolution fixed point, 64-bit
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        queue_base: int,
+        slot_count: int,
+        tp: float,
+        deviation_fraction: float,
+        rng: random.Random,
+        start_time: float = 0.0,
+    ) -> None:
+        region = memory.region_at(queue_base)
+        if region is None or not region.secure:
+            raise IntrospectionError("wake-up queue must live in secure memory")
+        if slot_count <= 0:
+            raise IntrospectionError("wake-up queue needs at least one slot")
+        self.memory = memory
+        self.queue_base = queue_base
+        self.slot_count = slot_count
+        self.tp = tp
+        self.deviation_fraction = deviation_fraction
+        self._rng = rng
+        self._available_slots: List[int] = []
+        self._next_base = start_time
+        self.refresh_count = 0
+        self.takes = 0
+
+    # ------------------------------------------------------------------
+    def _write_slot(self, slot: int, value_seconds: float) -> None:
+        encoded = struct.pack("<Q", int(value_seconds * 1e6))
+        self.memory.write(self.queue_base + slot * self.ENTRY_SIZE, encoded, World.SECURE)
+
+    def _read_slot(self, slot: int) -> float:
+        raw = self.memory.read(self.queue_base + slot * self.ENTRY_SIZE,
+                               self.ENTRY_SIZE, World.SECURE)
+        return struct.unpack("<Q", raw)[0] / 1e6
+
+    def _refresh(self, now: float) -> None:
+        """Generate ``slot_count`` fresh wake times and a random assignment."""
+        self.refresh_count += 1
+        base = max(self._next_base, now)
+        td = self.tp * self.deviation_fraction
+        for i in range(self.slot_count):
+            deviation = self._rng.uniform(-td, td) if td > 0 else 0.0
+            wake_at = base + (i + 1) * self.tp + deviation
+            self._write_slot(i, max(wake_at, now))
+        self._next_base = base + self.slot_count * self.tp
+        self._available_slots = list(range(self.slot_count))
+        self._rng.shuffle(self._available_slots)
+
+    # ------------------------------------------------------------------
+    def take(self, now: float) -> float:
+        """Extract the next randomly assigned wake time (>= now)."""
+        if not self._available_slots:
+            self._refresh(now)
+        slot = self._available_slots.pop()
+        self.takes += 1
+        return max(self._read_slot(slot), now + _MIN_ARM_DELAY)
+
+    @property
+    def slots_remaining(self) -> int:
+        return len(self._available_slots)
+
+
+class SelfActivationModule:
+    """Programs per-core secure timers from the wake-up time queue."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        queue: WakeUpTimeQueue,
+        random_core: bool = True,
+        fixed_core_index: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.queue = queue
+        self.random_core = random_core
+        self.fixed_core_index = fixed_core_index
+        self.arm_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def participating_cores(self) -> List[Core]:
+        if self.random_core:
+            return list(self.machine.cores)
+        return [self.machine.cores[self.fixed_core_index]]
+
+    def arm_initial(self) -> None:
+        """Trusted-boot stage: give every participating core a first wake."""
+        now = self.machine.sim.now
+        for core in self.participating_cores:
+            self._arm(core, self.queue.take(now))
+
+    def rearm(self, core: Core) -> None:
+        """End of a round: core extracts its next assigned wake time."""
+        self._arm(core, self.queue.take(self.machine.sim.now))
+
+    def _arm(self, core: Core, wake_at: float) -> None:
+        self.arm_count += 1
+        core.secure_timer.program_wakeup(wake_at, World.SECURE)
+        self.machine.trace.emit(
+            self.machine.sim.now, "satin", "wake-up armed",
+            core=core.index, wake_at=wake_at,
+        )
+
+    def disarm_all(self) -> None:
+        for core in self.machine.cores:
+            core.secure_timer.stop(World.SECURE)

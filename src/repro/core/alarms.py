@@ -1,0 +1,49 @@
+"""Integrity alarms raised by the checking module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class AlarmRecord:
+    """One detected integrity violation."""
+
+    time: float
+    area_index: int
+    offset: int
+    length: int
+    core_index: int
+    round_index: int
+    digest: int
+    expected: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ALARM t={self.time:.6f}s area={self.area_index} "
+            f"[{self.offset:#x}+{self.length:#x}] core={self.core_index} "
+            f"round={self.round_index}"
+        )
+
+
+class AlarmSink:
+    """Collects alarms; listeners model "alert the server side or user"."""
+
+    def __init__(self) -> None:
+        self.alarms: List[AlarmRecord] = []
+        self._listeners: List[Callable[[AlarmRecord], None]] = []
+
+    def add_listener(self, listener: Callable[[AlarmRecord], None]) -> None:
+        self._listeners.append(listener)
+
+    def raise_alarm(self, alarm: AlarmRecord) -> None:
+        self.alarms.append(alarm)
+        for listener in self._listeners:
+            listener(alarm)
+
+    def alarms_for_area(self, area_index: int) -> List[AlarmRecord]:
+        return [a for a in self.alarms if a.area_index == area_index]
+
+    def __len__(self) -> int:
+        return len(self.alarms)

@@ -1,0 +1,63 @@
+"""The Kernel Area Set: pseudo-random area selection without replacement.
+
+Section V-B: each introspection round randomly picks one area from the set
+and removes it; when the set empties it is refilled with all areas.  Every
+``m`` rounds therefore scan the *entire* kernel exactly once, while the
+normal world cannot predict which area any given round will touch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.areas import Area
+from repro.errors import IntrospectionError
+
+
+class KernelAreaSet:
+    """Random-without-replacement selector over a fixed partition."""
+
+    def __init__(self, areas: List[Area], rng: random.Random) -> None:
+        if not areas:
+            raise IntrospectionError("area set needs at least one area")
+        self.areas = list(areas)
+        self._rng = rng
+        self._remaining: List[Area] = list(self.areas)
+        #: completed full passes over the kernel.
+        self.pass_count = 0
+        #: per-area pick counter (indexed by area index).
+        self.pick_counts: Dict[int, int] = {area.index: 0 for area in self.areas}
+        self.total_picks = 0
+
+    # ------------------------------------------------------------------
+    def pick(self) -> Area:
+        """Remove and return a uniformly random remaining area."""
+        slot = self._rng.randrange(len(self._remaining))
+        # Swap-pop keeps removal O(1); order within a pass is random anyway.
+        self._remaining[slot], self._remaining[-1] = (
+            self._remaining[-1],
+            self._remaining[slot],
+        )
+        area = self._remaining.pop()
+        self.pick_counts[area.index] += 1
+        self.total_picks += 1
+        if not self._remaining:
+            self.pass_count += 1
+            self._remaining = list(self.areas)
+        return area
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_per_pass(self) -> int:
+        return len(self.areas)
+
+    @property
+    def remaining_in_pass(self) -> int:
+        """Areas not yet scanned in the current pass (m after a refill)."""
+        return len(self._remaining)
+
+    def max_pick_spread(self) -> int:
+        """max - min per-area pick counts; never exceeds 1 (invariant)."""
+        counts = self.pick_counts.values()
+        return max(counts) - min(counts)

@@ -1,0 +1,179 @@
+"""Kernel area partitioning for the integrity checking module.
+
+SATIN divides the kernel into areas along System.map section boundaries —
+each section belongs to exactly one area (Section VI-A2) — every area small
+enough that one round finishes before a TZ-Evader can notice the secure
+entry and hide (the bound from :func:`repro.core.race.max_safe_area_size`).
+
+Three partition modes are provided:
+
+* ``sections`` — one area per System.map section (the paper's 19 areas);
+  a section larger than the bound is split (never happens on the paper's
+  map, but the partitioner is defensive).
+* ``packed`` — consecutive sections greedily merged up to the bound
+  (fewer, larger rounds; an ablation).
+* ``whole`` — the entire kernel as a single area (the baseline
+  whole-kernel introspection that TZ-Evader defeats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import IntrospectionError
+from repro.kernel.systemmap import SystemMap
+
+
+@dataclass(frozen=True)
+class Area:
+    """One introspection area: a contiguous span of the kernel image."""
+
+    index: int
+    offset: int
+    length: int
+    #: names of the System.map sections the area covers.
+    section_names: Tuple[str, ...]
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.offset, self.length)
+
+    def contains(self, offset: int) -> bool:
+        return self.offset <= offset < self.end
+
+
+def _areas_from_spans(spans: List[Tuple[int, int, Tuple[str, ...]]]) -> List[Area]:
+    return [
+        Area(index=i, offset=offset, length=length, section_names=names)
+        for i, (offset, length, names) in enumerate(spans)
+    ]
+
+
+def partition_sections(
+    system_map: SystemMap, max_area_size: Optional[int] = None
+) -> List[Area]:
+    """One area per section, splitting any section above the bound."""
+    spans: List[Tuple[int, int, Tuple[str, ...]]] = []
+    for section in system_map:
+        if max_area_size is None or section.size <= max_area_size:
+            spans.append((section.offset, section.size, (section.name,)))
+            continue
+        pieces = -(-section.size // max_area_size)  # ceil division
+        base_len = -(-section.size // pieces)
+        start = section.offset
+        remaining = section.size
+        piece = 0
+        while remaining > 0:
+            length = min(base_len, remaining)
+            spans.append((start, length, (f"{section.name}[{piece}]",)))
+            start += length
+            remaining -= length
+            piece += 1
+    return _areas_from_spans(spans)
+
+
+def partition_packed(system_map: SystemMap, max_area_size: int) -> List[Area]:
+    """Greedily merge consecutive sections up to ``max_area_size``."""
+    if max_area_size <= 0:
+        raise IntrospectionError("max_area_size must be positive")
+    spans: List[Tuple[int, int, Tuple[str, ...]]] = []
+    group_offset = None
+    group_length = 0
+    group_names: List[str] = []
+    for section in system_map:
+        if section.size > max_area_size:
+            # Flush the open group, then split the oversized section.
+            if group_offset is not None:
+                spans.append((group_offset, group_length, tuple(group_names)))
+                group_offset, group_length, group_names = None, 0, []
+            for area in partition_sections_single(section, max_area_size):
+                spans.append(area)
+            continue
+        if group_offset is None:
+            group_offset, group_length, group_names = section.offset, section.size, [section.name]
+        elif group_length + section.size <= max_area_size:
+            group_length += section.size
+            group_names.append(section.name)
+        else:
+            spans.append((group_offset, group_length, tuple(group_names)))
+            group_offset, group_length, group_names = section.offset, section.size, [section.name]
+    if group_offset is not None:
+        spans.append((group_offset, group_length, tuple(group_names)))
+    return _areas_from_spans(spans)
+
+
+def partition_sections_single(section, max_area_size: int):
+    """Split one oversized section into bound-sized spans (helper)."""
+    out = []
+    start = section.offset
+    remaining = section.size
+    piece = 0
+    while remaining > 0:
+        length = min(max_area_size, remaining)
+        out.append((start, length, (f"{section.name}[{piece}]",)))
+        start += length
+        remaining -= length
+        piece += 1
+    return out
+
+
+def partition_whole(system_map: SystemMap) -> List[Area]:
+    """The whole kernel as one area (baseline whole-kernel scanning)."""
+    names = tuple(section.name for section in system_map)
+    return _areas_from_spans([(0, system_map.total_size, names)])
+
+
+def build_partition(
+    system_map: SystemMap,
+    mode: str = "sections",
+    max_area_size: Optional[int] = None,
+) -> List[Area]:
+    """Partition dispatcher keyed by :class:`SatinConfig` ``partition_mode``."""
+    if mode == "sections":
+        return partition_sections(system_map, max_area_size)
+    if mode == "packed":
+        if max_area_size is None:
+            raise IntrospectionError("packed partitioning needs max_area_size")
+        return partition_packed(system_map, max_area_size)
+    if mode == "whole":
+        return partition_whole(system_map)
+    raise IntrospectionError(f"unknown partition mode {mode!r}")
+
+
+def validate_partition(areas: List[Area], kernel_size: int) -> None:
+    """Check the partition covers the kernel exactly once, in order."""
+    if not areas:
+        raise IntrospectionError("empty partition")
+    cursor = 0
+    for area in areas:
+        if area.offset != cursor:
+            raise IntrospectionError(
+                f"partition gap/overlap at offset {cursor:#x} (area {area.index})"
+            )
+        if area.length <= 0:
+            raise IntrospectionError(f"area {area.index} has non-positive length")
+        cursor = area.end
+    if cursor != kernel_size:
+        raise IntrospectionError(
+            f"partition covers {cursor} bytes of a {kernel_size}-byte kernel"
+        )
+
+
+def area_containing(areas: List[Area], offset: int) -> Area:
+    """The area containing image-relative ``offset``."""
+    lo, hi = 0, len(areas) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        area = areas[mid]
+        if offset < area.offset:
+            hi = mid - 1
+        elif offset >= area.end:
+            lo = mid + 1
+        else:
+            return area
+    raise IntrospectionError(f"offset {offset:#x} is outside every area")

@@ -1,0 +1,116 @@
+"""The Integrity Checking Module (Section V-B).
+
+One invocation = one *round*: pick an area from the Kernel Area Set, hash
+it from the secure world (directly, or via a snapshot for the Table-I
+comparison), compare against the authorized digest computed at trusted
+boot, and raise an alarm on mismatch.  While a round runs, normal-world
+interrupts targeting the scanning core are blocked (``SCR_EL3.IRQ = 0``
+semantics) so the rich OS cannot stretch the round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.config import SatinConfig
+from repro.core.alarms import AlarmRecord, AlarmSink
+from repro.core.area_set import KernelAreaSet
+from repro.core.areas import Area
+from repro.hw.core import Core
+from repro.hw.platform import Machine
+from repro.hw.registers import SCR_EL3_IRQ_BIT
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+from repro.secure.boot import AuthorizedHashStore
+from repro.secure.introspect import ScanResult, check_area
+from repro.secure.snapshot import SecureSnapshotBuffer
+
+
+class IntegrityCheckingModule:
+    """Divide-and-conquer integrity checking over the area partition."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        image: KernelImage,
+        store: AuthorizedHashStore,
+        area_set: KernelAreaSet,
+        config: SatinConfig,
+        alarms: AlarmSink,
+        snapshot_buffer: Optional[SecureSnapshotBuffer] = None,
+    ) -> None:
+        self.machine = machine
+        self.image = image
+        self.store = store
+        self.area_set = area_set
+        self.config = config
+        self.alarms = alarms
+        self.snapshot_buffer = snapshot_buffer if config.use_snapshot else None
+        self.results: List[ScanResult] = []
+        self.round_count = 0
+        self.mismatch_count = 0
+
+    # ------------------------------------------------------------------
+    def run_round(self, core: Core) -> Generator[Any, Any, ScanResult]:
+        """One introspection round on ``core`` (secure-world coroutine)."""
+        round_index = self.round_count
+        self.round_count += 1
+        blocked = self.config.block_ns_interrupts
+        if blocked:
+            self._block_ns(core, True)
+        try:
+            area = self.area_set.pick()
+            self.machine.trace.emit(
+                self.machine.sim.now, "satin", "round begins",
+                round=round_index, area=area.index, core=core.index,
+            )
+            result = yield from check_area(
+                self.image,
+                self.store,
+                core,
+                area.offset,
+                area.length,
+                chunk_size=self.config.chunk_size,
+                snapshot_buffer=self.snapshot_buffer,
+            )
+            result.area_index = area.index
+            result.round_index = round_index
+            self.results.append(result)
+            if not result.match:
+                self.mismatch_count += 1
+                self.alarms.raise_alarm(
+                    AlarmRecord(
+                        time=self.machine.sim.now,
+                        area_index=area.index,
+                        offset=area.offset,
+                        length=area.length,
+                        core_index=core.index,
+                        round_index=round_index,
+                        digest=result.digest,
+                        expected=result.expected,
+                    )
+                )
+            return result
+        finally:
+            if blocked:
+                self._block_ns(core, False)
+
+    # ------------------------------------------------------------------
+    def _block_ns(self, core: Core, block: bool) -> None:
+        """Configure NS-interrupt blocking for the round (SCR_EL3.IRQ)."""
+        scr = core.registers.read("SCR_EL3", World.SECURE)
+        if block:
+            scr &= ~SCR_EL3_IRQ_BIT  # do not trap NS IRQs to EL3: they pend
+        else:
+            scr |= SCR_EL3_IRQ_BIT
+        core.registers.write("SCR_EL3", scr, World.SECURE)
+        self.machine.gic.set_ns_blocked(core.index, block)
+
+    # ------------------------------------------------------------------
+    def results_for_area(self, area_index: int) -> List[ScanResult]:
+        return [r for r in self.results if r.area_index == area_index]
+
+    def average_round_duration(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.duration for r in self.results) / len(self.results)

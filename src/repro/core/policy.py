@@ -1,0 +1,62 @@
+"""Parameter derivation for SATIN (Section V-B/V-C).
+
+Turns the analytical race model into concrete engine parameters:
+
+* the area-size bound (one round must finish before a TZ-Evader can react);
+* the base period ``tp = Tgoal / m`` giving a full-kernel pass every
+  ``Tgoal`` on average;
+* a full-pass latency estimate matching the paper's ~152 s figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.areas import Area
+from repro.core.race import RaceParameters, max_safe_area_size
+from repro.errors import IntrospectionError
+
+
+@dataclass(frozen=True)
+class DerivedPolicy:
+    """Concrete engine parameters derived from configuration + race model."""
+
+    max_area_size: int
+    area_count: int
+    tp: float
+    #: expected time to scan every area at least once (paper: ~152 s).
+    full_pass_time: float
+
+
+def derive_policy(
+    tgoal: float,
+    areas: List[Area],
+    race: Optional[RaceParameters] = None,
+    max_area_size: Optional[int] = None,
+    per_byte_cost: float = 6.67e-9,
+    enforce_bound: bool = True,
+) -> DerivedPolicy:
+    """Validate a partition against the race bound and derive timing.
+
+    ``max_area_size`` overrides the race-model bound when given (used by
+    the whole-kernel baselines, which deliberately violate it).
+    """
+    race = race if race is not None else RaceParameters()
+    bound = max_area_size if max_area_size is not None else max_safe_area_size(race)
+    if enforce_bound:
+        for area in areas:
+            if area.length > bound:
+                raise IntrospectionError(
+                    f"area {area.index} ({area.length} bytes) exceeds the "
+                    f"safe bound of {bound} bytes"
+                )
+    m = len(areas)
+    tp = tgoal / m
+    scan_time = sum(area.length for area in areas) * per_byte_cost
+    return DerivedPolicy(
+        max_area_size=bound,
+        area_count=m,
+        tp=tp,
+        full_pass_time=m * tp + scan_time,
+    )

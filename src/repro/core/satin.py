@@ -1,0 +1,219 @@
+"""SATIN: the Secure Asynchronous Trustworthy INtrospection engine.
+
+This is the paper's contribution (Section V), assembled from the modules in
+this package:
+
+* trusted boot computes per-area authorized hashes into secure SRAM;
+* the **Integrity Checking Module** scans one randomly chosen area per
+  round (divide-and-conquer, areas below the race-model bound, NS
+  interrupts blocked for the round);
+* the **Self Activation Module** wakes a random core at a randomized time
+  via per-core secure timers coordinated through the secure-memory
+  wake-up time queue — no cross-core interrupts that the normal world
+  could probe.
+
+The same engine, configured through :class:`~repro.config.SatinConfig`,
+also realises the *baselines* the paper defeats (whole-kernel scans, fixed
+core, fixed period) — see :mod:`repro.secure.baseline` — which makes the
+ablation benchmarks direct config sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.config import SatinConfig
+from repro.core.activation import SelfActivationModule, WakeUpTimeQueue
+from repro.core.alarms import AlarmSink
+from repro.core.area_set import KernelAreaSet
+from repro.core.areas import Area, build_partition, validate_partition
+from repro.core.checker import IntegrityCheckingModule
+from repro.core.policy import DerivedPolicy, derive_policy
+from repro.core.race import RaceParameters
+from repro.errors import IntrospectionError
+from repro.hw.core import Core
+from repro.hw.platform import SECURE_SRAM_BASE, Machine
+from repro.kernel.os import RichOS
+from repro.secure.boot import AuthorizedHashStore
+from repro.secure.snapshot import SecureSnapshotBuffer
+from repro.secure.tsp import TestSecurePayload
+
+#: Secure SRAM layout: authorized hash table, wake-up queue, snapshot area.
+_HASH_TABLE_OFFSET = 0x0000
+_WAKEUP_QUEUE_OFFSET = 0x1000
+_SNAPSHOT_OFFSET = 0x2000
+
+
+class Satin:
+    """The complete SATIN mechanism on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rich_os: RichOS,
+        config: Optional[SatinConfig] = None,
+        race: Optional[RaceParameters] = None,
+        tsp: Optional[TestSecurePayload] = None,
+    ) -> None:
+        self.machine = machine
+        self.rich_os = rich_os
+        self.config = config if config is not None else machine.config.satin
+        self.race = race if race is not None else RaceParameters()
+        self.tsp = tsp if tsp is not None else TestSecurePayload(machine)
+
+        image = rich_os.image
+        self.areas: List[Area] = build_partition(
+            image.system_map, self.config.partition_mode, self.config.max_area_size
+        )
+        validate_partition(self.areas, image.size)
+        self.policy: DerivedPolicy = derive_policy(
+            tgoal=self.config.tgoal,
+            areas=self.areas,
+            race=self.race,
+            max_area_size=self.config.max_area_size,
+            enforce_bound=(
+                self.config.enforce_area_bound
+                and self.config.partition_mode != "whole"
+            ),
+        )
+
+        memory = machine.memory
+        self.store = AuthorizedHashStore(
+            memory, SECURE_SRAM_BASE + _HASH_TABLE_OFFSET,
+            capacity_entries=max(len(self.areas), 64),
+        )
+        snapshot_capacity = machine.config.secure_memory_size - _SNAPSHOT_OFFSET
+        self.snapshot_buffer = SecureSnapshotBuffer(
+            memory, SECURE_SRAM_BASE + _SNAPSHOT_OFFSET, snapshot_capacity
+        )
+        self.alarms = AlarmSink()
+        self.area_set = KernelAreaSet(
+            self.areas, machine.rng.stream("satin.area_set")
+        )
+        deviation = (
+            self.config.deviation_fraction if self.config.random_deviation else 0.0
+        )
+        slot_count = (
+            len(machine.cores) if self.config.random_core else 1
+        )
+        self.wakeup_queue = WakeUpTimeQueue(
+            memory,
+            SECURE_SRAM_BASE + _WAKEUP_QUEUE_OFFSET,
+            slot_count=slot_count,
+            tp=self.policy.tp,
+            deviation_fraction=deviation,
+            rng=machine.rng.stream("satin.wakeup"),
+            start_time=machine.sim.now,
+        )
+        self.activation = SelfActivationModule(
+            machine,
+            self.wakeup_queue,
+            random_core=self.config.random_core,
+        )
+        self.checker = IntegrityCheckingModule(
+            machine,
+            image,
+            self.store,
+            self.area_set,
+            self.config,
+            self.alarms,
+            snapshot_buffer=self.snapshot_buffer,
+        )
+        #: auxiliary secure-world checks run piggybacked on rounds (e.g.
+        #: the semantic module-list checker); each is a coroutine factory
+        #: ``(core) -> generator`` executed after the area scan.
+        self._auxiliary_checks: List = []
+        self.auxiliary_runs = 0
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self) -> "Satin":
+        """Trusted boot: compute authorized hashes and arm first wake-ups.
+
+        Must run before the attacker executes (the hashes must describe
+        the benign kernel).
+        """
+        if self.installed:
+            raise IntrospectionError("SATIN is already installed")
+        self.store.compute_at_boot(self.rich_os.image, [a.span for a in self.areas])
+        self.tsp.set_timer_service(self._on_secure_wake)
+        self.activation.arm_initial()
+        self.installed = True
+        self.machine.trace.emit(
+            self.machine.sim.now, "satin", "installed",
+            areas=len(self.areas), tp=self.policy.tp,
+            random_core=self.config.random_core,
+        )
+        return self
+
+    def uninstall(self) -> None:
+        """Disarm timers and release the secure timer service."""
+        if not self.installed:
+            return
+        self.activation.disarm_all()
+        self.tsp.set_timer_service(None)
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    # The secure timer service: one round then re-arm (Figure 6)
+    # ------------------------------------------------------------------
+    def add_auxiliary_check(self, factory) -> None:
+        """Piggyback a secure-world check onto every introspection round.
+
+        ``factory(core)`` must return a coroutine yielding ``cpu(...)``
+        requests — e.g. ``SemanticChecker(...).run_check``.  Auxiliary
+        checks run after the area scan, inside the same non-preemptible
+        secure window, so they inherit SATIN's randomized, unobservable
+        scheduling for free.
+        """
+        self._auxiliary_checks.append(factory)
+
+    def _on_secure_wake(self, core: Core) -> Generator[Any, Any, None]:
+        result = yield from self.checker.run_round(core)
+        for factory in self._auxiliary_checks:
+            yield from factory(core)
+            self.auxiliary_runs += 1
+        self.activation.rearm(core)
+        self.machine.trace.emit(
+            self.machine.sim.now, "satin", "round complete",
+            round=result.round_index, area=result.area_index,
+            core=core.index, match=result.match,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def round_count(self) -> int:
+        return self.checker.round_count
+
+    @property
+    def detection_count(self) -> int:
+        return len(self.alarms)
+
+    @property
+    def full_passes(self) -> int:
+        return self.area_set.pass_count
+
+    def summary(self) -> dict:
+        """Machine-readable run summary (experiments/EXPERIMENTS.md)."""
+        return {
+            "areas": len(self.areas),
+            "tp": self.policy.tp,
+            "rounds": self.round_count,
+            "full_passes": self.full_passes,
+            "alarms": self.detection_count,
+            "avg_round_duration": self.checker.average_round_duration(),
+            "secure_entries": sum(c.secure_entries for c in self.machine.cores),
+        }
+
+
+def install_satin(
+    machine: Machine,
+    rich_os: RichOS,
+    config: Optional[SatinConfig] = None,
+) -> Satin:
+    """Build and install SATIN in one call (the common path)."""
+    return Satin(machine, rich_os, config=config).install()

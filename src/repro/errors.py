@@ -1,0 +1,51 @@
+"""Exception hierarchy for the SATIN reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used inconsistently."""
+
+
+class SchedulingError(SimulationError):
+    """A scheduler invariant was violated (e.g. two tasks on one core)."""
+
+
+class HardwareError(ReproError):
+    """A simulated hardware component was misconfigured or misused."""
+
+
+class SecureAccessError(HardwareError):
+    """Normal-world code attempted to touch a secure-world resource.
+
+    This models the TrustZone hardware fault: the secure address space,
+    secure timers, and secure registers are invisible to the normal world.
+    """
+
+
+class MemoryAccessError(HardwareError):
+    """An access fell outside the physical memory map."""
+
+
+class KernelError(ReproError):
+    """The simulated rich OS detected an inconsistent operation."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration dataclass carried out-of-range values."""
+
+
+class IntrospectionError(ReproError):
+    """The secure-world introspection engine was misconfigured."""
+
+
+class AttackError(ReproError):
+    """An attack component (rootkit / prober / evader) was misused."""

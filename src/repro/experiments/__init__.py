@@ -1,0 +1,57 @@
+"""Experiment drivers: one per paper table/figure (see DESIGN.md index)."""
+
+from repro.experiments.ablations import (
+    ABLATION_VARIANTS,
+    AblationOutcome,
+    run_ablation_variant,
+    run_ablations,
+)
+from repro.experiments.common import ExperimentResult, Stack, build_stack
+from repro.experiments.detection import (
+    DetectionRunStats,
+    run_detection_experiment,
+)
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.prober_comparison import (
+    ProberOutcome,
+    run_prober_comparison,
+)
+from repro.experiments.figure7 import OverheadPoint, run_figure7
+from repro.experiments.race_analysis import (
+    EscapeRunStats,
+    run_escape_comparison,
+    run_escape_simulation,
+    run_race_analysis,
+)
+from repro.experiments.recover_delay import run_recover_delay
+from repro.experiments.switch_delay import run_switch_delay
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_single_core_ratio, run_table2
+from repro.experiments.user_prober_eval import run_user_prober_eval
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "AblationOutcome",
+    "DetectionRunStats",
+    "EscapeRunStats",
+    "ExperimentResult",
+    "OverheadPoint",
+    "ProberOutcome",
+    "Stack",
+    "build_stack",
+    "run_ablation_variant",
+    "run_ablations",
+    "run_detection_experiment",
+    "run_escape_comparison",
+    "run_escape_simulation",
+    "run_figure4",
+    "run_prober_comparison",
+    "run_figure7",
+    "run_race_analysis",
+    "run_recover_delay",
+    "run_single_core_ratio",
+    "run_switch_delay",
+    "run_table1",
+    "run_table2",
+    "run_user_prober_eval",
+]

@@ -1,0 +1,87 @@
+"""Shared experiment plumbing: stack builders and result records.
+
+Every experiment driver builds a fresh, seeded machine so runs are
+reproducible and independent.  ``Stack`` bundles the components an
+experiment typically needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.attacks.kprober2 import KProberII
+from repro.attacks.oracle import ProberAccelerationOracle
+from repro.attacks.rootkit import PersistentRootkit
+from repro.attacks.evader import TZEvader
+from repro.config import MachineConfig, SatinConfig, juno_r1_config
+from repro.core.satin import Satin
+from repro.hw.platform import Machine, build_machine
+from repro.kernel.os import RichOS, boot_rich_os
+
+
+@dataclass
+class Stack:
+    """A booted machine with optional defence and attack components."""
+
+    machine: Machine
+    rich_os: RichOS
+    satin: Optional[Satin] = None
+    prober: Optional[KProberII] = None
+    rootkit: Optional[PersistentRootkit] = None
+    evader: Optional[TZEvader] = None
+    oracle: Optional[ProberAccelerationOracle] = None
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.machine.run(until=until)
+
+
+def build_stack(
+    seed: int = 2019,
+    machine_config: Optional[MachineConfig] = None,
+    satin_config: Optional[SatinConfig] = None,
+    with_satin: bool = False,
+    with_evader: bool = False,
+    accelerate: bool = True,
+) -> Stack:
+    """Boot a full stack: machine + rich OS [+ SATIN] [+ TZ-Evader].
+
+    SATIN's trusted boot runs *before* the rootkit installs, matching the
+    paper's threat model (the boot-time kernel is benign).
+    """
+    config = machine_config if machine_config is not None else juno_r1_config(seed)
+    if machine_config is not None and seed != config.seed:
+        config = config.with_seed(seed)
+    machine = build_machine(config)
+    rich_os = boot_rich_os(machine)
+    stack = Stack(machine=machine, rich_os=rich_os)
+    if with_satin:
+        stack.satin = Satin(machine, rich_os, config=satin_config).install()
+    if with_evader:
+        stack.oracle = ProberAccelerationOracle(machine) if accelerate else None
+        stack.prober = KProberII(machine, rich_os, oracle=stack.oracle).install()
+        stack.rootkit = PersistentRootkit(machine, rich_os)
+        stack.evader = TZEvader(
+            machine, rich_os, stack.rootkit, stack.prober.controller
+        ).start()
+    return stack
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record: an id, rendered text, and raw values."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    values: Dict[str, Any] = field(default_factory=dict)
+    comparisons: List[Dict[str, Any]] = field(default_factory=list)
+
+    def compare(self, quantity: str, paper: Any, measured: Any) -> None:
+        """Record one paper-vs-measured row."""
+        self.comparisons.append(
+            {"quantity": quantity, "paper": paper, "measured": measured}
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.rendered

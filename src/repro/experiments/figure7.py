@@ -1,0 +1,151 @@
+"""Experiment E10 — Figure 7: SATIN's normal-world overhead.
+
+Runs each UnixBench-like program with and without SATIN's self-activation
+and reports the normalized performance degradation, for one copy (1-task)
+and six simultaneous copies (6-task).  Paper: 0.711% mean (1-task) and
+0.848% (6-task), with ``file copy 256B`` (3.556%) and ``pipe-based
+context switching`` (3.912%) as the outliers — the programs whose state a
+secure-world visit demolishes.
+
+For the overhead study each core self-activates about every
+``per_core_period`` seconds (default 8 s); the random wake-up deviation is
+disabled so short runs see a stable interruption count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import pct, render_table
+from repro.config import SatinConfig
+from repro.experiments.common import ExperimentResult, build_stack
+from repro.workloads.programs import UNIXBENCH_PROGRAMS, BenchmarkProgram
+from repro.workloads.suite import BenchmarkRun
+
+#: Paper's headline numbers.
+PAPER_MEAN_1TASK = 0.00711
+PAPER_MEAN_6TASK = 0.00848
+PAPER_OUTLIERS = {
+    "file_copy_256B": 0.03556,
+    "pipe_context_switching": 0.03912,
+}
+
+
+@dataclass
+class OverheadPoint:
+    """One bar of Figure 7."""
+
+    program: str
+    task_count: int
+    score_off: float
+    score_on: float
+
+    @property
+    def degradation(self) -> float:
+        if self.score_off == 0:
+            return 0.0
+        return max(1.0 - self.score_on / self.score_off, 0.0)
+
+
+def _satin_overhead_config(core_count: int, per_core_period: float) -> SatinConfig:
+    """SATIN configured so each core wakes about every per_core_period."""
+    from repro.config import PAPER_AREA_COUNT
+
+    tp = per_core_period / core_count
+    return SatinConfig(
+        tgoal=tp * PAPER_AREA_COUNT,
+        random_deviation=False,
+    )
+
+
+def _run_one(
+    program: BenchmarkProgram,
+    task_count: int,
+    duration: float,
+    seed: int,
+    with_satin: bool,
+    per_core_period: float,
+) -> float:
+    satin_config = None
+    if with_satin:
+        satin_config = _satin_overhead_config(6, per_core_period)
+    stack = build_stack(
+        seed=seed, satin_config=satin_config, with_satin=with_satin
+    )
+    run = BenchmarkRun(
+        stack.machine, stack.rich_os, program,
+        task_count=task_count, duration=duration,
+    )
+    return run.run_to_completion().score
+
+
+def run_figure7(
+    seed: int = 2019,
+    duration: float = 16.0,
+    task_counts: Sequence[int] = (1, 6),
+    programs: Optional[Sequence[BenchmarkProgram]] = None,
+    per_core_period: float = 8.0,
+) -> ExperimentResult:
+    """Regenerate Figure 7's series."""
+    chosen = list(programs) if programs is not None else list(UNIXBENCH_PROGRAMS)
+    points: List[OverheadPoint] = []
+    for task_count in task_counts:
+        for program in chosen:
+            score_off = _run_one(
+                program, task_count, duration, seed, False, per_core_period
+            )
+            score_on = _run_one(
+                program, task_count, duration, seed, True, per_core_period
+            )
+            points.append(
+                OverheadPoint(program.name, task_count, score_off, score_on)
+            )
+
+    means: Dict[int, float] = {}
+    for task_count in task_counts:
+        degs = [p.degradation for p in points if p.task_count == task_count]
+        means[task_count] = sum(degs) / len(degs) if degs else 0.0
+
+    rows = []
+    for point in points:
+        paper = PAPER_OUTLIERS.get(point.program)
+        rows.append(
+            [
+                point.program,
+                f"{point.task_count}-task",
+                f"{point.score_off:.1f}",
+                f"{point.score_on:.1f}",
+                pct(point.degradation),
+                pct(paper) if paper is not None else "(small)",
+            ]
+        )
+    for task_count, mean in means.items():
+        paper_mean = PAPER_MEAN_1TASK if task_count == 1 else PAPER_MEAN_6TASK
+        rows.append(
+            ["MEAN", f"{task_count}-task", "", "", pct(mean), pct(paper_mean)]
+        )
+
+    result = ExperimentResult(
+        experiment_id="E10",
+        title=(
+            f"Figure 7: UnixBench degradation with SATIN "
+            f"(duration={duration:g}s, per-core period={per_core_period:g}s)"
+        ),
+        rendered=render_table(
+            ("program", "tasks", "score off", "score on", "degradation", "paper"),
+            rows,
+        ),
+        values={"points": points, "means": means},
+    )
+    for task_count, mean in means.items():
+        paper_mean = PAPER_MEAN_1TASK if task_count == 1 else PAPER_MEAN_6TASK
+        result.compare(f"mean degradation {task_count}-task", paper_mean, mean)
+    outlier_points: Dict[Tuple[str, int], float] = {
+        (p.program, p.task_count): p.degradation for p in points
+    }
+    for name, paper_value in PAPER_OUTLIERS.items():
+        measured = outlier_points.get((name, task_counts[0]))
+        if measured is not None:
+            result.compare(f"{name} degradation", paper_value, measured)
+    return result

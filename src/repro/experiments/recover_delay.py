@@ -1,0 +1,68 @@
+"""Experiment E3 — Section IV-B2: the attack recovery time ``Tns_recover``.
+
+Times the rootkit restoring its 8-byte GETTID syscall-table trace, 50
+times on an A53 core and an A57 core.  Paper: A53 average 5.80e-3 s, A57
+average 4.96e-3 s — the timing bottleneck of TZ-Evader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import Summary
+from repro.analysis.tables import render_table, sci
+from repro.attacks.rootkit import PersistentRootkit
+from repro.experiments.common import ExperimentResult, build_stack
+from repro.kernel.threads import Task, pin_to
+from repro.sim.process import cpu
+
+#: Paper's measured averages per core type.
+PAPER_RECOVER = {"A53": 5.80e-3, "A57": 4.96e-3}
+
+
+def run_recover_delay(seed: int = 2019, repetitions: int = 50) -> ExperimentResult:
+    """Regenerate the Tns_recover measurement."""
+    stack = build_stack(seed=seed)
+    machine = stack.machine
+    rootkit = PersistentRootkit(machine, stack.rich_os).install()
+    summaries: Dict[str, Summary] = {}
+
+    for cluster, core in (
+        ("A53", machine.little_core()),
+        ("A57", machine.big_core()),
+    ):
+        samples: List[float] = []
+
+        def body(task: Task, _samples=samples, _n=repetitions):
+            for _ in range(_n):
+                start = machine.sim.now
+                yield cpu(rootkit.recovery_time(machine.cores[task.core_index]))
+                rootkit.apply_hide()
+                _samples.append(machine.sim.now - start)
+                rootkit.apply_reattack()
+
+        stack.rich_os.spawn_realtime(
+            f"recover-{cluster}", body, affinity=pin_to(core.index)
+        )
+        machine.sim.run(max_events=repetitions * 50)
+        summaries[cluster] = Summary.of(samples)
+
+    rows = [
+        [cluster, sci(s.average), sci(s.maximum), sci(s.minimum),
+         sci(PAPER_RECOVER[cluster])]
+        for cluster, s in summaries.items()
+    ]
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Tns_recover: 8-byte trace recovery time (50 reps per core type)",
+        rendered=render_table(
+            ("core", "avg", "max", "min", "paper avg"), rows, title=None
+        ),
+        values={"summaries": summaries},
+    )
+    for cluster, s in summaries.items():
+        result.compare(f"{cluster} Tns_recover avg", PAPER_RECOVER[cluster], s.average)
+    result.values["a57_recovers_faster"] = (
+        summaries["A57"].average < summaries["A53"].average
+    )
+    return result

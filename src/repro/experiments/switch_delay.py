@@ -1,0 +1,77 @@
+"""Experiment E2 — Section IV-B1: the world-switch delay ``Ts_switch``.
+
+Executes 50 secure-world entries on an A53 core and an A57 core and times
+the gap between the secure interrupt request and the first secure payload
+instruction.  The paper reports the range 2.38e-6 .. 3.60e-6 s and notes
+the two core types behave similarly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import Summary
+from repro.analysis.tables import render_table, sci
+from repro.experiments.common import ExperimentResult, build_stack
+from repro.hw.core import Core
+from repro.sim.process import cpu
+
+#: Paper's measured bounds.
+PAPER_SWITCH_MIN = 2.38e-6
+PAPER_SWITCH_MAX = 3.60e-6
+
+
+def run_switch_delay(seed: int = 2019, repetitions: int = 50) -> ExperimentResult:
+    """Regenerate the Ts_switch measurement."""
+    stack = build_stack(seed=seed)
+    machine = stack.machine
+    summaries: Dict[str, Summary] = {}
+    for cluster, core in (
+        ("A53", machine.little_core()),
+        ("A57", machine.big_core()),
+    ):
+        samples: List[float] = []
+        for _ in range(repetitions):
+            requested_at = machine.sim.now
+            record: Dict[str, float] = {}
+
+            def payload(entered_core: Core, _record=record):
+                _record["entered"] = machine.sim.now
+                yield cpu(1e-7)
+
+            machine.monitor.request_secure_entry(core, payload)
+            machine.sim.run(max_events=100)
+            samples.append(record["entered"] - requested_at)
+        summaries[cluster] = Summary.of(samples)
+
+    rows = [
+        [
+            cluster,
+            sci(s.average),
+            sci(s.maximum),
+            sci(s.minimum),
+            f"{sci(PAPER_SWITCH_MIN)} .. {sci(PAPER_SWITCH_MAX)}",
+        ]
+        for cluster, s in summaries.items()
+    ]
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Ts_switch: world-switch delay (50 switches per core type)",
+        rendered=render_table(
+            ("core", "avg", "max", "min", "paper range"), rows, title=None
+        ),
+        values={"summaries": summaries},
+    )
+    for cluster, s in summaries.items():
+        result.compare(f"{cluster} Ts_switch range",
+                       (PAPER_SWITCH_MIN, PAPER_SWITCH_MAX),
+                       (s.minimum, s.maximum))
+    result.values["within_paper_range"] = all(
+        PAPER_SWITCH_MIN <= s.minimum and s.maximum <= PAPER_SWITCH_MAX
+        for s in summaries.values()
+    )
+    a53, a57 = summaries["A53"], summaries["A57"]
+    result.values["clusters_similar"] = (
+        abs(a53.average - a57.average) < 0.5 * max(a53.average, a57.average)
+    )
+    return result

@@ -1,0 +1,103 @@
+"""Experiment E4/E6 — Table II: probing threshold vs. probing period.
+
+For each probing period the paper runs KProber for 50 rounds, takes the
+largest Time-Comparer difference per round as that round's threshold, and
+reports avg/max/min.  Here each round's window maximum is drawn through
+the order-statistics fast path over the calibrated per-observation tail
+(see :mod:`repro.attacks.threshold_model`); dense simulation cross-checks
+the model in the test suite.
+
+Also reproduces the single-core observation: probing one known core sees
+roughly 1/4 of the all-core thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import render_table, sci
+from repro.attacks.threshold_model import ThresholdStats, ThresholdWindowModel
+from repro.config import ProberConfig
+from repro.experiments.common import ExperimentResult
+from repro.sim.rng import RngRegistry
+
+#: Paper's Table II: period -> (avg, max, min).
+PAPER_TABLE2 = {
+    8.0: (2.61e-4, 7.76e-4, 1.07e-4),
+    16.0: (3.54e-4, 1.38e-3, 1.31e-4),
+    30.0: (4.21e-4, 8.99e-4, 2.59e-4),
+    120.0: (5.26e-4, 9.49e-4, 3.18e-4),
+    300.0: (6.61e-4, 1.77e-3, 4.18e-4),
+}
+
+PERIODS = (8.0, 16.0, 30.0, 120.0, 300.0)
+
+
+def run_table2(
+    seed: int = 2019,
+    rounds: int = 50,
+    single_core: bool = False,
+) -> ExperimentResult:
+    """Regenerate Table II (or its single-core variant)."""
+    rng = RngRegistry(seed).stream("table2")
+    model = ThresholdWindowModel(ProberConfig(), single_core=single_core)
+    stats: Dict[float, ThresholdStats] = {
+        period: model.measure(period, rounds, rng) for period in PERIODS
+    }
+
+    rows: List[List[str]] = []
+    variant = "single-core" if single_core else "all cores"
+    result = ExperimentResult(
+        experiment_id="E6" if single_core else "E4",
+        title=f"Table II: Probing Threshold ({variant}, {rounds} rounds/period)",
+        rendered="",
+        values={"stats": stats},
+    )
+    for period in PERIODS:
+        s = stats[period]
+        paper_avg, paper_max, paper_min = PAPER_TABLE2[period]
+        scale = model.config.single_core_factor if single_core else 1.0
+        rows.append(
+            [
+                f"{period:g} s",
+                sci(s.average),
+                sci(s.maximum),
+                sci(s.minimum),
+                sci(paper_avg * scale),
+            ]
+        )
+        result.compare(f"avg threshold @ {period:g}s", paper_avg * scale, s.average)
+
+    averages = [stats[p].average for p in PERIODS]
+    # The paper's own columns are not strictly monotone (e.g. its 16 s max
+    # exceeds its 30 s max); check the long-run growth instead.
+    result.values["average_grows_with_period"] = averages[-1] > averages[0]
+    result.values["growth_8s_to_300s"] = averages[-1] / averages[0]
+    result.values["worst_observed"] = max(stats[p].maximum for p in PERIODS)
+    result.rendered = render_table(
+        ("probing period", "avg", "max", "min", "paper avg"),
+        rows,
+        title=result.title,
+    )
+    return result
+
+
+def run_single_core_ratio(seed: int = 2019, rounds: int = 50) -> ExperimentResult:
+    """E6: the single-core / all-core threshold ratio (paper: ~1/4)."""
+    all_cores = run_table2(seed=seed, rounds=rounds, single_core=False)
+    single = run_table2(seed=seed, rounds=rounds, single_core=True)
+    ratios = {
+        period: single.values["stats"][period].average
+        / all_cores.values["stats"][period].average
+        for period in PERIODS
+    }
+    rows = [[f"{p:g} s", f"{r:.3f}", "0.25"] for p, r in ratios.items()]
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Single-core vs all-core probing threshold ratio",
+        rendered=render_table(("period", "ratio", "paper"), rows),
+        values={"ratios": ratios},
+    )
+    for period, ratio in ratios.items():
+        result.compare(f"ratio @ {period:g}s", 0.25, ratio)
+    return result

@@ -1,0 +1,35 @@
+"""Simulated hardware: the multi-core TrustZone board."""
+
+from repro.hw.cluster import Cluster
+from repro.hw.core import Core
+from repro.hw.gic import Gic, InterruptGroup
+from repro.hw.memory import MemoryRegion, PhysicalMemory
+from repro.hw.monitor import SecureExecution, SecureMonitor
+from repro.hw.perf import CorePerf
+from repro.hw.platform import DRAM_BASE, SECURE_SRAM_BASE, Machine, build_machine
+from repro.hw.registers import RegisterFile, SCR_EL3_IRQ_BIT
+from repro.hw.timer import NS_TIMER_INTID, SECURE_TIMER_INTID, SecureTimer, SystemCounter
+from repro.hw.world import World
+
+__all__ = [
+    "Cluster",
+    "Core",
+    "CorePerf",
+    "DRAM_BASE",
+    "Gic",
+    "InterruptGroup",
+    "Machine",
+    "MemoryRegion",
+    "NS_TIMER_INTID",
+    "PhysicalMemory",
+    "RegisterFile",
+    "SCR_EL3_IRQ_BIT",
+    "SECURE_SRAM_BASE",
+    "SECURE_TIMER_INTID",
+    "SecureExecution",
+    "SecureMonitor",
+    "SecureTimer",
+    "SystemCounter",
+    "World",
+    "build_machine",
+]

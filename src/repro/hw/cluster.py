@@ -1,0 +1,36 @@
+"""big.LITTLE cluster grouping.
+
+The Juno r1 pairs a power-efficient 4-core Cortex-A53 cluster with a
+performant 2-core Cortex-A57 cluster.  Clusters only group cores and expose
+cluster-level statistics; all behaviour lives on the cores themselves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hw.core import Core
+
+
+class Cluster:
+    """A named group of cores sharing one timing model."""
+
+    __slots__ = ("name", "cores")
+
+    def __init__(self, name: str, cores: Sequence[Core]) -> None:
+        self.name = name
+        self.cores: List[Core] = list(cores)
+
+    @property
+    def core_indices(self) -> List[int]:
+        return [core.index for core in self.cores]
+
+    def total_secure_time(self) -> float:
+        """Aggregate time this cluster's cores spent in the secure world."""
+        return sum(core.secure_time_total for core in self.cores)
+
+    def total_secure_entries(self) -> int:
+        return sum(core.secure_entries for core in self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster {self.name} cores={self.core_indices}>"

@@ -1,0 +1,169 @@
+"""Interrupt controller model (GIC-like) with TrustZone interrupt groups.
+
+The two routing requirements from Section II-B are implemented:
+
+1. *Secure* interrupts always reach the secure world (via the monitor),
+   even when the core currently runs the normal world.
+2. *Non-secure* interrupts reach the normal world.  While a core executes
+   in the secure world, delivery depends on the secure software's choice:
+   SATIN blocks them for the duration of a round (``SCR_EL3.IRQ = 0`` plus
+   priority configuration — the non-preemptive secure mode); a preemptive
+   secure world lets the monitor pause secure execution instead.
+
+Pended non-secure interrupts are *coalesced per interrupt ID* (level
+semantics): a timer tick that fires three times while the core is away is
+delivered once on return, exactly like a level-triggered line.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, List, Set
+
+from repro.errors import HardwareError
+from repro.hw.world import World
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.core import Core
+    from repro.hw.monitor import SecureMonitor
+
+
+class InterruptGroup(enum.Enum):
+    """GIC interrupt group: G0 (secure) or G1NS (non-secure)."""
+
+    SECURE = "secure"
+    NONSECURE = "nonsecure"
+
+
+class Gic:
+    """Distributes interrupts to cores according to world and routing state."""
+
+    def __init__(self, sim: Simulator, trace: TraceRecorder) -> None:
+        self.sim = sim
+        self.trace = trace
+        self._groups: Dict[int, InterruptGroup] = {}
+        self._secure_handlers: Dict[int, Callable[["Core", int], None]] = {}
+        self._ns_handlers: Dict[int, Callable[["Core", int], None]] = {}
+        self._pending_ns: Dict[int, List[int]] = {}
+        self._pending_ns_set: Dict[int, Set[int]] = {}
+        self._pending_secure: Dict[int, List[int]] = {}
+        self._ns_blocked: Dict[int, bool] = {}
+        self._monitor: "SecureMonitor | None" = None
+        self.delivered_ns = 0
+        self.delivered_secure = 0
+        self.pended_ns = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor: "SecureMonitor") -> None:
+        self._monitor = monitor
+
+    def configure(self, intid: int, group: InterruptGroup) -> None:
+        """Assign an interrupt ID to a group."""
+        self._groups[intid] = group
+
+    def register_secure_handler(self, intid: int, handler: Callable[["Core", int], None]) -> None:
+        """Handler invoked (via the monitor) for a secure interrupt."""
+        self.configure(intid, InterruptGroup.SECURE)
+        self._secure_handlers[intid] = handler
+
+    def register_ns_handler(self, intid: int, handler: Callable[["Core", int], None]) -> None:
+        """Normal-world (rich OS) handler for a non-secure interrupt."""
+        self.configure(intid, InterruptGroup.NONSECURE)
+        self._ns_handlers[intid] = handler
+
+    # ------------------------------------------------------------------
+    # Routing configuration used by SATIN
+    # ------------------------------------------------------------------
+    def set_ns_blocked(self, core_index: int, blocked: bool) -> None:
+        """Block (or unblock) NS interrupt delivery while in secure world.
+
+        SATIN sets this for the duration of one integrity-checking round so
+        the normal world cannot stretch the round with interrupt storms.
+        """
+        self._ns_blocked[core_index] = blocked
+
+    def ns_blocked(self, core_index: int) -> bool:
+        return self._ns_blocked.get(core_index, False)
+
+    # ------------------------------------------------------------------
+    # Interrupt entry point
+    # ------------------------------------------------------------------
+    def trigger(self, core: "Core", intid: int) -> None:
+        """Raise interrupt ``intid`` targeting ``core``."""
+        group = self._groups.get(intid)
+        if group is None:
+            raise HardwareError(f"interrupt {intid} was never configured")
+        if group is InterruptGroup.SECURE:
+            self._trigger_secure(core, intid)
+        else:
+            self._trigger_ns(core, intid)
+
+    def _trigger_secure(self, core: "Core", intid: int) -> None:
+        if self._monitor is None:
+            raise HardwareError("secure interrupt raised before monitor attached")
+        if core.world is World.NORMAL and not core.transitioning:
+            self.delivered_secure += 1
+            self._monitor.handle_secure_interrupt(core, intid)
+        else:
+            # Core is already in (or moving to/from) the secure world:
+            # pend and deliver once it is back in the normal world.
+            self._pending_secure.setdefault(core.index, []).append(intid)
+            self.trace.emit(self.sim.now, "gic", "secure interrupt pended",
+                            core=core.index, intid=intid)
+
+    def _trigger_ns(self, core: "Core", intid: int) -> None:
+        if core.world is World.NORMAL and not core.transitioning:
+            self.delivered_ns += 1
+            handler = self._ns_handlers.get(intid)
+            if handler is not None:
+                handler(core, intid)
+            return
+        if self.ns_blocked(core.index) or self._monitor is None:
+            self._pend_ns(core.index, intid)
+            return
+        # Preemptive secure mode: the monitor pauses secure execution and
+        # lets the normal-world handler run (OP-TEE-style foreign interrupt).
+        if not self._monitor.preempt_secure(core, intid):
+            self._pend_ns(core.index, intid)
+
+    def _pend_ns(self, core_index: int, intid: int) -> None:
+        pending = self._pending_ns_set.setdefault(core_index, set())
+        if intid not in pending:
+            pending.add(intid)
+            self._pending_ns.setdefault(core_index, []).append(intid)
+            self.pended_ns += 1
+
+    # ------------------------------------------------------------------
+    # World-transition hooks (called by the monitor)
+    # ------------------------------------------------------------------
+    def flush_pending(self, core: "Core") -> None:
+        """Deliver interrupts pended while ``core`` was in the secure world.
+
+        Secure interrupts are delivered first (they will immediately pull
+        the core back into the secure world); NS interrupts are coalesced.
+        """
+        secure = self._pending_secure.pop(core.index, None)
+        if secure:
+            # Deliver only the first pended secure interrupt now; the rest
+            # (if any) re-pend automatically because the core leaves the
+            # normal world again.
+            first, rest = secure[0], secure[1:]
+            if rest:
+                self._pending_secure[core.index] = rest
+            self._trigger_secure(core, first)
+            return
+        ns = self._pending_ns.pop(core.index, None)
+        self._pending_ns_set.pop(core.index, None)
+        if ns:
+            for intid in ns:
+                if core.world is not World.NORMAL:
+                    self._pend_ns(core.index, intid)
+                    continue
+                self.delivered_ns += 1
+                handler = self._ns_handlers.get(intid)
+                if handler is not None:
+                    handler(core, intid)

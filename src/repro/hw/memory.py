@@ -1,0 +1,121 @@
+"""Physical memory with TrustZone secure/normal partitioning.
+
+The TZASC (TrustZone Address Space Controller) is modelled as a per-region
+``secure`` flag: a secure region is readable/writable only when the access
+originates from the secure world; normal regions are accessible from both
+worlds (the secure world has full visibility of normal memory — the property
+all TrustZone introspection builds on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import MemoryAccessError, SecureAccessError
+from repro.hw.world import World
+
+
+class MemoryRegion:
+    """A contiguous physical region with a security attribute."""
+
+    __slots__ = ("name", "base", "size", "secure", "data", "read_count", "write_count")
+
+    def __init__(self, name: str, base: int, size: int, secure: bool) -> None:
+        if size <= 0:
+            raise MemoryAccessError(f"region {name!r}: size must be positive")
+        if base < 0:
+            raise MemoryAccessError(f"region {name!r}: negative base address")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.secure = secure
+        self.data = bytearray(size)
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "secure" if self.secure else "normal"
+        return f"<MemoryRegion {self.name} [{self.base:#x}, {self.end:#x}) {kind}>"
+
+
+class PhysicalMemory:
+    """The board's physical address space as a set of disjoint regions."""
+
+    def __init__(self) -> None:
+        self._regions: List[MemoryRegion] = []
+
+    def add_region(self, name: str, base: int, size: int, secure: bool = False) -> MemoryRegion:
+        """Register a new region; overlapping an existing region is an error."""
+        region = MemoryRegion(name, base, size, secure)
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise MemoryAccessError(
+                    f"region {name!r} overlaps {existing.name!r}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def region_named(self, name: str) -> MemoryRegion:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise MemoryAccessError(f"no region named {name!r}")
+
+    def region_at(self, addr: int) -> Optional[MemoryRegion]:
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def _resolve(self, addr: int, length: int, world: World, write: bool) -> MemoryRegion:
+        region = self.region_at(addr)
+        if region is None or not region.contains(addr, length):
+            raise MemoryAccessError(
+                f"access [{addr:#x}, {addr + length:#x}) is outside the memory map"
+            )
+        if region.secure and world is not World.SECURE:
+            op = "write" if write else "read"
+            raise SecureAccessError(
+                f"normal world cannot {op} secure region {region.name!r}"
+            )
+        return region
+
+    # ------------------------------------------------------------------
+    # World-checked accessors
+    # ------------------------------------------------------------------
+    def read(self, addr: int, length: int, world: World) -> bytes:
+        """Read ``length`` bytes at ``addr`` on behalf of ``world``."""
+        region = self._resolve(addr, length, world, write=False)
+        region.read_count += 1
+        offset = addr - region.base
+        return bytes(region.data[offset : offset + length])
+
+    def write(self, addr: int, data: bytes, world: World) -> None:
+        """Write ``data`` at ``addr`` on behalf of ``world``."""
+        region = self._resolve(addr, len(data), world, write=True)
+        region.write_count += 1
+        offset = addr - region.base
+        region.data[offset : offset + len(data)] = data
+
+    def view(self, addr: int, length: int, world: World) -> memoryview:
+        """Zero-copy world-checked view; the fast path for bulk hashing.
+
+        The secure world uses this to hash megabytes of kernel memory
+        without copying; mutation through the view is possible and is
+        equivalent to :meth:`write` at the same address.
+        """
+        region = self._resolve(addr, length, world, write=False)
+        offset = addr - region.base
+        return memoryview(region.data)[offset : offset + length]
+
+    @property
+    def regions(self) -> List[MemoryRegion]:
+        return list(self._regions)

@@ -1,0 +1,57 @@
+"""Per-core performance model: calibrated cost sampling.
+
+Each core owns a :class:`CorePerf` that turns the cluster's
+:class:`~repro.config.ClusterTiming` distributions into concrete samples
+drawn from core-specific deterministic RNG streams.
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterTiming
+from repro.sim.rng import RngRegistry
+
+
+class CorePerf:
+    """Samples timing costs for one core."""
+
+    __slots__ = ("timing", "_rng")
+
+    def __init__(self, timing: ClusterTiming, rng: RngRegistry, core_index: int) -> None:
+        self.timing = timing
+        self._rng = rng.stream(f"core{core_index}.perf")
+
+    @property
+    def cluster_name(self) -> str:
+        return self.timing.name
+
+    def hash_byte(self) -> float:
+        """Secure-world cost to directly hash one byte (Table I)."""
+        return self.timing.hash_byte.sample(self._rng)
+
+    def snapshot_byte(self) -> float:
+        """Secure-world cost to snapshot-then-hash one byte (Table I)."""
+        return self.timing.snapshot_byte.sample(self._rng)
+
+    def world_switch(self) -> float:
+        """One-direction EL3 world switch (Section IV-B1)."""
+        return self.timing.world_switch.sample(self._rng)
+
+    def recover_trace_8b(self) -> float:
+        """Rootkit restoring one 8-byte attack trace (Section IV-B2)."""
+        return self.timing.recover_trace_8b.sample(self._rng)
+
+    def syscall(self) -> float:
+        """Rich-OS system call round trip."""
+        return self.timing.syscall.sample(self._rng)
+
+    def dispatch(self) -> float:
+        """Rich-OS scheduler dispatch latency."""
+        return self.timing.dispatch.sample(self._rng)
+
+    def tick(self) -> float:
+        """Timer-tick handler cost."""
+        return self.timing.tick.sample(self._rng)
+
+    def preemption_penalty(self) -> float:
+        """Cache-refill penalty paid by a task resumed after preemption."""
+        return self.timing.preemption_penalty.sample(self._rng)

@@ -1,0 +1,97 @@
+"""Per-core system register file with TrustZone access control.
+
+Only the registers the paper's mechanisms actually touch are modelled:
+
+* ``VBAR_EL1`` — normal-world exception vector base (KProber-I patches the
+  table it points to);
+* ``SCR_EL3`` — secure configuration register; SATIN clears the IRQ routing
+  bit so normal-world interrupts cannot preempt an introspection round;
+* ``CNTPS_CTL_EL1`` / ``CNTPS_CVAL_EL1`` — the per-core *secure* physical
+  timer control/compare registers driving SATIN's self-activation;
+* ``CNTP_CTL_EL0`` / ``CNTP_CVAL_EL0`` — the normal-world timer pair used by
+  the rich OS tick.
+
+Secure-only registers raise :class:`SecureAccessError` when the accessing
+world is the normal world, which is precisely the hardware property SATIN's
+self-activation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import HardwareError, SecureAccessError
+from repro.hw.world import World
+
+
+class RegisterSpec:
+    """Static description of one system register."""
+
+    __slots__ = ("name", "secure_only", "reset_value")
+
+    def __init__(self, name: str, secure_only: bool, reset_value: int = 0) -> None:
+        self.name = name
+        self.secure_only = secure_only
+        self.reset_value = reset_value
+
+
+#: Registers present on every core.
+CORE_REGISTERS = (
+    RegisterSpec("VBAR_EL1", secure_only=False),
+    RegisterSpec("SCR_EL3", secure_only=True, reset_value=0b0010),  # IRQ routing bit
+    RegisterSpec("CNTPS_CTL_EL1", secure_only=True),
+    RegisterSpec("CNTPS_CVAL_EL1", secure_only=True),
+    RegisterSpec("CNTP_CTL_EL0", secure_only=False),
+    RegisterSpec("CNTP_CVAL_EL0", secure_only=False),
+)
+
+#: SCR_EL3 bit meaning "route IRQs to EL3 while in secure world".
+SCR_EL3_IRQ_BIT = 0b0010
+
+
+class RegisterFile:
+    """One core's system registers, with world-checked access."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, RegisterSpec] = {s.name: s for s in CORE_REGISTERS}
+        self._values: Dict[str, int] = {s.name: s.reset_value for s in CORE_REGISTERS}
+        self._write_hooks: Dict[str, Callable[[int], None]] = {}
+
+    def _spec(self, name: str) -> RegisterSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise HardwareError(f"unknown system register {name!r}")
+        return spec
+
+    def read(self, name: str, world: World) -> int:
+        """Read a register from the given world."""
+        spec = self._spec(name)
+        if spec.secure_only and world is not World.SECURE:
+            raise SecureAccessError(f"{name} is not accessible from the normal world")
+        return self._values[name]
+
+    def write(self, name: str, value: int, world: World) -> None:
+        """Write a register from the given world; fires any write hook."""
+        spec = self._spec(name)
+        if spec.secure_only and world is not World.SECURE:
+            raise SecureAccessError(f"{name} is not writable from the normal world")
+        self._values[name] = int(value)
+        hook = self._write_hooks.get(name)
+        if hook is not None:
+            hook(int(value))
+
+    def on_write(self, name: str, hook: Optional[Callable[[int], None]]) -> None:
+        """Attach a hardware side-effect to writes of ``name``.
+
+        Used by the secure timer: writing CNTPS_CTL_EL1/CNTPS_CVAL_EL1
+        (re)arms the compare event.
+        """
+        self._spec(name)
+        if hook is None:
+            self._write_hooks.pop(name, None)
+        else:
+            self._write_hooks[name] = hook
+
+    def peek(self, name: str) -> int:
+        """Read without access checks (simulator-internal plumbing only)."""
+        return self._values[self._spec(name).name]

@@ -1,0 +1,135 @@
+"""ARM generic timer model: shared counter + per-core secure timers.
+
+The shared physical counter (``CNTPCT_EL0``) is readable from both worlds —
+it is the clock the probers' Time Reporters sample.  Each core additionally
+owns a *secure* physical timer (``CNTPS_CTL_EL1`` / ``CNTPS_CVAL_EL1``):
+when enabled and the shared counter reaches the compare value, the core
+raises a *secure* timer interrupt, which the GIC routes to the monitor.
+Those registers are writable only from the secure world, which is what makes
+SATIN's self-activation impossible for the rich OS to suppress or observe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.hw.registers import RegisterFile
+from repro.hw.world import World
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+#: Interrupt ID of the per-core secure physical timer (GIC PPI 29 on ARM).
+SECURE_TIMER_INTID = 29
+
+#: Interrupt ID of the per-core non-secure physical timer (GIC PPI 30).
+NS_TIMER_INTID = 30
+
+
+class SystemCounter:
+    """The shared system counter (``CNTPCT_EL0``).
+
+    Both worlds on every core read the same monotonically increasing value;
+    it advances with simulated time at ``frequency_hz``.
+    """
+
+    __slots__ = ("sim", "frequency_hz")
+
+    def __init__(self, sim: Simulator, frequency_hz: int) -> None:
+        if frequency_hz <= 0:
+            raise HardwareError("counter frequency must be positive")
+        self.sim = sim
+        self.frequency_hz = frequency_hz
+
+    def read_ticks(self) -> int:
+        """Current counter value in timer ticks."""
+        return int(self.sim.now * self.frequency_hz)
+
+    def read_seconds(self) -> float:
+        """Current counter value converted to seconds."""
+        return self.sim.now
+
+    def ticks_for(self, seconds: float) -> int:
+        """Convert a duration in seconds to counter ticks (rounded up)."""
+        ticks = seconds * self.frequency_hz
+        whole = int(ticks)
+        return whole if whole == ticks else whole + 1
+
+    def seconds_for(self, ticks: int) -> float:
+        return ticks / self.frequency_hz
+
+
+class SecureTimer:
+    """One core's secure physical timer.
+
+    Writing the control/compare registers from the secure world (re)arms a
+    simulator event; when it fires, ``interrupt_sink(core_index)`` is called
+    — wired by the platform to the GIC's secure-interrupt path.
+    """
+
+    __slots__ = ("sim", "counter", "registers", "core_index", "interrupt_sink", "_event", "fire_count")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        counter: SystemCounter,
+        registers: RegisterFile,
+        core_index: int,
+    ) -> None:
+        self.sim = sim
+        self.counter = counter
+        self.registers = registers
+        self.core_index = core_index
+        self.interrupt_sink: Optional[Callable[[int], None]] = None
+        self._event: Optional[Event] = None
+        self.fire_count = 0
+        registers.on_write("CNTPS_CTL_EL1", self._rearm)
+        registers.on_write("CNTPS_CVAL_EL1", self._rearm)
+
+    # ------------------------------------------------------------------
+    # Secure-world programming interface
+    # ------------------------------------------------------------------
+    def program_wakeup(self, at_seconds: float, world: World) -> None:
+        """Program the timer to fire at absolute time ``at_seconds``.
+
+        Mirrors the paper's sequence: stop the timer via CNTPS_CTL_EL1,
+        write the compare value into CNTPS_CVAL_EL1, then restart.
+        """
+        self.registers.write("CNTPS_CTL_EL1", 0, world)  # stop
+        cval = self.counter.ticks_for(max(at_seconds, self.sim.now))
+        self.registers.write("CNTPS_CVAL_EL1", cval, world)
+        self.registers.write("CNTPS_CTL_EL1", 1, world)  # enable
+
+    def stop(self, world: World) -> None:
+        """Disable the timer."""
+        self.registers.write("CNTPS_CTL_EL1", 0, world)
+
+    def next_fire_time(self) -> Optional[float]:
+        """Absolute fire time if armed (simulator-internal visibility)."""
+        if self._event is not None and self._event.pending:
+            return self._event.time
+        return None
+
+    # ------------------------------------------------------------------
+    # Hardware behaviour
+    # ------------------------------------------------------------------
+    def _rearm(self, _value: int) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        enabled = self.registers.peek("CNTPS_CTL_EL1") & 1
+        if not enabled:
+            return
+        cval = self.registers.peek("CNTPS_CVAL_EL1")
+        fire_at = max(self.counter.seconds_for(cval), self.sim.now)
+        self._event = self.sim.schedule_at(fire_at, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        # Condition still holds? (CTL may have been cleared since arming.)
+        if not self.registers.peek("CNTPS_CTL_EL1") & 1:
+            return
+        self.fire_count += 1
+        if self.interrupt_sink is None:
+            raise HardwareError("secure timer fired with no interrupt sink wired")
+        self.interrupt_sink(self.core_index)

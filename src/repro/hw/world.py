@@ -1,0 +1,24 @@
+"""TrustZone execution worlds.
+
+Every core is, at any instant, executing in exactly one of the two worlds.
+The secure world can see all of the normal world's state; the reverse access
+is blocked by hardware (modelled by :class:`repro.errors.SecureAccessError`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class World(enum.Enum):
+    """The two TrustZone worlds of the ARMv8-A security model."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+    @property
+    def is_secure(self) -> bool:
+        return self is World.SECURE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

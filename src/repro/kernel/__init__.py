@@ -1,0 +1,43 @@
+"""The simulated rich OS (normal world)."""
+
+from repro.kernel.image import KernelImage
+from repro.kernel.modules import ModuleList, ModuleRecord
+from repro.kernel.os import RichOS, boot_rich_os
+from repro.kernel.paging import PAGE_SIZE, PageTable, ProtectedKernelMemory
+from repro.kernel.sched import CoreRunQueue, RichScheduler
+from repro.kernel.syscalls import NR_GETTID, SyscallTable
+from repro.kernel.systemmap import Section, SystemMap
+from repro.kernel.threads import (
+    FIFO_PRIORITY_MAX,
+    SchedPolicy,
+    Task,
+    TaskState,
+    pin_to,
+)
+from repro.kernel.ticks import TickManager
+from repro.kernel.vectors import IRQ_VECTOR_INDEX, VectorTable
+
+__all__ = [
+    "CoreRunQueue",
+    "FIFO_PRIORITY_MAX",
+    "IRQ_VECTOR_INDEX",
+    "KernelImage",
+    "ModuleList",
+    "ModuleRecord",
+    "NR_GETTID",
+    "PAGE_SIZE",
+    "PageTable",
+    "ProtectedKernelMemory",
+    "RichOS",
+    "RichScheduler",
+    "SchedPolicy",
+    "Section",
+    "SyscallTable",
+    "SystemMap",
+    "Task",
+    "TaskState",
+    "TickManager",
+    "VectorTable",
+    "boot_rich_os",
+    "pin_to",
+]

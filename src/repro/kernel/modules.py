@@ -1,0 +1,168 @@
+"""Loaded-kernel-module list: dynamic kernel data in the image.
+
+The paper's introduction notes that asynchronous introspection goes beyond
+static hashing: "a number of proof of concept approaches have been
+developed to provide a more fine-grained security checking on dynamic
+kernel data structures" [8, 14, 33, 48].  This module provides the classic
+target of such checking — the loaded-module linked list — as real bytes in
+kernel memory, so a DKOM (Direct Kernel Object Manipulation) rootkit can
+unlink itself and a secure-world semantic checker can catch it.
+
+Layout: a fixed slab of 32-byte records in ``.data``:
+
+    0..15  module name (NUL padded)
+    16..23 image-relative offset of the next record (0 = end of list)
+    24..31 flags (bit 0: slot allocated/live)
+
+plus an 8-byte list head in front of the slab.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+
+RECORD_SIZE = 32
+NAME_SIZE = 16
+FLAG_LIVE = 1
+
+#: End-of-list marker stored in a next-pointer field.
+LIST_END = 0
+
+
+@dataclass(frozen=True)
+class ModuleRecord:
+    """Decoded view of one slab record."""
+
+    slot: int
+    offset: int
+    name: str
+    next_offset: int
+    flags: int
+
+    @property
+    def live(self) -> bool:
+        return bool(self.flags & FLAG_LIVE)
+
+
+class ModuleList:
+    """The in-memory module registry and linked list."""
+
+    def __init__(self, image: KernelImage, capacity: int = 64) -> None:
+        self.image = image
+        self.capacity = capacity
+        data = image.system_map.section_by_name(".data")
+        # Park the slab past the page table's home, scaling the gap with
+        # the section so down-sized test kernels still fit everything.
+        gap = min(65536, data.size // 2)
+        self.head_offset = (data.offset + gap + 63) & ~0x3F
+        self.slab_offset = self.head_offset + 8
+        if self.slab_offset + capacity * RECORD_SIZE > data.end:
+            raise KernelError("module slab does not fit in .data")
+        self._write_head(LIST_END, World.SECURE)
+        zero = bytes(RECORD_SIZE)
+        for slot in range(capacity):
+            image.write(self._slot_offset(slot), zero, World.SECURE)
+
+    # ------------------------------------------------------------------
+    # Raw encoding
+    # ------------------------------------------------------------------
+    def _slot_offset(self, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise KernelError(f"module slot {slot} out of range")
+        return self.slab_offset + slot * RECORD_SIZE
+
+    def _write_head(self, value: int, world: World) -> None:
+        self.image.write(self.head_offset, struct.pack("<Q", value), world)
+
+    def read_head(self, world: World = World.NORMAL) -> int:
+        raw = self.image.read(self.head_offset, 8, world)
+        return struct.unpack("<Q", raw)[0]
+
+    def read_record(self, offset: int, world: World = World.NORMAL) -> ModuleRecord:
+        raw = self.image.read(offset, RECORD_SIZE, world)
+        name = raw[:NAME_SIZE].split(b"\x00", 1)[0].decode("ascii", "replace")
+        next_offset, flags = struct.unpack("<QQ", raw[NAME_SIZE:])
+        slot = (offset - self.slab_offset) // RECORD_SIZE
+        return ModuleRecord(slot, offset, name, next_offset, flags)
+
+    def _write_record(
+        self, slot: int, name: str, next_offset: int, flags: int, world: World
+    ) -> int:
+        encoded_name = name.encode("ascii")
+        if len(encoded_name) >= NAME_SIZE:
+            raise KernelError(f"module name {name!r} too long")
+        raw = encoded_name.ljust(NAME_SIZE, b"\x00")
+        raw += struct.pack("<QQ", next_offset, flags)
+        offset = self._slot_offset(slot)
+        self.image.write(offset, raw, world)
+        return offset
+
+    # ------------------------------------------------------------------
+    # Rich OS API (normal world)
+    # ------------------------------------------------------------------
+    def load(self, name: str, world: World = World.NORMAL) -> ModuleRecord:
+        """insmod: allocate a slot and push it on the list head."""
+        for slot in range(self.capacity):
+            record = self.read_record(self._slot_offset(slot), World.SECURE)
+            if not record.live:
+                head = self.read_head(world)
+                offset = self._write_record(slot, name, head, FLAG_LIVE, world)
+                self._write_head(offset, world)
+                return self.read_record(offset, world)
+        raise KernelError("module slab exhausted")
+
+    def unload(self, name: str, world: World = World.NORMAL) -> None:
+        """rmmod: unlink AND free the slot (the legitimate path)."""
+        prev_offset: Optional[int] = None
+        cursor = self.read_head(world)
+        while cursor != LIST_END:
+            record = self.read_record(cursor, world)
+            if record.name == name:
+                if prev_offset is None:
+                    self._write_head(record.next_offset, world)
+                else:
+                    prev = self.read_record(prev_offset, world)
+                    self._write_record(
+                        prev.slot, prev.name, record.next_offset, prev.flags, world
+                    )
+                self._write_record(record.slot, "", LIST_END, 0, world)
+                return
+            prev_offset = cursor
+            cursor = record.next_offset
+        raise KernelError(f"module {name!r} is not loaded")
+
+    # ------------------------------------------------------------------
+    # Views (used by both worlds)
+    # ------------------------------------------------------------------
+    def walk_list(self, world: World = World.NORMAL) -> List[ModuleRecord]:
+        """The linked-list view (what ``lsmod`` sees)."""
+        out: List[ModuleRecord] = []
+        cursor = self.read_head(world)
+        hops = 0
+        while cursor != LIST_END:
+            if hops > self.capacity:
+                raise KernelError("module list is cyclic")
+            record = self.read_record(cursor, world)
+            out.append(record)
+            cursor = record.next_offset
+            hops += 1
+        return out
+
+    def scan_slab(self, world: World = World.SECURE) -> List[ModuleRecord]:
+        """The brute-force memory view: every live record in the slab.
+
+        This is the SigGraph-style signature scan — it needs no list
+        integrity, only the record layout.
+        """
+        out: List[ModuleRecord] = []
+        for slot in range(self.capacity):
+            record = self.read_record(self._slot_offset(slot), world)
+            if record.live:
+                out.append(record)
+        return out

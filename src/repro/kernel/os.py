@@ -1,0 +1,129 @@
+"""The rich OS facade: boots the kernel and exposes process/syscall APIs.
+
+``RichOS`` assembles the kernel image (with its System.map, system call
+table and exception vector table), the two-class scheduler, and the tick
+machinery on a :class:`~repro.hw.platform.Machine`.  Workloads and attack
+components interact with the normal world exclusively through this object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Generator, Optional
+
+from repro.errors import KernelError
+from repro.hw.platform import Machine
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+from repro.kernel.sched.scheduler import RichScheduler
+from repro.kernel.syscalls import SyscallTable
+from repro.kernel.threads import (
+    FIFO_PRIORITY_MAX,
+    SchedPolicy,
+    Task,
+    TaskBody,
+)
+from repro.kernel.ticks import TickManager
+from repro.kernel.vectors import VectorTable
+from repro.sim.process import cpu
+
+#: A syscall interceptor: called when a hijacked entry is exercised.
+SyscallInterceptor = Callable[[Task, int], None]
+
+
+class RichOS:
+    """The normal-world operating system of the simulated board."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        kcfg = machine.config.kernel
+        self.image = KernelImage(machine.memory, kcfg)
+        self.syscall_table = SyscallTable(self.image)
+        self.vector_table = VectorTable(self.image)
+        self.scheduler = RichScheduler(machine)
+        self.ticks = TickManager(machine, self.scheduler)
+        self._interceptors: Dict[int, SyscallInterceptor] = {}
+        self.syscall_count = 0
+        self.intercepted_syscalls = 0
+        for core in machine.cores:
+            core.registers.write(
+                "VBAR_EL1", self.vector_table.vbar_value, World.NORMAL
+            )
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        body: TaskBody,
+        policy: SchedPolicy = SchedPolicy.CFS,
+        priority: int = 0,
+        affinity: Optional[FrozenSet[int]] = None,
+        core_index: Optional[int] = None,
+    ) -> Task:
+        """Create and start a kernel-visible thread."""
+        task = Task(name, body, policy=policy, priority=priority, affinity=affinity)
+        return self.scheduler.spawn(task, core_index=core_index)
+
+    def spawn_realtime(
+        self,
+        name: str,
+        body: TaskBody,
+        priority: int = FIFO_PRIORITY_MAX,
+        affinity: Optional[FrozenSet[int]] = None,
+        core_index: Optional[int] = None,
+    ) -> Task:
+        """``pthread_setschedparam(SCHED_FIFO, priority)`` equivalent."""
+        return self.spawn(
+            name, body, policy=SchedPolicy.FIFO, priority=priority,
+            affinity=affinity, core_index=core_index,
+        )
+
+    # ------------------------------------------------------------------
+    # System calls
+    # ------------------------------------------------------------------
+    def register_syscall_interceptor(
+        self, handler_addr: int, interceptor: SyscallInterceptor
+    ) -> None:
+        """Associate behaviour with a (malicious) handler address.
+
+        The rootkit writes ``handler_addr`` into a syscall table entry;
+        whenever a task then issues that syscall, ``interceptor`` observes
+        it — the key-logger behaviour of the paper's sample attack.
+        """
+        self._interceptors[handler_addr] = interceptor
+
+    def syscall(self, task: Task, nr: int) -> Generator[Any, Any, int]:
+        """Issue system call ``nr`` from ``task`` (a coroutine helper).
+
+        Charges the calling core's syscall cost and dispatches through the
+        *current* table entry, so a hijacked entry routes through the
+        attacker's interceptor — and a restored entry does not.
+        """
+        if task.core_index is None:
+            raise KernelError("syscall from a task that never ran")
+        core = self.machine.cores[task.core_index]
+        yield cpu(core.perf.syscall())
+        self.syscall_count += 1
+        entry = self.syscall_table.read_entry(nr, World.NORMAL)
+        if entry != self.syscall_table.original_entry(nr):
+            self.intercepted_syscalls += 1
+            interceptor = self._interceptors.get(entry)
+            if interceptor is not None:
+                interceptor(task, nr)
+        # All modelled syscalls return the task id (GETTID semantics); the
+        # workloads only care about the timing, not the value.
+        return task.tid
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel_size(self) -> int:
+        return self.image.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RichOS kernel={self.image.size}B tasks={len(self.scheduler.tasks)}>"
+
+
+def boot_rich_os(machine: Machine) -> RichOS:
+    """Boot the rich OS on a machine (convenience constructor)."""
+    return RichOS(machine)

@@ -1,0 +1,146 @@
+"""Kernel page tables with access-permission bits (Section VII-A substrate).
+
+The paper's threat model starts from a rich OS protected by *synchronous*
+introspection (KNOX-RKP / SPROBES style): security-critical kernel pages —
+the exception vector table, the system call table — are mapped read-only,
+and any write attempt traps to the secure world for mediation.  The
+attacker bypasses it with a *data* attack: a write-what-where kernel
+vulnerability flips the Access Permission (AP) bits of the relevant page
+table entry — the PTE itself being ordinary kernel data that nothing
+mediates — after which the "protected" page is freely writable [26].
+
+This module models exactly that much MMU: 4 KiB pages over the kernel
+image, one AP bit per page, and a write path that consults it.  The page
+*table* lives inside the kernel image's ``.data`` section, so flipping a
+PTE is a plain 8-byte kernel-memory write.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+
+PAGE_SIZE = 4096
+
+#: PTE bit meaning "writable from the normal world" (AP[2]=0 in ARM terms;
+#: we store it positively for clarity).
+PTE_WRITABLE = 1 << 7
+
+#: A write hook: (page_index, offset, data) -> allow?  Installed by the
+#: synchronous introspection mechanism.
+WriteMediator = Callable[[int, int, bytes], bool]
+
+
+class PageTable:
+    """AP-bit page table for the kernel image, resident in kernel .data."""
+
+    ENTRY_SIZE = 8
+
+    def __init__(self, image: KernelImage) -> None:
+        self.image = image
+        self.page_count = -(-image.size // PAGE_SIZE)
+        data_section = image.system_map.section_by_name(".data")
+        table_bytes = self.page_count * self.ENTRY_SIZE
+        # Park the table a little way into .data (scaled so down-sized
+        # test kernels still fit it), page aligned.
+        gap = min(16384, data_section.size // 8)
+        self.table_offset = (data_section.offset + gap + 4095) & ~0xFFF
+        if self.table_offset + table_bytes > data_section.end:
+            raise KernelError("page table does not fit in .data")
+        self._install_defaults()
+
+    def _install_defaults(self) -> None:
+        """All pages writable by default (a stock kernel)."""
+        entries = bytearray()
+        for page in range(self.page_count):
+            entries += struct.pack("<Q", PTE_WRITABLE | (page << 12))
+        self.image.write(self.table_offset, bytes(entries), World.SECURE)
+
+    # ------------------------------------------------------------------
+    # PTE access (the PTEs are ordinary kernel memory!)
+    # ------------------------------------------------------------------
+    def pte_offset(self, page_index: int) -> int:
+        """Image-relative offset of a PTE — itself inside the kernel."""
+        if not 0 <= page_index < self.page_count:
+            raise KernelError(f"page index {page_index} out of range")
+        return self.table_offset + page_index * self.ENTRY_SIZE
+
+    def read_pte(self, page_index: int, world: World) -> int:
+        raw = self.image.read(self.pte_offset(page_index), self.ENTRY_SIZE, world)
+        return struct.unpack("<Q", raw)[0]
+
+    def write_pte(self, page_index: int, value: int, world: World) -> None:
+        self.image.write(
+            self.pte_offset(page_index), struct.pack("<Q", value), world
+        )
+
+    # ------------------------------------------------------------------
+    # Permission queries / legitimate management
+    # ------------------------------------------------------------------
+    def page_of(self, image_offset: int) -> int:
+        if not 0 <= image_offset < self.image.size:
+            raise KernelError(f"offset {image_offset:#x} outside the kernel")
+        return image_offset // PAGE_SIZE
+
+    def is_writable(self, page_index: int) -> bool:
+        return bool(self.read_pte(page_index, World.SECURE) & PTE_WRITABLE)
+
+    def set_writable(self, page_index: int, writable: bool, world: World) -> None:
+        pte = self.read_pte(page_index, world)
+        if writable:
+            pte |= PTE_WRITABLE
+        else:
+            pte &= ~PTE_WRITABLE
+        self.write_pte(page_index, pte, world)
+
+    def protect_range(self, offset: int, length: int, world: World) -> List[int]:
+        """Mark every page covering [offset, offset+length) read-only."""
+        first = self.page_of(offset)
+        last = self.page_of(offset + length - 1)
+        pages = list(range(first, last + 1))
+        for page in pages:
+            self.set_writable(page, False, world)
+        return pages
+
+
+class ProtectedKernelMemory:
+    """The kernel write path once paging protection is active.
+
+    Routes every normal-world write through the page table; writes to a
+    read-only page are reported to the installed mediator (the synchronous
+    introspection hook).  Secure-world writes bypass checks (higher
+    privilege), matching TrustZone semantics.
+    """
+
+    def __init__(self, image: KernelImage, page_table: PageTable) -> None:
+        self.image = image
+        self.page_table = page_table
+        self.mediator: Optional[WriteMediator] = None
+        self.blocked_writes = 0
+        self.mediated_writes = 0
+
+    def write(self, offset: int, data: bytes, world: World) -> bool:
+        """Attempt a kernel write; returns True if it landed."""
+        if world is World.SECURE:
+            self.image.write(offset, data, world)
+            return True
+        first = self.page_table.page_of(offset)
+        last = self.page_table.page_of(offset + len(data) - 1)
+        for page in range(first, last + 1):
+            if not self.page_table.is_writable(page):
+                # Permission fault: trap to the mediator (synchronous
+                # introspection) if present, else just fault.
+                self.mediated_writes += 1
+                allowed = (
+                    self.mediator is not None
+                    and self.mediator(page, offset, data)
+                )
+                if not allowed:
+                    self.blocked_writes += 1
+                    return False
+        self.image.write(offset, data, world)
+        return True

@@ -1,0 +1,6 @@
+"""Rich OS scheduling: per-core run queues and the two-class scheduler."""
+
+from repro.kernel.sched.runqueue import CoreRunQueue
+from repro.kernel.sched.scheduler import RichScheduler
+
+__all__ = ["CoreRunQueue", "RichScheduler"]

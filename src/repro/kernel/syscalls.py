@@ -1,0 +1,95 @@
+"""System call table resident inside the kernel image.
+
+The table is an array of 8-byte little-endian handler addresses at the
+``sys_call_table`` symbol.  The paper's sample persistent attack overwrites
+the ``GETTID`` entry (arm64 syscall number 178) with a malicious handler
+address — exactly 8 bytes of attack trace inside "area 14" that TrustZone
+introspection can catch (Section IV-A2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+
+#: arm64 system call numbers for the calls the workloads exercise.
+NR_GETTID = 178
+NR_GETPID = 172
+NR_READ = 63
+NR_WRITE = 64
+NR_OPENAT = 56
+NR_CLOSE = 57
+NR_CLONE = 220
+NR_EXECVE = 221
+NR_PIPE2 = 59
+
+#: Number of table entries (arm64 __NR_syscalls for 4.x kernels).
+SYSCALL_COUNT = 440
+
+#: Bytes per table entry (a 64-bit function pointer).
+ENTRY_SIZE = 8
+
+#: Virtual-address base the synthetic handler pointers live at.
+HANDLER_VA_BASE = 0xFFFF_0000_0800_0000
+
+
+def default_handler_addr(nr: int) -> int:
+    """Deterministic synthetic handler address for syscall ``nr``."""
+    return HANDLER_VA_BASE + nr * 0x400
+
+
+class SyscallTable:
+    """Read/write interface to the in-image system call table."""
+
+    def __init__(self, image: KernelImage) -> None:
+        self.image = image
+        self.table_offset = image.system_map.symbol("sys_call_table")
+        section = image.section_at(self.table_offset)
+        if self.table_offset + SYSCALL_COUNT * ENTRY_SIZE > section.end:
+            raise KernelError("system call table does not fit in its section")
+        self._original: Dict[int, int] = {}
+        self._install_defaults()
+
+    def _install_defaults(self) -> None:
+        entries = bytearray()
+        for nr in range(SYSCALL_COUNT):
+            addr = default_handler_addr(nr)
+            self._original[nr] = addr
+            entries += struct.pack("<Q", addr)
+        # Installed by the (trusted) boot stage.
+        self.image.write(self.table_offset, bytes(entries), World.SECURE)
+
+    # ------------------------------------------------------------------
+    def entry_offset(self, nr: int) -> int:
+        """Image-relative offset of entry ``nr``."""
+        if not 0 <= nr < SYSCALL_COUNT:
+            raise KernelError(f"syscall number {nr} out of range")
+        return self.table_offset + nr * ENTRY_SIZE
+
+    def entry_addr(self, nr: int) -> int:
+        """Physical address of entry ``nr``."""
+        return self.image.addr_of(self.entry_offset(nr))
+
+    def read_entry(self, nr: int, world: World) -> int:
+        raw = self.image.read(self.entry_offset(nr), ENTRY_SIZE, world)
+        return struct.unpack("<Q", raw)[0]
+
+    def write_entry(self, nr: int, handler_addr: int, world: World) -> None:
+        self.image.write(self.entry_offset(nr), struct.pack("<Q", handler_addr), world)
+
+    def original_entry(self, nr: int) -> int:
+        """The authorized handler address installed at boot."""
+        return self._original[nr]
+
+    def is_hijacked(self, nr: int, world: World = World.SECURE) -> bool:
+        """Ground-truth check used by tests and the harness."""
+        return self.read_entry(nr, world) != self._original[nr]
+
+    @property
+    def section_index(self) -> int:
+        """System.map section (== SATIN area) index holding the table."""
+        return self.image.section_at(self.table_offset).index

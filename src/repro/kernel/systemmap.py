@@ -1,0 +1,201 @@
+"""Synthetic System.map for the simulated rich OS kernel.
+
+The paper's board runs an lsk-4.4 kernel whose static image is 11,916,240
+bytes, which SATIN divides into 19 areas along System.map section
+boundaries; the largest area is 876,616 bytes and the smallest 431,360
+(Section VI-A2).  This module synthesises a section table with exactly those
+properties, placing the system call table in section index 14 (the paper's
+"area 14", which the sample attack hijacks) and the exception vector table
+in section index 12 (where KProber-I leaves its preparation trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import (
+    PAPER_AREA_COUNT,
+    PAPER_HIJACKED_AREA,
+    PAPER_KERNEL_SIZE,
+    PAPER_LARGEST_AREA,
+    PAPER_SMALLEST_AREA,
+)
+from repro.errors import KernelError
+
+#: Section index that contains the system call table ("area 14").
+SYSCALL_SECTION_INDEX = PAPER_HIJACKED_AREA
+
+#: Section index that contains the exception vector table.
+VECTOR_SECTION_INDEX = 12
+
+#: Plausible lsk-4.4 arm64 section names, one per area, in link order.
+SECTION_NAMES = (
+    ".head.text",
+    ".text",
+    ".text.hot",
+    ".rodata",
+    "__ksymtab",
+    "__ksymtab_gpl",
+    "__param",
+    "__modver",
+    ".init.text",
+    ".init.data",
+    ".exit.text",
+    ".altinstructions",
+    ".vectors",
+    "__ex_table",
+    ".rodata.syscalls",
+    ".notes",
+    ".data",
+    ".data..percpu",
+    ".bss.static",
+)
+
+#: Index of the section pinned to the *largest* area size.
+_LARGEST_INDEX = 1  # .text
+
+#: Index of the section pinned to the *smallest* area size.
+_SMALLEST_INDEX = len(SECTION_NAMES) - 1  # .bss.static
+
+#: Relative weights for the 17 free interior sections; chosen to give a
+#: plausible spread strictly inside (smallest, largest).
+_INTERIOR_WEIGHTS = (
+    0.62, 0.78, 0.55, 0.71, 0.49, 0.84, 0.58, 0.66,
+    0.75, 0.52, 0.69, 0.81, 0.57, 0.64, 0.73, 0.60, 0.68,
+)
+
+
+@dataclass(frozen=True)
+class Section:
+    """One System.map section: a named, contiguous slice of the image."""
+
+    index: int
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def contains(self, offset: int) -> bool:
+        return self.offset <= offset < self.end
+
+
+def synthesize_section_sizes(
+    total: int = PAPER_KERNEL_SIZE,
+    count: int = PAPER_AREA_COUNT,
+    largest: int = PAPER_LARGEST_AREA,
+    smallest: int = PAPER_SMALLEST_AREA,
+) -> List[int]:
+    """Deterministic section sizes matching the paper's constraints.
+
+    Exactly one section has size ``largest``, one has ``smallest``, the
+    rest lie strictly between, and they sum to ``total``.
+    """
+    if count != len(SECTION_NAMES):
+        raise KernelError(
+            f"section count {count} != name table size {len(SECTION_NAMES)}"
+        )
+    interior_total = total - largest - smallest
+    weights = _INTERIOR_WEIGHTS
+    if len(weights) != count - 2:
+        raise KernelError("interior weight table has the wrong length")
+    weight_sum = sum(weights)
+    sizes = [0] * count
+    sizes[_LARGEST_INDEX] = largest
+    sizes[_SMALLEST_INDEX] = smallest
+    interior_indices = [
+        i for i in range(count) if i not in (_LARGEST_INDEX, _SMALLEST_INDEX)
+    ]
+    assigned = 0
+    for slot, index in enumerate(interior_indices):
+        # 8-byte aligned share of the interior total.
+        share = int(interior_total * weights[slot] / weight_sum) & ~0x7
+        sizes[index] = share
+        assigned += share
+    # Put the alignment residue into the first interior section.
+    residue = interior_total - assigned
+    sizes[interior_indices[0]] += residue
+    for index in interior_indices:
+        if not smallest < sizes[index] < largest:
+            raise KernelError(
+                f"interior section {index} size {sizes[index]} escaped "
+                f"({smallest}, {largest})"
+            )
+    if sum(sizes) != total:
+        raise KernelError("section sizes do not sum to the kernel size")
+    return sizes
+
+
+class SystemMap:
+    """The kernel's section table plus a handful of named symbols."""
+
+    def __init__(
+        self,
+        total: int = PAPER_KERNEL_SIZE,
+        count: int = PAPER_AREA_COUNT,
+        largest: "int | None" = None,
+        smallest: "int | None" = None,
+    ) -> None:
+        # Default bounds: the paper's values, scaled with the kernel size
+        # so down-scaled test kernels keep the same shape.
+        if largest is None:
+            largest = max(int(total * PAPER_LARGEST_AREA / PAPER_KERNEL_SIZE), 1)
+        if smallest is None:
+            smallest = max(int(total * PAPER_SMALLEST_AREA / PAPER_KERNEL_SIZE), 1)
+        sizes = synthesize_section_sizes(total, count, largest, smallest)
+        self.sections: List[Section] = []
+        offset = 0
+        for index, (name, size) in enumerate(zip(SECTION_NAMES, sizes)):
+            self.sections.append(Section(index, name, offset, size))
+            offset += size
+        self.total_size = offset
+
+        # Symbols are image-relative offsets.
+        syscall_section = self.sections[SYSCALL_SECTION_INDEX]
+        vector_section = self.sections[VECTOR_SECTION_INDEX]
+        self.symbols: Dict[str, int] = {
+            "_text": 0,
+            "_end": self.total_size,
+            # Keep both tables 2 KiB into their sections, 128-byte aligned.
+            "sys_call_table": (syscall_section.offset + 2048 + 127) & ~0x7F,
+            "vectors": (vector_section.offset + 2048 + 2047) & ~0x7FF,
+        }
+
+    # ------------------------------------------------------------------
+    def section(self, index: int) -> Section:
+        return self.sections[index]
+
+    def section_by_name(self, name: str) -> Section:
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KernelError(f"no section named {name!r}")
+
+    def section_at(self, offset: int) -> Section:
+        """Section containing image-relative ``offset`` (binary search)."""
+        lo, hi = 0, len(self.sections) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            section = self.sections[mid]
+            if offset < section.offset:
+                hi = mid - 1
+            elif offset >= section.end:
+                lo = mid + 1
+            else:
+                return section
+        raise KernelError(f"offset {offset:#x} is outside the kernel image")
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KernelError(f"no symbol named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.sections)
+
+    def __iter__(self):
+        return iter(self.sections)

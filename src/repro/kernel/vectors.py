@@ -1,0 +1,89 @@
+"""AArch64 exception vector table inside the kernel image.
+
+``VBAR_EL1`` points at a 16-entry table; each entry here is modelled as an
+8-byte handler address (the real table holds up to 32 instructions per
+entry, but only the branch target matters to the mechanisms we reproduce).
+KProber-I redirects the *IRQ from lower EL (AArch64)* entry to its own code
+— an 8-byte modification inside the ``.vectors`` section that asynchronous
+introspection can detect as a preparation trace (Section III-C1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+
+#: Entry indices in VBAR order (4 exception types x 4 source states).
+VECTOR_NAMES = (
+    "cur_el_sp0_sync", "cur_el_sp0_irq", "cur_el_sp0_fiq", "cur_el_sp0_serror",
+    "cur_el_spx_sync", "cur_el_spx_irq", "cur_el_spx_fiq", "cur_el_spx_serror",
+    "lower_el_a64_sync", "lower_el_a64_irq", "lower_el_a64_fiq", "lower_el_a64_serror",
+    "lower_el_a32_sync", "lower_el_a32_irq", "lower_el_a32_fiq", "lower_el_a32_serror",
+)
+
+#: The entry KProber-I hijacks: IRQ taken from 64-bit EL0/EL1.
+IRQ_VECTOR_INDEX = VECTOR_NAMES.index("lower_el_a64_irq")
+
+ENTRY_SIZE = 8
+
+#: Virtual-address base of the synthetic exception handlers.
+HANDLER_VA_BASE = 0xFFFF_0000_0810_0000
+
+
+def default_vector_addr(index: int) -> int:
+    """Deterministic synthetic handler address for vector ``index``."""
+    return HANDLER_VA_BASE + index * 0x80
+
+
+class VectorTable:
+    """Read/write interface to the in-image exception vector table."""
+
+    def __init__(self, image: KernelImage) -> None:
+        self.image = image
+        self.table_offset = image.system_map.symbol("vectors")
+        section = image.section_at(self.table_offset)
+        if self.table_offset + len(VECTOR_NAMES) * ENTRY_SIZE > section.end:
+            raise KernelError("vector table does not fit in its section")
+        self._original: Dict[int, int] = {}
+        self._install_defaults()
+
+    def _install_defaults(self) -> None:
+        entries = bytearray()
+        for index in range(len(VECTOR_NAMES)):
+            addr = default_vector_addr(index)
+            self._original[index] = addr
+            entries += struct.pack("<Q", addr)
+        self.image.write(self.table_offset, bytes(entries), World.SECURE)
+
+    # ------------------------------------------------------------------
+    def entry_offset(self, index: int) -> int:
+        if not 0 <= index < len(VECTOR_NAMES):
+            raise KernelError(f"vector index {index} out of range")
+        return self.table_offset + index * ENTRY_SIZE
+
+    def read_entry(self, index: int, world: World) -> int:
+        raw = self.image.read(self.entry_offset(index), ENTRY_SIZE, world)
+        return struct.unpack("<Q", raw)[0]
+
+    def write_entry(self, index: int, handler_addr: int, world: World) -> None:
+        self.image.write(self.entry_offset(index), struct.pack("<Q", handler_addr), world)
+
+    def original_entry(self, index: int) -> int:
+        return self._original[index]
+
+    def is_hijacked(self, index: int, world: World = World.SECURE) -> bool:
+        return self.read_entry(index, world) != self._original[index]
+
+    @property
+    def vbar_value(self) -> int:
+        """Physical address to load into VBAR_EL1."""
+        return self.image.addr_of(self.table_offset)
+
+    @property
+    def section_index(self) -> int:
+        """System.map section (== SATIN area) index holding the table."""
+        return self.image.section_at(self.table_offset).index

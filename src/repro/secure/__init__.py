@@ -1,0 +1,46 @@
+"""Secure-world software: hashing, trusted boot, scanning, baselines."""
+
+from repro.secure.baseline import pkm_like, random_whole_kernel, satin_variant
+from repro.secure.boot import AuthorizedHashStore
+from repro.secure.hashes import (
+    Djb2,
+    Sdbm,
+    djb2,
+    djb2_reference,
+    fnv1a,
+    sdbm,
+    sdbm_reference,
+)
+from repro.secure.introspect import ScanResult, check_area, scan_area
+from repro.secure.semantic import (
+    SemanticChecker,
+    SemanticCheckResult,
+    hidden_module_names,
+)
+from repro.secure.snapshot import SecureSnapshotBuffer
+from repro.secure.sync_introspection import MediationRecord, SynchronousIntrospection
+from repro.secure.tsp import TestSecurePayload
+
+__all__ = [
+    "AuthorizedHashStore",
+    "Djb2",
+    "ScanResult",
+    "Sdbm",
+    "MediationRecord",
+    "SemanticCheckResult",
+    "SemanticChecker",
+    "SecureSnapshotBuffer",
+    "SynchronousIntrospection",
+    "TestSecurePayload",
+    "check_area",
+    "djb2",
+    "djb2_reference",
+    "fnv1a",
+    "hidden_module_names",
+    "pkm_like",
+    "random_whole_kernel",
+    "satin_variant",
+    "scan_area",
+    "sdbm",
+    "sdbm_reference",
+]

@@ -1,0 +1,75 @@
+"""Baseline asynchronous introspection mechanisms.
+
+The mechanisms TZ-Evader defeats (Section III/IV), expressed as
+configurations of the generic engine:
+
+* :func:`pkm_like` — Samsung-KNOX-PKM-style *Periodic Kernel Measurement*:
+  a fixed core scans the whole kernel at a fixed period.
+* :func:`random_whole_kernel` — the "state-of-the-art defence" of
+  Section III-B2: a random core scans the whole kernel at a randomized
+  time.  Still loses the multi-core race, which is the paper's point.
+
+Both violate SATIN's area-size bound by construction, so the bound check
+is disabled for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import SatinConfig
+from repro.hw.platform import Machine
+from repro.kernel.os import RichOS
+from repro.secure.tsp import TestSecurePayload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.satin import Satin
+
+
+def pkm_like(
+    machine: Machine,
+    rich_os: RichOS,
+    period: float = 8.0,
+    core_index: int = 0,
+    tsp: Optional[TestSecurePayload] = None,
+) -> "Satin":
+    """Periodic whole-kernel measurement on one fixed core."""
+    from repro.core.satin import Satin
+
+    config = SatinConfig(
+        tgoal=period,
+        partition_mode="whole",
+        random_core=False,
+        random_deviation=False,
+        block_ns_interrupts=True,
+        enforce_area_bound=False,
+    )
+    engine = Satin(machine, rich_os, config=config, tsp=tsp)
+    engine.activation.fixed_core_index = core_index
+    return engine
+
+
+def random_whole_kernel(
+    machine: Machine,
+    rich_os: RichOS,
+    mean_period: float = 8.0,
+    tsp: Optional[TestSecurePayload] = None,
+) -> "Satin":
+    """Whole-kernel scan at a random time on a random core."""
+    from repro.core.satin import Satin
+
+    config = SatinConfig(
+        tgoal=mean_period,
+        partition_mode="whole",
+        random_core=True,
+        random_deviation=True,
+        block_ns_interrupts=True,
+        enforce_area_bound=False,
+    )
+    return Satin(machine, rich_os, config=config, tsp=tsp)
+
+
+def satin_variant(base: SatinConfig, **changes) -> SatinConfig:
+    """A modified SATIN configuration (ablation helper)."""
+    return replace(base, **changes)

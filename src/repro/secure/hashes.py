@@ -1,0 +1,131 @@
+"""Hash functions used by the secure-world integrity checker.
+
+The paper hashes kernel memory with djb2 [31].  We implement djb2 *really*
+(the detection experiments depend on actual byte-level mismatches), with a
+vectorised numpy fast path: djb2 is linear over Z/2^64 —
+
+    h_out = h_in * 33^L  +  sum_i  c_i * 33^(L-1-i)   (mod 2^64)
+
+so a whole chunk folds in with one dot-like product against a precomputed
+power table.  A pure-Python reference implementation cross-checks it in the
+tests.  sdbm (same structure, multiplier 65599) and fnv1a (non-linear,
+pure Python) are provided as alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+#: djb2 initial value and multiplier.
+DJB2_INIT = 5381
+DJB2_MULT = 33
+
+#: sdbm multiplier (h = h * 65599 + c).
+SDBM_MULT = 65599
+
+#: fnv1a-64 parameters.
+FNV1A_INIT = 0xCBF29CE484222325
+FNV1A_PRIME = 0x100000001B3
+
+#: Chunk length of the precomputed power tables.
+_TABLE_LEN = 1 << 16
+
+_pow_tables: Dict[int, np.ndarray] = {}
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def _pow_table(mult: int) -> np.ndarray:
+    """Descending powers [mult^(L-1), ..., mult^1, mult^0] mod 2^64."""
+    table = _pow_tables.get(mult)
+    if table is None:
+        table = np.empty(_TABLE_LEN, dtype=np.uint64)
+        value = 1
+        for i in range(_TABLE_LEN - 1, -1, -1):
+            table[i] = value
+            value = (value * mult) & _MASK64
+        _pow_tables[mult] = table
+    return table
+
+
+def _fold_chunk(h: int, chunk: Buffer, mult: int) -> int:
+    """Fold one chunk (<= table length) into ``h`` for multiplier ``mult``."""
+    data = np.frombuffer(chunk, dtype=np.uint8).astype(np.uint64)
+    n = data.shape[0]
+    if n == 0:
+        return h
+    powers = _pow_table(mult)[_TABLE_LEN - n :]
+    with np.errstate(over="ignore"):
+        contrib = int(np.sum(data * powers, dtype=np.uint64))
+    return (h * pow(mult, n, 1 << 64) + contrib) & _MASK64
+
+
+class LinearHasher:
+    """Incremental hasher for multiplier-based (djb2/sdbm) hashes."""
+
+    __slots__ = ("mult", "value")
+
+    def __init__(self, mult: int, init: int) -> None:
+        self.mult = mult
+        self.value = init
+
+    def update(self, data: Buffer) -> "LinearHasher":
+        view = memoryview(data)
+        for start in range(0, len(view), _TABLE_LEN):
+            self.value = _fold_chunk(self.value, view[start : start + _TABLE_LEN], self.mult)
+        return self
+
+    def digest(self) -> int:
+        return self.value
+
+
+class Djb2(LinearHasher):
+    """Incremental djb2 (the paper's hash function)."""
+
+    def __init__(self) -> None:
+        super().__init__(DJB2_MULT, DJB2_INIT)
+
+
+class Sdbm(LinearHasher):
+    """Incremental sdbm."""
+
+    def __init__(self) -> None:
+        super().__init__(SDBM_MULT, 0)
+
+
+def djb2(data: Buffer) -> int:
+    """One-shot djb2 over ``data`` (numpy fast path)."""
+    return Djb2().update(data).digest()
+
+
+def sdbm(data: Buffer) -> int:
+    """One-shot sdbm over ``data``."""
+    return Sdbm().update(data).digest()
+
+
+def fnv1a(data: Buffer) -> int:
+    """One-shot FNV-1a 64 (non-linear; pure Python, for small inputs)."""
+    h = FNV1A_INIT
+    for byte in bytes(data):
+        h = ((h ^ byte) * FNV1A_PRIME) & _MASK64
+    return h
+
+
+def djb2_reference(data: Buffer) -> int:
+    """Textbook djb2 loop; cross-checks the vectorised path in tests."""
+    h = DJB2_INIT
+    for byte in bytes(data):
+        h = (h * DJB2_MULT + byte) & _MASK64
+    return h
+
+
+def sdbm_reference(data: Buffer) -> int:
+    """Textbook sdbm loop (h = c + (h << 6) + (h << 16) - h)."""
+    h = 0
+    for byte in bytes(data):
+        h = (byte + (h << 6) + (h << 16) - h) & _MASK64
+    return h

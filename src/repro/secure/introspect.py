@@ -1,0 +1,107 @@
+"""Secure-world scanning primitives and round results.
+
+``scan_area`` is the core coroutine: it reads a span of kernel memory chunk
+by chunk *at the simulated time each chunk is touched* and folds it into a
+djb2 digest, charging the scanning core's calibrated per-byte cost.  The
+race against a concurrently hiding attacker is therefore resolved by the
+event timeline itself: a byte restored before its chunk is read hashes
+clean; a byte still malicious when read produces a mismatch at the end of
+the area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.hw.core import Core
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+from repro.secure.boot import AuthorizedHashStore
+from repro.secure.hashes import Djb2
+from repro.secure.snapshot import SecureSnapshotBuffer
+from repro.sim.process import cpu
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning one area once."""
+
+    offset: int
+    length: int
+    core_index: int
+    start_time: float
+    end_time: float
+    digest: int
+    expected: int
+    #: area index within the engine's partition (-1 for ad-hoc scans).
+    area_index: int = -1
+    #: running round counter assigned by the engine.
+    round_index: int = -1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def match(self) -> bool:
+        return self.digest == self.expected
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+def scan_area(
+    image: KernelImage,
+    core: Core,
+    offset: int,
+    length: int,
+    chunk_size: int = 4096,
+    snapshot_buffer: Optional[SecureSnapshotBuffer] = None,
+) -> Generator[Any, Any, int]:
+    """Hash ``image[offset:offset+length]`` from the secure world.
+
+    Yields cpu requests sized by the core's Table-I per-byte cost; returns
+    the djb2 digest.  When ``snapshot_buffer`` is given the slower
+    snapshot-then-hash variant is used instead of direct hashing.
+    """
+    if snapshot_buffer is not None:
+        digest, _copy = yield from snapshot_buffer.take_and_hash(
+            core, image.addr_of(offset), length, chunk_size
+        )
+        return digest
+    hasher = Djb2()
+    scanned = 0
+    while scanned < length:
+        step = min(chunk_size, length - scanned)
+        # The chunk's bytes are observed at the *start* of its time window
+        # (the load precedes the arithmetic).
+        chunk = image.view(offset + scanned, step, World.SECURE)
+        hasher.update(chunk)
+        yield cpu(step * core.perf.hash_byte())
+        scanned += step
+    return hasher.digest()
+
+
+def check_area(
+    image: KernelImage,
+    store: AuthorizedHashStore,
+    core: Core,
+    offset: int,
+    length: int,
+    chunk_size: int = 4096,
+    snapshot_buffer: Optional[SecureSnapshotBuffer] = None,
+) -> Generator[Any, Any, ScanResult]:
+    """Scan one area and compare against its authorized digest."""
+    start = core.sim.now
+    digest = yield from scan_area(
+        image, core, offset, length, chunk_size, snapshot_buffer
+    )
+    expected = store.expected_digest((offset, length))
+    return ScanResult(
+        offset=offset,
+        length=length,
+        core_index=core.index,
+        start_time=start,
+        end_time=core.sim.now,
+        digest=digest,
+        expected=expected,
+    )

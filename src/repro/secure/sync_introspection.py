@@ -1,0 +1,101 @@
+"""Synchronous introspection (SPROBES / TZ-RKP style), and why it fails.
+
+The paper's related work (Sections I, VII-A, VIII-B): synchronous
+mechanisms map security-critical kernel regions read-only and mediate
+every write attempt from the secure world — real-time prevention.  Their
+two structural weaknesses, both reproduced here:
+
+1. **Incomplete hooking** — only the regions someone thought to protect
+   are protected.  The page *table* holding the AP bits is ordinary
+   kernel data, so a write-what-where primitive can flip a PTE and then
+   write to the "protected" page without ever faulting (the KNOX bypass
+   [26], modelled in :mod:`repro.attacks.knoxout`).
+2. **No detection after the fact** — once bypassed, nothing re-examines
+   memory, which is exactly the gap asynchronous introspection (SATIN)
+   closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.platform import Machine
+from repro.hw.world import World
+from repro.kernel.os import RichOS
+from repro.kernel.paging import PageTable, ProtectedKernelMemory
+
+
+@dataclass(frozen=True)
+class MediationRecord:
+    """One write attempt trapped by the synchronous monitor."""
+
+    time: float
+    page_index: int
+    offset: int
+    length: int
+    allowed: bool
+
+
+class SynchronousIntrospection:
+    """Write-mediation monitor over the protected kernel regions."""
+
+    def __init__(self, machine: Machine, rich_os: RichOS) -> None:
+        self.machine = machine
+        self.rich_os = rich_os
+        self.page_table = PageTable(rich_os.image)
+        self.protected_memory = ProtectedKernelMemory(rich_os.image, self.page_table)
+        self.protected_memory.mediator = self._mediate
+        self.mediations: List[MediationRecord] = []
+        self.protected_pages: List[int] = []
+        self.installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "SynchronousIntrospection":
+        """Protect the classic targets: vector table and syscall table.
+
+        Mirrors SPROBES/TZ-RKP: the hook list is *finite and explicit* —
+        the page table itself is conspicuously absent, as in the real
+        deployments the KNOX bypass defeated.
+        """
+        image = self.rich_os.image
+        for symbol, length in (
+            ("vectors", 16 * 8),
+            ("sys_call_table", 440 * 8),
+        ):
+            offset = image.system_map.symbol(symbol)
+            self.protected_pages += self.page_table.protect_range(
+                offset, length, World.SECURE
+            )
+        self.installed = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _mediate(self, page_index: int, offset: int, data: bytes) -> bool:
+        """The secure-world screening of a trapped write: always deny.
+
+        (A real RKP consults a policy; for the static tables we protect,
+        every runtime write is illegitimate.)
+        """
+        record = MediationRecord(
+            time=self.machine.sim.now,
+            page_index=page_index,
+            offset=offset,
+            length=len(data),
+            allowed=False,
+        )
+        self.mediations.append(record)
+        self.machine.trace.emit(
+            self.machine.sim.now, "sync-introspection", "write blocked",
+            page=page_index, offset=offset,
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def blocked_count(self) -> int:
+        return self.protected_memory.blocked_writes
+
+    def write_as_attacker(self, offset: int, data: bytes) -> bool:
+        """Normal-world kernel write routed through the protection."""
+        return self.protected_memory.write(offset, data, World.NORMAL)

@@ -1,0 +1,49 @@
+"""Test-Secure-Payload-like S-EL1 runtime.
+
+The paper modifies ARM Trusted Firmware's Test Secure Payload so its secure
+timer interrupt handler performs the integrity check.  This module is that
+runtime: it owns the secure-timer interrupt vector and forwards each firing
+to a registered *service* coroutine (SATIN's wake handler, a baseline
+engine, or a measurement stub).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import IntrospectionError
+from repro.hw.core import Core
+from repro.hw.platform import Machine
+from repro.hw.timer import SECURE_TIMER_INTID
+from repro.sim.process import SimCoroutine, cpu
+
+#: A timer service: coroutine run in S-EL1 on the core that woke up.
+TimerService = Callable[[Core], SimCoroutine]
+
+
+class TestSecurePayload:
+    """Secure OS runtime dispatching secure timer interrupts."""
+
+    #: The name echoes ARM-TF's "Test Secure Payload"; tell pytest this is
+    #: not a test class.
+    __test__ = False
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._service: Optional[TimerService] = None
+        self.timer_entries = 0
+        machine.monitor.register_secure_handler(SECURE_TIMER_INTID, self._payload)
+
+    def set_timer_service(self, service: Optional[TimerService]) -> None:
+        """Install (or clear) the secure-timer service."""
+        if service is not None and self._service is not None:
+            raise IntrospectionError("a secure timer service is already installed")
+        self._service = service
+
+    def _payload(self, core: Core) -> SimCoroutine:
+        self.timer_entries += 1
+        if self._service is None:
+            # Spurious wake-up: acknowledge and return to the normal world.
+            yield cpu(1e-7)
+            return
+        yield from self._service(core)

@@ -1,0 +1,60 @@
+"""Discrete-event simulation substrate.
+
+Exports the simulator core, coroutine process machinery, deterministic RNG
+registry, timing-noise distributions, and the trace recorder.
+"""
+
+from repro.sim.distributions import (
+    BoundedPareto,
+    Constant,
+    Distribution,
+    LogNormalJitter,
+    Shifted,
+    SpikeMixture,
+    Uniform,
+    inverse_cdf,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import (
+    CoroutineDriver,
+    CpuRequest,
+    Signal,
+    SimCoroutine,
+    SleepRequest,
+    WaitRequest,
+    cpu,
+    run_coroutine,
+    sleep,
+    wait,
+)
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "BoundedPareto",
+    "Constant",
+    "CoroutineDriver",
+    "CpuRequest",
+    "Distribution",
+    "Event",
+    "EventQueue",
+    "LogNormalJitter",
+    "RngRegistry",
+    "Shifted",
+    "Signal",
+    "SimCoroutine",
+    "Simulator",
+    "SleepRequest",
+    "SpikeMixture",
+    "TraceRecord",
+    "TraceRecorder",
+    "Uniform",
+    "WaitRequest",
+    "cpu",
+    "derive_seed",
+    "inverse_cdf",
+    "run_coroutine",
+    "sleep",
+    "wait",
+]

@@ -1,0 +1,107 @@
+"""Event primitives for the discrete-event simulator.
+
+The simulator core is a classic calendar queue built on :mod:`heapq`.  Every
+scheduled callback is wrapped in an :class:`Event` that doubles as a
+cancellation token: cancelled events stay in the heap but are skipped when
+popped (lazy deletion), which keeps cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback, usable as a cancellation token.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so that events scheduled earlier at the same timestamp fire
+    first, giving the simulation a deterministic total order.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent; safe after firing."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.9f} seq={self.seq} {name} {state}>"
+
+
+class EventQueue:
+    """Time-ordered queue of :class:`Event` objects with lazy deletion."""
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...] = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                self._live -= 1
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1
+        if not heap:
+            self._live = 0
+            return None
+        return heap[0].time
+
+    def __len__(self) -> int:
+        return max(self._live, 0)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

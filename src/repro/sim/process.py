@@ -1,0 +1,176 @@
+"""Coroutine processes for the simulator.
+
+Simulated activities are written as Python generators that ``yield`` request
+objects.  Three requests exist:
+
+``cpu(seconds)``
+    Consume CPU time.  Under the rich-OS scheduler this is preemptible and
+    contended; under the plain :func:`run_coroutine` driver (used for
+    secure-world code that owns its core outright) it simply elapses.
+
+``sleep(seconds)``
+    Block without consuming CPU until the interval elapses.
+
+``wait(signal)``
+    Block until :meth:`Signal.fire` is called; the fired payload is sent back
+    into the generator as the value of the ``yield``.
+
+Keeping the request vocabulary this small lets the same generator body run
+both as a normal-world task (scheduled, preemptible) and as bare-metal
+secure-world code (uncontended), which mirrors how the paper's measurement
+routines run in both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+#: Type alias for simulated activities.
+SimCoroutine = Generator[Any, Any, Any]
+
+
+class CpuRequest:
+    """Ask to consume ``seconds`` of CPU time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"negative cpu request: {seconds}")
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"cpu({self.seconds!r})"
+
+
+class SleepRequest:
+    """Ask to block for ``seconds`` without consuming CPU."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise SimulationError(f"negative sleep request: {seconds}")
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"sleep({self.seconds!r})"
+
+
+class WaitRequest:
+    """Ask to block until a :class:`Signal` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal") -> None:
+        self.signal = signal
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"wait({self.signal!r})"
+
+
+def cpu(seconds: float) -> CpuRequest:
+    """Request ``seconds`` of CPU time (preemptible under a scheduler)."""
+    return CpuRequest(seconds)
+
+
+def sleep(seconds: float) -> SleepRequest:
+    """Request a timed block of ``seconds``."""
+    return SleepRequest(seconds)
+
+
+def wait(signal: "Signal") -> WaitRequest:
+    """Request a block until ``signal`` fires."""
+    return WaitRequest(signal)
+
+
+class Signal:
+    """A broadcast wake-up channel for coroutine processes.
+
+    ``fire(payload)`` resumes every waiter, delivering ``payload`` as the
+    value of their ``yield wait(sig)`` expression.
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count", "last_payload")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def add_waiter(self, resume: Callable[[Any], None]) -> None:
+        self._waiters.append(resume)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            resume(payload)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class CoroutineDriver:
+    """Drives a generator on the bare simulator (no CPU contention).
+
+    Used for code that owns its core exclusively — notably the secure world
+    while it holds a core, and harness-level orchestration processes.  Both
+    ``cpu`` and ``sleep`` requests elapse as plain simulated time.
+    """
+
+    __slots__ = ("sim", "gen", "on_done", "result", "finished", "_pending_event")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: SimCoroutine,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.on_done = on_done
+        self.result: Any = None
+        self.finished = False
+        self._pending_event = None
+
+    def start(self) -> "CoroutineDriver":
+        """Begin executing the coroutine at the current simulated time."""
+        self._advance(None)
+        return self
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            request = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self.on_done is not None:
+                self.on_done(stop.value)
+            return
+        if isinstance(request, (CpuRequest, SleepRequest)):
+            self._pending_event = self.sim.schedule(request.seconds, self._advance, None)
+        elif isinstance(request, WaitRequest):
+            request.signal.add_waiter(self._advance)
+        else:
+            raise SimulationError(f"coroutine yielded unknown request: {request!r}")
+
+
+def run_coroutine(
+    sim: Simulator,
+    gen: SimCoroutine,
+    on_done: Optional[Callable[[Any], None]] = None,
+) -> CoroutineDriver:
+    """Start ``gen`` under a :class:`CoroutineDriver` and return the driver."""
+    return CoroutineDriver(sim, gen, on_done).start()

@@ -1,0 +1,126 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the clock and the event queue.  Everything else in
+this library — cores, timers, schedulers, the secure monitor — expresses its
+behaviour as callbacks scheduled here.  Time is a float in *seconds* of
+simulated wall-clock time; the clock only moves when events fire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(1.5, out.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, out)
+    (1.5, ['hello'])
+    """
+
+    __slots__ = ("now", "_queue", "_running", "_events_fired", "stop_requested")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+        self.stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        return self._queue.push(time, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue produced an out-of-order event")
+        self.now = event.time
+        event.fired = True
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or stop().
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        see a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self.stop_requested = False
+        fired = 0
+        try:
+            while not self.stop_requested:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self.stop_requested:
+            self.now = until
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run for ``duration`` seconds of simulated time."""
+        self.run(until=self.now + duration, max_events=max_events)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to return after this event."""
+        self.stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next live event, or None."""
+        return self._queue.peek_time()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.9f} pending={self.pending_events}>"

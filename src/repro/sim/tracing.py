@@ -1,0 +1,91 @@
+"""Structured tracing for simulation runs.
+
+The trace is the simulator's flight recorder: world switches, introspection
+rounds, prober detections, attack hide/restore transitions all leave records
+here.  Experiments and tests query it instead of scraping stdout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    __slots__ = ("time", "category", "message", "fields")
+
+    def __init__(self, time: float, category: str, message: str, fields: Dict[str, Any]) -> None:
+        self.time = time
+        self.category = category
+        self.message = message
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:.9f}] {self.category}: {self.message} {extra}".rstrip()
+
+
+class TraceRecorder:
+    """Bounded in-memory trace sink with per-category filtering.
+
+    ``maxlen`` bounds memory for long simulations; the default keeps the
+    most recent million records which is ample for every experiment here.
+    """
+
+    def __init__(self, maxlen: int = 1_000_000, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=maxlen)
+        self._category_counts: Dict[str, int] = {}
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+        self._muted: set = set()
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
+        """Record one entry (no-op when disabled or the category is muted)."""
+        if not self.enabled or category in self._muted:
+            return
+        record = TraceRecord(time, category, message, fields)
+        self._records.append(record)
+        self._category_counts[category] = self._category_counts.get(category, 0) + 1
+        for listener in self._listeners:
+            listener(record)
+
+    def mute(self, category: str) -> None:
+        """Drop future records of ``category`` (counts stop accumulating)."""
+        self._muted.add(category)
+
+    def unmute(self, category: str) -> None:
+        self._muted.discard(category)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` synchronously for every future record."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def records(self, category: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate retained records, optionally filtered by category."""
+        if category is None:
+            return iter(list(self._records))
+        return (r for r in list(self._records) if r.category == category)
+
+    def count(self, category: str) -> int:
+        """Lifetime count of records emitted in ``category``."""
+        return self._category_counts.get(category, 0)
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent retained record (of ``category`` if given)."""
+        if category is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.category == category:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._category_counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

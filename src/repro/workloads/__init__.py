@@ -1,0 +1,16 @@
+"""Synthetic UnixBench workloads for the overhead study."""
+
+from repro.workloads.programs import (
+    UNIXBENCH_PROGRAMS,
+    BenchmarkProgram,
+    program_by_name,
+)
+from repro.workloads.suite import BenchmarkRun, ProgramScore
+
+__all__ = [
+    "UNIXBENCH_PROGRAMS",
+    "BenchmarkProgram",
+    "BenchmarkRun",
+    "ProgramScore",
+    "program_by_name",
+]

@@ -1,0 +1,112 @@
+"""UnixBench-style suite runner for the overhead study (Figure 7).
+
+The paper runs each benchmark once (*1-task*) and as six simultaneous
+copies (*6-task*), with and without SATIN's self-activation enabled, and
+reports the normalized performance degradation.  The runner here executes
+one program for a fixed simulated duration and returns its score
+(operations per second); orchestration across configurations lives in
+:mod:`repro.experiments.figure7`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.errors import ReproError
+from repro.hw.platform import Machine
+from repro.kernel.os import RichOS
+from repro.kernel.threads import Task
+from repro.sim.process import cpu
+from repro.workloads.programs import BenchmarkProgram
+
+
+@dataclass
+class ProgramScore:
+    """Score of one program run: total batches per second across copies."""
+
+    program: str
+    task_count: int
+    duration: float
+    total_ops: int
+    secure_preemptions: int
+
+    @property
+    def score(self) -> float:
+        return self.total_ops / self.duration
+
+
+class BenchmarkRun:
+    """Executes N copies of one program on a booted machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        rich_os: RichOS,
+        program: BenchmarkProgram,
+        task_count: int = 1,
+        duration: float = 5.0,
+    ) -> None:
+        if task_count <= 0:
+            raise ReproError("task_count must be positive")
+        self.machine = machine
+        self.rich_os = rich_os
+        self.program = program
+        self.task_count = task_count
+        self.duration = duration
+        self._ops: List[int] = [0] * task_count
+        self.tasks: List[Task] = []
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BenchmarkRun":
+        self._deadline = self.machine.sim.now + self.duration
+        for copy in range(self.task_count):
+            self.tasks.append(
+                self.rich_os.spawn(
+                    f"{self.program.name}-{copy}", self._make_body(copy)
+                )
+            )
+        return self
+
+    def run_to_completion(self) -> ProgramScore:
+        """Start (if needed) and simulate until the deadline."""
+        if self._deadline is None:
+            self.start()
+        assert self._deadline is not None
+        # A little slack so in-flight batches drain and tasks exit.
+        self.machine.run(until=self._deadline + 0.1)
+        return self.score()
+
+    def score(self) -> ProgramScore:
+        return ProgramScore(
+            program=self.program.name,
+            task_count=self.task_count,
+            duration=self.duration,
+            total_ops=sum(self._ops),
+            secure_preemptions=sum(t.secure_preempt_count for t in self.tasks),
+        )
+
+    # ------------------------------------------------------------------
+    def _make_body(self, copy: int):
+        program = self.program
+        machine = self.machine
+        rich_os = self.rich_os
+
+        def body(task: Task) -> Generator[Any, Any, None]:
+            seen_preemptions = 0
+            while machine.sim.now < self._deadline:
+                # Pay the disruption for any secure-world preemption that
+                # hit this task since the previous batch (cache/TLB refill,
+                # pipeline restart).
+                if task.secure_preempt_count > seen_preemptions:
+                    hits = task.secure_preempt_count - seen_preemptions
+                    seen_preemptions = task.secure_preempt_count
+                    if program.disruption_cost > 0:
+                        yield cpu(hits * program.disruption_cost)
+                yield cpu(program.op_cpu)
+                if program.syscall_nr is not None:
+                    yield from rich_os.syscall(task, program.syscall_nr)
+                self._ops[copy] += 1
+
+        return body

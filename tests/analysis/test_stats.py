@@ -1,0 +1,92 @@
+"""Statistics helper tests."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    Summary,
+    boxplot_stats,
+    geometric_mean,
+    percentile,
+    ratios_within,
+    relative_error,
+)
+from repro.errors import ReproError
+
+
+def test_summary_of_samples():
+    s = Summary.of([1.0, 2.0, 3.0])
+    assert s.count == 3
+    assert s.average == 2.0
+    assert s.maximum == 3.0 and s.minimum == 1.0
+    assert s.stdev == pytest.approx(statistics.stdev([1.0, 2.0, 3.0]))
+
+
+def test_summary_single_sample():
+    s = Summary.of([5.0])
+    assert s.stdev == 0.0 and s.average == 5.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ReproError):
+        Summary.of([])
+
+
+def test_percentile_endpoints():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 4.0
+    assert percentile(data, 50) == 2.5
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ReproError):
+        percentile([1.0], 101)
+    with pytest.raises(ReproError):
+        percentile([], 50)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(data, p):
+    value = percentile(data, p)
+    assert min(data) <= value <= max(data)
+
+
+def test_boxplot_stats_basic():
+    data = list(range(1, 101))
+    box = boxplot_stats([float(x) for x in data])
+    assert box.q1 == pytest.approx(25.75)
+    assert box.median == pytest.approx(50.5)
+    assert box.q3 == pytest.approx(75.25)
+    assert box.outliers == ()
+
+
+def test_boxplot_detects_outliers():
+    data = [1.0] * 20 + [2.0] * 20 + [100.0]
+    box = boxplot_stats(data)
+    assert 100.0 in box.outliers
+    assert box.whisker_high <= 2.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+    with pytest.raises(ReproError):
+        geometric_mean([])
+    with pytest.raises(ReproError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_relative_error():
+    assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+    with pytest.raises(ReproError):
+        relative_error(1.0, 0.0)
+
+
+def test_ratios_within():
+    assert ratios_within([1, 2, 3, 4], 2, 3) == 0.5
+    with pytest.raises(ReproError):
+        ratios_within([], 0, 1)

@@ -1,0 +1,106 @@
+"""Table rendering and order-statistics fast-path tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.orderstats import (
+    expected_max_quantile,
+    sample_max_of_n,
+    sample_maxima,
+)
+from repro.analysis.tables import pct, render_comparison, render_table, sci
+from repro.errors import ReproError
+from repro.sim.distributions import BoundedPareto, Uniform
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+def test_sci_format_matches_paper_style():
+    assert sci(2.61e-4) == "2.61 x 10^-4 s"
+    assert sci(1.07e-8) == "1.07 x 10^-8 s"
+    assert sci(8.04e-2) == "8.04 x 10^-2 s"
+
+
+def test_sci_rounding_rollover():
+    assert sci(9.999e-4, digits=2) == "1.00 x 10^-3 s"
+
+
+def test_sci_zero_and_unitless():
+    assert sci(0) == "0 s"
+    assert sci(1.5e3, unit="") == "1.50 x 10^3"
+
+
+def test_pct():
+    assert pct(0.00711) == "0.711%"
+    assert pct(0.035, digits=1) == "3.5%"
+
+
+def test_render_table_structure():
+    out = render_table(("a", "bb"), [("1", "2"), ("333", "4")], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "| a " in lines[2]
+    assert lines[-1].startswith("+")
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(("a", "b"), [("only-one",)])
+
+
+def test_render_comparison_header():
+    out = render_comparison("T", [("x", "1", "2")])
+    assert "quantity" in out and "paper" in out
+
+
+# ---------------------------------------------------------------------------
+# Order statistics
+# ---------------------------------------------------------------------------
+
+def test_sample_max_requires_positive_n():
+    with pytest.raises(ReproError):
+        sample_max_of_n(Uniform(0, 1), 0, random.Random(1))
+
+
+def test_max_of_one_is_plain_sample():
+    rng = random.Random(1)
+    samples = [sample_max_of_n(Uniform(0, 1), 1, rng) for _ in range(500)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 0.5) < 0.05
+
+
+def test_max_of_n_uniform_matches_theory():
+    # E[max of n U(0,1)] = n/(n+1).
+    rng = random.Random(2)
+    n = 9
+    samples = [sample_max_of_n(Uniform(0, 1), n, rng) for _ in range(2000)]
+    mean = sum(samples) / len(samples)
+    assert abs(mean - n / (n + 1)) < 0.01
+
+
+def test_fast_path_vs_brute_force_pareto():
+    dist = BoundedPareto(1e-4, 3.0, 1e-2)
+    rng = random.Random(3)
+    n = 200
+    fast = sorted(sample_max_of_n(dist, n, rng) for _ in range(800))
+    brute = sorted(max(dist.sample(rng) for _ in range(n)) for _ in range(800))
+    assert abs(fast[400] - brute[400]) / brute[400] < 0.1
+
+
+def test_sample_maxima_count():
+    rng = random.Random(4)
+    values = sample_maxima(Uniform(0, 1), 10, 25, rng)
+    assert len(values) == 25
+
+
+def test_expected_max_quantile():
+    # Median of max of n U(0,1) is 0.5^(1/n).
+    n = 7
+    assert expected_max_quantile(Uniform(0, 1), n, 0.5) == pytest.approx(
+        0.5 ** (1 / n), rel=1e-6
+    )
+    with pytest.raises(ReproError):
+        expected_max_quantile(Uniform(0, 1), 5, 1.5)

@@ -1,0 +1,76 @@
+"""Timeline reconstruction tests."""
+
+from repro.analysis.timeline import (
+    TimelineEvent,
+    build_timeline,
+    render_timeline,
+    round_timeline,
+)
+from repro.core.satin import install_satin
+
+
+def test_empty_timeline_renders_placeholder():
+    assert render_timeline([]) == "(no events)"
+
+
+def test_event_render_relative_times():
+    event = TimelineEvent(1.0015, "x", "hello")
+    assert event.render(origin=1.0) == "[     1.500 ms] hello"
+
+
+def test_build_timeline_labels_rounds(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 3)
+    events = build_timeline(machine)
+    labels = [e.label for e in events]
+    assert any("-> secure world" in label for label in labels)
+    assert any("scanning area" in label for label in labels)
+    assert any("CLEAN" in label for label in labels)
+
+
+def test_build_timeline_window_and_category_filters(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 4)
+    first_round = satin.checker.results[0]
+    events = build_timeline(
+        machine,
+        start=first_round.start_time - 1e-3,
+        end=first_round.end_time + 1e-3,
+        categories=["satin"],
+    )
+    assert events
+    assert all(e.category == "satin" for e in events)
+    assert all(
+        first_round.start_time - 1e-3 <= e.time <= first_round.end_time + 1e-3
+        for e in events
+    )
+
+
+def test_events_are_time_ordered(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 5)
+    events = build_timeline(machine)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_render_limit(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 5)
+    events = build_timeline(machine)
+    text = render_timeline(events, limit=2)
+    assert "more events" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_round_timeline_convenience(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 3)
+    first_round = satin.checker.results[0]
+    text = round_timeline(machine, first_round.start_time)
+    assert "scanning area" in text

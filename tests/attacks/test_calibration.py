@@ -1,0 +1,80 @@
+"""Attacker threshold-learning tests (Section VII-B)."""
+
+import random
+
+import pytest
+
+from repro.attacks.calibration import (
+    learn_from_controller,
+    learn_from_model,
+    recommend_threshold,
+)
+from repro.attacks.prober import ProbeController
+from repro.attacks.threshold_model import ThresholdWindowModel
+from repro.config import ProberConfig
+from repro.errors import AttackError
+
+
+def test_learn_from_model_long_study(machine):
+    model = ThresholdWindowModel(ProberConfig())
+    rng = random.Random(3)
+    learned = learn_from_model(model, study_duration=3600.0, rng=rng)
+    # An hour of study should surface thresholds near the worst case.
+    assert 8e-4 < learned.threshold < 2.2e-3
+    assert learned.study_duration == 3600.0
+
+
+def test_longer_study_learns_larger_threshold(machine):
+    model = ThresholdWindowModel(ProberConfig())
+    short = learn_from_model(model, 60.0, random.Random(3))
+    long = learn_from_model(model, 3600.0, random.Random(3))
+    assert long.observed_max >= short.observed_max
+
+
+def test_learn_from_model_rejects_bad_duration(machine):
+    model = ThresholdWindowModel(ProberConfig())
+    with pytest.raises(AttackError):
+        learn_from_model(model, 0.0, random.Random(1))
+
+
+def test_margin_applied():
+    from repro.attacks.calibration import LearnedThreshold
+
+    learned = LearnedThreshold(observed_max=1e-3, margin=1.5, study_duration=1.0)
+    assert learned.threshold == pytest.approx(1.5e-3)
+
+
+def test_learn_from_controller_requires_recording(machine):
+    ctrl = ProbeController(machine, record_staleness=False)
+    with pytest.raises(AttackError):
+        learn_from_controller(ctrl)
+
+
+def test_learn_from_controller_requires_samples(machine):
+    ctrl = ProbeController(machine, record_staleness=True)
+    with pytest.raises(AttackError):
+        learn_from_controller(ctrl)
+
+
+def test_learn_from_controller_uses_max(machine):
+    ctrl = ProbeController(machine, record_staleness=True, threshold=10.0)
+    ctrl.report(0)
+    ctrl.report(1)
+    machine.sim.schedule(1e-3, lambda: None)
+    machine.run()
+    # keep core 0 fresh (and ride out the distrust window) so the final
+    # sweep is not self-gated
+    for _ in range(16):
+        ctrl.report(0)
+        machine.sim.schedule(2e-4, lambda: None)
+        machine.run()
+    ctrl.report(0)
+    ctrl.compare(0)
+    learned = learn_from_controller(ctrl, margin=2.0)
+    assert learned.threshold == pytest.approx(ctrl.max_staleness * 2.0)
+
+
+def test_recommend_threshold():
+    assert recommend_threshold([1.0, 3.0, 2.0], margin=1.1) == pytest.approx(3.3)
+    with pytest.raises(AttackError):
+        recommend_threshold([])

@@ -1,0 +1,109 @@
+"""DKOM hiding vs the semantic cross-view checker."""
+
+import pytest
+
+from repro.attacks.dkom import DkomModuleHider
+from repro.errors import AttackError
+from repro.kernel.modules import ModuleList
+from repro.secure.semantic import SemanticChecker, hidden_module_names
+
+
+@pytest.fixture
+def setup(stack):
+    machine, rich_os = stack
+    modules = ModuleList(rich_os.image)
+    for name in ("usbcore", "ext4", "evil_mod"):
+        modules.load(name)
+    return machine, rich_os, modules
+
+
+def test_hide_removes_from_list_but_not_slab(setup):
+    machine, rich_os, modules = setup
+    hider = DkomModuleHider(modules, "evil_mod")
+    hider.hide()
+    listed = [r.name for r in modules.walk_list()]
+    scanned = [r.name for r in modules.scan_slab()]
+    assert "evil_mod" not in listed
+    assert "evil_mod" in scanned  # still resident
+
+
+def test_hide_middle_of_list(setup):
+    machine, rich_os, modules = setup
+    hider = DkomModuleHider(modules, "ext4")
+    hider.hide()
+    assert [r.name for r in modules.walk_list()] == ["evil_mod", "usbcore"]
+
+
+def test_double_hide_rejected(setup):
+    machine, rich_os, modules = setup
+    hider = DkomModuleHider(modules, "evil_mod")
+    hider.hide()
+    with pytest.raises(AttackError):
+        hider.hide()
+
+
+def test_hide_unknown_module_rejected(setup):
+    machine, rich_os, modules = setup
+    with pytest.raises(AttackError):
+        DkomModuleHider(modules, "ghost").hide()
+
+
+def test_relink_restores_list(setup):
+    machine, rich_os, modules = setup
+    hider = DkomModuleHider(modules, "evil_mod")
+    hider.hide()
+    hider.relink()
+    assert "evil_mod" in [r.name for r in modules.walk_list()]
+    assert not hider.hidden
+
+
+def test_semantic_checker_clean_on_honest_kernel(setup):
+    machine, rich_os, modules = setup
+    checker = SemanticChecker(modules)
+    result = checker.check_now()
+    assert result.clean
+    assert checker.detections == 0
+
+
+def test_semantic_checker_catches_dkom(setup):
+    machine, rich_os, modules = setup
+    DkomModuleHider(modules, "evil_mod").hide()
+    checker = SemanticChecker(modules)
+    result = checker.check_now()
+    assert not result.clean
+    assert hidden_module_names(result) == ["evil_mod"]
+    assert checker.detections == 1
+
+
+def test_legitimate_unload_raises_no_alarm(setup):
+    """rmmod frees the slot, so the cross-view diff stays clean."""
+    machine, rich_os, modules = setup
+    modules.unload("ext4")
+    checker = SemanticChecker(modules)
+    assert checker.check_now().clean
+
+
+def test_timed_check_in_secure_world(setup):
+    machine, rich_os, modules = setup
+    DkomModuleHider(modules, "evil_mod").hide()
+    checker = SemanticChecker(modules)
+    outcomes = []
+
+    def payload(core):
+        result = yield from checker.run_check(core)
+        outcomes.append((result, machine.now))
+
+    start = machine.now
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.sim.run(max_events=10_000)
+    result, end = outcomes[0]
+    assert not result.clean
+    assert end > start  # the check consumed secure-world time
+
+
+def test_checker_sees_relinked_module_as_clean(setup):
+    machine, rich_os, modules = setup
+    hider = DkomModuleHider(modules, "evil_mod")
+    hider.hide()
+    hider.relink()
+    assert SemanticChecker(modules).check_now().clean

@@ -1,0 +1,62 @@
+"""Interrupt-storm attacker tests (the Section V-B design point)."""
+
+import pytest
+
+from repro.attacks.irq_storm import IrqStormAttacker
+from repro.config import SatinConfig
+from repro.core.satin import Satin
+from repro.errors import AttackError
+
+
+def test_storm_lifecycle(stack):
+    machine, _ = stack
+    storm = IrqStormAttacker(machine, interval=1e-4).start()
+    with pytest.raises(AttackError):
+        storm.start()
+    machine.run(until=0.01)
+    storm.stop()
+    fired = storm.interrupts_fired
+    machine.run(until=0.02)
+    assert storm.interrupts_fired == fired
+
+
+def test_storm_requires_positive_interval(stack):
+    machine, _ = stack
+    with pytest.raises(AttackError):
+        IrqStormAttacker(machine, interval=0.0)
+
+
+def test_storm_only_fires_at_secure_cores(stack):
+    machine, _ = stack
+    storm = IrqStormAttacker(machine, interval=1e-4).start()
+    machine.run(until=0.05)
+    assert storm.interrupts_fired == 0  # nobody in the secure world
+
+
+def test_storm_stretches_preemptible_rounds(fast_juno_stack):
+    """Without NS blocking, the storm voids the area-size guarantee."""
+    machine, rich_os = fast_juno_stack
+    config = SatinConfig(tgoal=19 * 0.5, block_ns_interrupts=False)
+    satin = Satin(machine, rich_os, config=config).install()
+    IrqStormAttacker(machine, interval=1e-5).start()
+    machine.run(until=satin.policy.tp * 6)
+    assert satin.round_count >= 4
+    window = satin.race.tns_delay + satin.race.tns_recover
+    durations = [r.duration for r in satin.checker.results]
+    assert max(durations) > window  # guarantee violated
+    assert machine.monitor.preemptions > 50
+
+
+def test_blocking_neutralises_the_storm(fast_juno_stack):
+    """With SATIN's NS blocking the same storm changes nothing."""
+    machine, rich_os = fast_juno_stack
+    satin = Satin(
+        machine, rich_os, config=SatinConfig(tgoal=19 * 0.5)
+    ).install()
+    IrqStormAttacker(machine, interval=1e-5).start()
+    machine.run(until=satin.policy.tp * 6)
+    assert satin.round_count >= 4
+    window = satin.race.tns_delay + satin.race.tns_recover
+    durations = [r.duration for r in satin.checker.results]
+    assert max(durations) < window
+    assert machine.monitor.preemptions == 0

@@ -1,0 +1,99 @@
+"""Synchronous introspection + KNOX bypass tests (Section VII-A)."""
+
+import pytest
+
+from repro.attacks.knoxout import KnoxBypassAttack
+from repro.errors import AttackError
+from repro.hw.world import World
+from repro.kernel.syscalls import NR_GETTID
+from repro.secure.sync_introspection import SynchronousIntrospection
+
+
+@pytest.fixture
+def sync(stack):
+    machine, rich_os = stack
+    return SynchronousIntrospection(machine, rich_os).install()
+
+
+def test_direct_write_to_syscall_table_is_blocked(stack, sync):
+    machine, rich_os = stack
+    attack = KnoxBypassAttack(sync)
+    offset = rich_os.syscall_table.entry_offset(NR_GETTID)
+    assert not attack.naive_write(offset, b"\xde\xad\xbe\xef\x00\x00\x00\x00")
+    assert not rich_os.syscall_table.is_hijacked(NR_GETTID)
+    assert sync.blocked_count == 1
+    assert len(sync.mediations) == 1
+    assert not sync.mediations[0].allowed
+
+
+def test_direct_write_to_vector_table_is_blocked(stack, sync):
+    machine, rich_os = stack
+    from repro.kernel.vectors import IRQ_VECTOR_INDEX
+
+    attack = KnoxBypassAttack(sync)
+    offset = rich_os.vector_table.entry_offset(IRQ_VECTOR_INDEX)
+    assert not attack.naive_write(offset, b"\x01" * 8)
+    assert not rich_os.vector_table.is_hijacked(IRQ_VECTOR_INDEX)
+
+
+def test_unprotected_kernel_data_still_writable(stack, sync):
+    machine, rich_os = stack
+    # A random .text byte is not in the (finite) hook list.
+    assert sync.write_as_attacker(64, b"\xcc")
+
+
+def test_bypass_flips_pte_and_lands_payload(stack, sync):
+    machine, rich_os = stack
+    attack = KnoxBypassAttack(sync)
+    offset = rich_os.syscall_table.entry_offset(NR_GETTID)
+    assert attack.bypass_and_write(offset, b"\xde\xad\xbe\xef\x00\x00\x00\x00")
+    assert rich_os.syscall_table.is_hijacked(NR_GETTID)
+    # The monitor never saw a mediation for the payload write: the PTE
+    # flip removed the page from protection, silently.
+    payload_mediations = [m for m in sync.mediations if m.offset == offset]
+    assert payload_mediations == []
+    assert [s.description for s in attack.steps] == [
+        "write-what-where flips PTE",
+        "payload write lands",
+    ]
+
+
+def test_bypass_requires_installed_protection(stack):
+    machine, rich_os = stack
+    sync = SynchronousIntrospection(machine, rich_os)
+    with pytest.raises(AttackError):
+        KnoxBypassAttack(sync)
+
+
+def test_restore_protection_covers_the_pte_trace(stack, sync):
+    machine, rich_os = stack
+    attack = KnoxBypassAttack(sync)
+    offset = rich_os.syscall_table.entry_offset(NR_GETTID)
+    attack.bypass_and_write(offset, b"\x66" * 8)
+    page = sync.page_table.page_of(offset)
+    assert sync.page_table.is_writable(page)
+    attack.restore_protection(offset)
+    assert not sync.page_table.is_writable(page)
+    # ...but the payload bytes remain: only memory re-reading finds them.
+    assert rich_os.syscall_table.is_hijacked(NR_GETTID)
+
+
+def test_asynchronous_introspection_catches_what_sync_missed(stack, sync):
+    """The paper's layered-defence argument, end to end."""
+    from repro.core.satin import install_satin
+
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    attack = KnoxBypassAttack(sync)
+    offset = rich_os.syscall_table.entry_offset(NR_GETTID)
+    assert attack.bypass_and_write(offset, b"\x13\x37" * 4)
+    assert sync.blocked_count == 0   # sync introspection saw nothing
+    while satin.full_passes < 1:
+        machine.run_for(satin.policy.tp)
+    alarmed_areas = {a.area_index for a in satin.alarms.alarms}
+    # SATIN catches BOTH traces within one pass: the payload in the
+    # syscall table (area 14) *and* the flipped PTE in .data (area 16) —
+    # the "preparation trace" the paper warns KProber-I-style kernel
+    # modifications leave behind.
+    assert 14 in alarmed_areas
+    assert 16 in alarmed_areas

@@ -1,0 +1,89 @@
+"""Acceleration oracle tests, including dense-vs-accelerated equivalence."""
+
+from repro.attacks.kprober2 import KProberII
+from repro.attacks.oracle import ProberAccelerationOracle
+from repro.core.satin import install_satin
+from repro.hw.world import World
+from tests.conftest import fast_juno_config
+from repro.hw.platform import build_machine
+from repro.kernel.os import boot_rich_os
+
+
+def test_no_skip_without_armed_timers(stack):
+    machine, _ = stack
+    oracle = ProberAccelerationOracle(machine)
+    assert oracle.adjust(2e-4) == 2e-4
+    assert oracle.skips == 0
+
+
+def test_skip_to_guard_before_next_fire(stack):
+    machine, _ = stack
+    oracle = ProberAccelerationOracle(machine, guard_before=0.02)
+    machine.core(0).secure_timer.program_wakeup(5.0, World.SECURE)
+    suggested = oracle.adjust(2e-4)
+    assert abs(suggested - (5.0 - 0.02)) < 1e-6
+    assert oracle.skips == 1
+    assert oracle.skipped_time > 4.0
+
+
+def test_no_skip_when_fire_is_imminent(stack):
+    machine, _ = stack
+    oracle = ProberAccelerationOracle(machine, guard_before=0.02)
+    machine.core(0).secure_timer.program_wakeup(machine.now + 0.021, World.SECURE)
+    assert oracle.adjust(2e-4) == 2e-4
+
+
+def test_no_skip_while_secure_world_active(stack):
+    machine, _ = stack
+    oracle = ProberAccelerationOracle(machine)
+    from repro.sim.process import cpu
+
+    def payload(core):
+        yield cpu(1e-2)
+
+    machine.core(1).secure_timer.program_wakeup(5.0, World.SECURE)
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.run(until=machine.now + 1e-3)
+    assert oracle.adjust(2e-4) == 2e-4
+
+
+def test_guard_after_keeps_probing_dense(stack):
+    machine, _ = stack
+    oracle = ProberAccelerationOracle(machine, guard_after=0.05)
+    from repro.sim.process import cpu
+
+    def payload(core):
+        yield cpu(1e-3)
+
+    machine.core(1).secure_timer.program_wakeup(5.0, World.SECURE)
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.run(until=machine.now + 0.01)  # round over, within guard_after
+    assert oracle.adjust(2e-4) == 2e-4
+
+
+def test_dense_and_accelerated_runs_agree():
+    """The oracle must not change what the prober detects."""
+    duration = 19.0 * 0.5 * 4  # ~4 rounds
+
+    def run(accelerated):
+        machine = build_machine(fast_juno_config(seed=55))
+        rich_os = boot_rich_os(machine)
+        satin = install_satin(machine, rich_os)
+        oracle = ProberAccelerationOracle(machine) if accelerated else None
+        prober = KProberII(machine, rich_os, oracle=oracle).install()
+        machine.run(until=duration)
+        return satin.round_count, [
+            (d.suspect_core, round(d.time, 4)) for d in prober.controller.detections
+        ]
+
+    dense_rounds, dense_detections = run(accelerated=False)
+    accel_rounds, accel_detections = run(accelerated=True)
+    assert dense_rounds == accel_rounds
+    # Same rounds detected, at (almost) the same times; tiny drifts come
+    # from RNG stream consumption differences, so compare per round.
+    assert len(dense_detections) == len(accel_detections)
+    for (dense_core, dense_time), (accel_core, accel_time) in zip(
+        dense_detections, accel_detections
+    ):
+        assert dense_core == accel_core
+        assert abs(dense_time - accel_time) < 2e-3

@@ -1,0 +1,57 @@
+"""Predictive evader tests: fixed schedules are fatal, randomized are not."""
+
+from repro.attacks.kprober2 import KProberII
+from repro.attacks.oracle import ProberAccelerationOracle
+from repro.attacks.predictor import PredictiveEvader
+from repro.attacks.rootkit import PersistentRootkit
+from repro.config import SatinConfig
+from repro.core.satin import Satin
+
+
+def _setup(machine, rich_os, random_deviation):
+    config = SatinConfig(tgoal=19.0 * 0.5, random_deviation=random_deviation)
+    satin = Satin(machine, rich_os, config=config).install()
+    prober = KProberII(
+        machine, rich_os, oracle=ProberAccelerationOracle(machine)
+    ).install()
+    rootkit = PersistentRootkit(machine, rich_os)
+    evader = PredictiveEvader(machine, rich_os, rootkit, prober.controller).start()
+    return satin, evader, rootkit
+
+
+def test_learns_fixed_period_and_hides_proactively(fast_juno_stack):
+    machine, rich_os = fast_juno_stack
+    satin, evader, rootkit = _setup(machine, rich_os, random_deviation=False)
+    machine.run(until=satin.policy.tp * 20)
+    assert evader.predictions_made >= 5
+    assert evader.proactive_hides >= 5
+
+
+def test_proactive_hiding_evades_fixed_schedule(fast_juno_stack):
+    """Against a fixed period the trace-area scans all come up clean."""
+    machine, rich_os = fast_juno_stack
+    satin, evader, rootkit = _setup(machine, rich_os, random_deviation=False)
+    while len(satin.checker.results_for_area(14)) < 2:
+        machine.run_for(satin.policy.tp)
+    # Skip the learning phase (the first few rounds are reactive).
+    scans = satin.checker.results_for_area(14)
+    post_learning = [s for s in scans if s.round_index >= 5]
+    assert all(s.match for s in post_learning)
+
+
+def test_random_deviation_defeats_prediction(fast_juno_stack):
+    """With SATIN's random deviation the estimator never stabilises."""
+    machine, rich_os = fast_juno_stack
+    satin, evader, rootkit = _setup(machine, rich_os, random_deviation=True)
+    while len(satin.checker.results_for_area(14)) < 2:
+        machine.run_for(satin.policy.tp)
+    assert evader.proactive_hides <= 2  # essentially no stable prediction
+    scans = satin.checker.results_for_area(14)
+    assert all(not s.match for s in scans)  # every scan catches the hijack
+
+
+def test_predicted_period_reports_zero_on_jittery_input(fast_juno_stack):
+    machine, rich_os = fast_juno_stack
+    satin, evader, rootkit = _setup(machine, rich_os, random_deviation=True)
+    machine.run(until=satin.policy.tp * 8)
+    assert evader.predicted_period() == 0.0

@@ -1,0 +1,136 @@
+"""Persistent rootkit tests."""
+
+import pytest
+
+from repro.attacks.rootkit import EVIL_SYSCALL_HANDLER, PersistentRootkit
+from repro.errors import AttackError
+from repro.hw.world import World
+from repro.kernel.syscalls import NR_GETTID
+
+
+def test_install_plants_trace(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os).install()
+    assert rootkit.active
+    assert rich_os.syscall_table.is_hijacked(NR_GETTID)
+
+
+def test_double_install_rejected(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os).install()
+    with pytest.raises(AttackError):
+        rootkit.install()
+
+
+def test_hide_restores_original_bytes(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os).install()
+    rootkit.apply_hide()
+    assert not rootkit.active
+    assert not rich_os.syscall_table.is_hijacked(NR_GETTID)
+    assert rich_os.syscall_table.read_entry(NR_GETTID, World.SECURE) == \
+        rich_os.syscall_table.original_entry(NR_GETTID)
+
+
+def test_reattack_replants(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os).install()
+    rootkit.apply_hide()
+    rootkit.apply_reattack()
+    assert rootkit.active
+    assert rich_os.syscall_table.is_hijacked(NR_GETTID)
+    assert rootkit.hide_count == 1 and rootkit.reattack_count == 1
+
+
+def test_hide_when_not_active_is_noop(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    rootkit.apply_hide()
+    assert rootkit.hide_count == 0
+
+
+def test_reattack_requires_install(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    rootkit.apply_reattack()
+    assert not rootkit.active
+
+
+def test_trace_bytes_default_is_8(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    assert rootkit.trace_bytes == 8
+
+
+def test_extra_traces_increase_m(stack):
+    machine, rich_os = stack
+    vec_offset = rich_os.vector_table.entry_offset(10)
+    rootkit = PersistentRootkit(
+        machine, rich_os,
+        extra_traces=[("vector-hijack", vec_offset, b"\xde\xad\xbe\xef\x00\x00\x00\x00")],
+    )
+    assert rootkit.trace_bytes == 16
+
+
+def test_recovery_time_scales_with_traces(stack):
+    machine, rich_os = stack
+    single = PersistentRootkit(machine, rich_os)
+    vec_offset = rich_os.vector_table.entry_offset(10)
+    double = PersistentRootkit(
+        machine, rich_os,
+        evil_handler=EVIL_SYSCALL_HANDLER + 8,
+        extra_traces=[("vector", vec_offset, b"\x01" * 8)],
+    )
+    core = machine.core(0)
+    t1 = sum(single.recovery_time(core) for _ in range(20)) / 20
+    t2 = sum(double.recovery_time(core) for _ in range(20)) / 20
+    assert 1.7 < t2 / t1 < 2.3
+
+
+def test_recovery_time_near_paper_values(juno_stack):
+    machine, rich_os = juno_stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    little = sum(rootkit.recovery_time(machine.little_core()) for _ in range(30)) / 30
+    big = sum(rootkit.recovery_time(machine.big_core()) for _ in range(30)) / 30
+    assert abs(little - 5.80e-3) / 5.80e-3 < 0.05
+    assert abs(big - 4.96e-3) / 4.96e-3 < 0.05
+
+
+def test_timeline_and_active_at(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    rootkit.install()           # t=0: active
+    machine.sim.schedule(1.0, rootkit.apply_hide)
+    machine.sim.schedule(2.0, rootkit.apply_reattack)
+    machine.run(until=3.0)
+    assert rootkit.active_at(0.5)
+    assert not rootkit.active_at(1.5)
+    assert rootkit.active_at(2.5)
+
+
+def test_exposed_during_windows(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os)
+    rootkit.install()
+    machine.sim.schedule(1.0, rootkit.apply_hide)
+    machine.sim.schedule(2.0, rootkit.apply_reattack)
+    machine.run(until=3.0)
+    assert rootkit.exposed_during(0.0, 0.5)       # active throughout
+    assert rootkit.exposed_during(0.9, 1.1)       # active entering window
+    assert not rootkit.exposed_during(1.2, 1.8)   # hidden throughout
+    assert rootkit.exposed_during(1.5, 2.5)       # reattack inside window
+    assert rootkit.exposed_during(2.5, 3.0)       # active entering window
+
+
+def test_capture_via_syscall_path(stack):
+    machine, rich_os = stack
+    rootkit = PersistentRootkit(machine, rich_os).install()
+
+    def caller(task):
+        yield from rich_os.syscall(task, NR_GETTID)
+        rootkit.apply_hide()
+        yield from rich_os.syscall(task, NR_GETTID)
+
+    rich_os.spawn("victim", caller)
+    machine.run(until=0.1)
+    assert rootkit.captures == 1  # only the first call was intercepted

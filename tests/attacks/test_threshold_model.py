@@ -1,0 +1,85 @@
+"""Threshold window model tests (Table II calibration)."""
+
+import random
+
+import pytest
+
+from repro.attacks.threshold_model import ThresholdStats, ThresholdWindowModel
+from repro.config import ProberConfig
+from repro.errors import AttackError
+
+
+@pytest.fixture
+def model():
+    return ThresholdWindowModel(ProberConfig())
+
+
+def test_stats_require_samples():
+    with pytest.raises(AttackError):
+        ThresholdStats.from_samples(8.0, [])
+
+
+def test_measure_shape(model):
+    rng = random.Random(1)
+    stats = model.measure(8.0, 50, rng)
+    assert stats.period == 8.0
+    assert len(stats.samples) == 50
+    assert stats.minimum <= stats.average <= stats.maximum
+
+
+def test_averages_match_paper_within_tolerance(model):
+    """Calibration check against Table II (25% tolerance, 400 rounds)."""
+    paper = {8.0: 2.61e-4, 30.0: 4.21e-4, 300.0: 6.61e-4}
+    rng = random.Random(7)
+    for period, expected in paper.items():
+        stats = model.measure(period, 400, rng)
+        assert abs(stats.average - expected) / expected < 0.25
+
+
+def test_average_grows_with_period(model):
+    rng = random.Random(3)
+    short = model.measure(8.0, 300, rng)
+    long = model.measure(300.0, 300, rng)
+    assert long.average > short.average
+    # Paper's ratio is ~2.53; ours should be in the same regime.
+    assert 1.8 < long.average / short.average < 3.2
+
+
+def test_worst_case_near_1_8e_3(model):
+    """Max over many rounds lands near the paper's 1.8e-3 threshold."""
+    rng = random.Random(11)
+    worst = max(
+        model.measure(period, 50, rng).maximum
+        for period in (8.0, 16.0, 30.0, 120.0, 300.0)
+    )
+    assert 1.0e-3 < worst <= 2.0e-3
+
+
+def test_single_core_quarter_factor():
+    rng = random.Random(5)
+    all_cores = ThresholdWindowModel(ProberConfig(), single_core=False)
+    one_core = ThresholdWindowModel(ProberConfig(), single_core=True)
+    a = all_cores.measure(30.0, 300, rng).average
+    b = one_core.measure(30.0, 300, rng).average
+    assert abs(b / a - 0.25) < 0.08
+
+
+def test_draws_in_scales_with_period(model):
+    assert model.draws_in(16.0) == 2 * model.draws_in(8.0)
+    assert model.draws_in(1e-9) == 1  # floor
+
+
+def test_fast_path_matches_brute_force():
+    """F^-1(U^(1/n)) equals max of n draws, distributionally."""
+    config = ProberConfig()
+    model = ThresholdWindowModel(config)
+    tail = config.threshold_tail
+    n = model.draws_in(2.0)
+    rng = random.Random(13)
+    fast = sorted(model.sample_window_max(2.0, rng) for _ in range(400))
+    brute = sorted(
+        max(tail.sample(rng) for _ in range(n)) for _ in range(400)
+    )
+    # Compare medians and upper quartiles.
+    assert abs(fast[200] - brute[200]) / brute[200] < 0.15
+    assert abs(fast[300] - brute[300]) / brute[300] < 0.2

@@ -1,0 +1,123 @@
+"""Self Activation Module / wake-up time queue tests."""
+
+import random
+
+import pytest
+
+from repro.core.activation import SelfActivationModule, WakeUpTimeQueue
+from repro.errors import IntrospectionError, SecureAccessError
+from repro.hw.platform import SECURE_SRAM_BASE
+from repro.hw.world import World
+
+
+def make_queue(machine, slots=6, tp=1.0, deviation=1.0, start=0.0):
+    return WakeUpTimeQueue(
+        machine.memory,
+        SECURE_SRAM_BASE + 0x1000,
+        slot_count=slots,
+        tp=tp,
+        deviation_fraction=deviation,
+        rng=random.Random(7),
+        start_time=start,
+    )
+
+
+def test_queue_requires_secure_memory(machine):
+    with pytest.raises(IntrospectionError):
+        WakeUpTimeQueue(
+            machine.memory, machine.dram.base, 6, 1.0, 1.0, random.Random(1)
+        )
+
+
+def test_queue_requires_slots(machine):
+    with pytest.raises(IntrospectionError):
+        make_queue(machine, slots=0)
+
+
+def test_take_returns_future_times(machine):
+    queue = make_queue(machine)
+    for _ in range(20):
+        assert queue.take(0.0) > 0.0
+
+
+def test_takes_are_within_deviation_window(machine):
+    """Each generated time is (i+1)*tp +- tp from the refresh base."""
+    queue = make_queue(machine, slots=6, tp=1.0, deviation=1.0)
+    times = sorted(queue.take(0.0) for _ in range(6))
+    for i, t in enumerate(times):
+        # The i-th smallest is within the union of windows; weakest bound:
+        assert 0.0 < t <= 7.0
+
+
+def test_no_deviation_gives_exact_grid(machine):
+    queue = make_queue(machine, slots=6, tp=1.0, deviation=0.0)
+    times = sorted(queue.take(0.0) for _ in range(6))
+    assert times == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+
+
+def test_refresh_advances_base(machine):
+    queue = make_queue(machine, slots=2, tp=1.0, deviation=0.0)
+    first_batch = sorted(queue.take(0.0) for _ in range(2))
+    second_batch = sorted(queue.take(0.0) for _ in range(2))
+    assert first_batch == pytest.approx([1.0, 2.0])
+    assert second_batch == pytest.approx([3.0, 4.0])
+    assert queue.refresh_count == 2
+
+
+def test_take_clamps_to_now(machine):
+    queue = make_queue(machine, slots=2, tp=0.1, deviation=0.0)
+    # Ask far in the future: generated times are in the past and clamp.
+    t = queue.take(100.0)
+    assert t >= 100.0
+
+
+def test_assignment_order_is_randomized(machine):
+    # With deviation 0 the values are a grid; consumption order random
+    # means consecutive takes are NOT always increasing.
+    queue = make_queue(machine, slots=6, tp=1.0, deviation=0.0)
+    raw = [queue.take(0.0) for _ in range(6)]
+    assert raw != sorted(raw)
+
+
+def test_queue_is_physically_in_secure_memory(machine):
+    queue = make_queue(machine)
+    queue.take(0.0)
+    with pytest.raises(SecureAccessError):
+        machine.memory.read(queue.queue_base, 8, World.NORMAL)
+
+
+def test_activation_arms_all_cores_random_mode(machine):
+    queue = make_queue(machine, slots=6, tp=0.5)
+    activation = SelfActivationModule(machine, queue, random_core=True)
+    activation.arm_initial()
+    armed = [c.secure_timer.next_fire_time() for c in machine.cores]
+    assert all(t is not None for t in armed)
+    assert activation.arm_count == 6
+
+
+def test_activation_fixed_core_arms_one(machine):
+    queue = make_queue(machine, slots=1, tp=0.5)
+    activation = SelfActivationModule(
+        machine, queue, random_core=False, fixed_core_index=3
+    )
+    activation.arm_initial()
+    armed = [c.secure_timer.next_fire_time() for c in machine.cores]
+    assert armed[3] is not None
+    assert sum(1 for t in armed if t is not None) == 1
+
+
+def test_disarm_all(machine):
+    queue = make_queue(machine)
+    activation = SelfActivationModule(machine, queue)
+    activation.arm_initial()
+    activation.disarm_all()
+    assert all(c.secure_timer.next_fire_time() is None for c in machine.cores)
+
+
+def test_rearm_consumes_queue(machine):
+    queue = make_queue(machine, slots=6, tp=0.5)
+    activation = SelfActivationModule(machine, queue)
+    activation.arm_initial()
+    takes_before = queue.takes
+    activation.rearm(machine.core(0))
+    assert queue.takes == takes_before + 1

@@ -1,0 +1,73 @@
+"""Kernel Area Set tests: random selection without replacement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.area_set import KernelAreaSet
+from repro.core.areas import partition_sections
+from repro.errors import IntrospectionError
+from repro.kernel.systemmap import SystemMap
+
+
+@pytest.fixture
+def areas():
+    return partition_sections(SystemMap())
+
+
+def test_one_pass_covers_every_area_once(areas):
+    area_set = KernelAreaSet(areas, random.Random(1))
+    picked = [area_set.pick().index for _ in range(len(areas))]
+    assert sorted(picked) == list(range(len(areas)))
+    assert area_set.pass_count == 1
+
+
+def test_refill_after_exhaustion(areas):
+    area_set = KernelAreaSet(areas, random.Random(1))
+    for _ in range(len(areas)):
+        area_set.pick()
+    assert area_set.remaining_in_pass == len(areas)  # refilled
+    area_set.pick()
+    assert area_set.remaining_in_pass == len(areas) - 1
+
+
+def test_order_differs_between_passes(areas):
+    area_set = KernelAreaSet(areas, random.Random(1))
+    first = [area_set.pick().index for _ in range(len(areas))]
+    second = [area_set.pick().index for _ in range(len(areas))]
+    assert first != second  # random order (vanishing collision chance)
+    assert sorted(first) == sorted(second)
+
+
+def test_empty_area_list_rejected():
+    with pytest.raises(IntrospectionError):
+        KernelAreaSet([], random.Random(1))
+
+
+def test_counters(areas):
+    area_set = KernelAreaSet(areas, random.Random(3))
+    for _ in range(len(areas) * 3):
+        area_set.pick()
+    assert area_set.total_picks == len(areas) * 3
+    assert area_set.pass_count == 3
+    assert all(count == 3 for count in area_set.pick_counts.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    picks=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_pick_spread_never_exceeds_one(picks, seed):
+    """Divide-and-conquer fairness: no area lags another by more than 1."""
+    areas = partition_sections(SystemMap())
+    area_set = KernelAreaSet(areas, random.Random(seed))
+    for _ in range(picks):
+        area_set.pick()
+    assert area_set.max_pick_spread() <= 1
+
+
+def test_rounds_per_pass(areas):
+    area_set = KernelAreaSet(areas, random.Random(1))
+    assert area_set.rounds_per_pass == 19

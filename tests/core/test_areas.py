@@ -1,0 +1,113 @@
+"""Area partitioning tests."""
+
+import pytest
+
+from repro.core.areas import (
+    area_containing,
+    build_partition,
+    partition_packed,
+    partition_sections,
+    partition_whole,
+    validate_partition,
+)
+from repro.errors import IntrospectionError
+from repro.kernel.systemmap import SystemMap
+
+
+@pytest.fixture(scope="module")
+def system_map():
+    return SystemMap()
+
+
+def test_sections_mode_gives_19_areas(system_map):
+    areas = partition_sections(system_map)
+    assert len(areas) == 19
+    validate_partition(areas, system_map.total_size)
+
+
+def test_sections_mode_matches_sections(system_map):
+    areas = partition_sections(system_map)
+    for area, section in zip(areas, system_map):
+        assert area.offset == section.offset
+        assert area.length == section.size
+        assert area.section_names == (section.name,)
+
+
+def test_oversized_section_is_split(system_map):
+    max_size = 500_000  # below the largest section (876,616)
+    areas = partition_sections(system_map, max_area_size=max_size)
+    assert all(a.length <= max_size for a in areas)
+    validate_partition(areas, system_map.total_size)
+    assert len(areas) > 19
+
+
+def test_whole_mode_single_area(system_map):
+    areas = partition_whole(system_map)
+    assert len(areas) == 1
+    assert areas[0].length == system_map.total_size
+    validate_partition(areas, system_map.total_size)
+
+
+def test_packed_mode_respects_bound(system_map):
+    bound = 1_218_351
+    areas = partition_packed(system_map, bound)
+    assert all(a.length <= bound for a in areas)
+    validate_partition(areas, system_map.total_size)
+    # Packing merges sections, so fewer areas than sections.
+    assert len(areas) < 19
+
+
+def test_packed_mode_groups_are_consecutive(system_map):
+    areas = partition_packed(system_map, 1_218_351)
+    for area in areas:
+        if len(area.section_names) > 1:
+            # multi-section areas record each member name
+            assert all(isinstance(n, str) for n in area.section_names)
+
+
+def test_packed_requires_positive_bound(system_map):
+    with pytest.raises(IntrospectionError):
+        partition_packed(system_map, 0)
+
+
+def test_build_partition_dispatch(system_map):
+    assert len(build_partition(system_map, "sections")) == 19
+    assert len(build_partition(system_map, "whole")) == 1
+    assert build_partition(system_map, "packed", 1_218_351)
+    with pytest.raises(IntrospectionError):
+        build_partition(system_map, "bogus")
+    with pytest.raises(IntrospectionError):
+        build_partition(system_map, "packed")  # needs max_area_size
+
+
+def test_validate_partition_catches_gaps(system_map):
+    areas = partition_sections(system_map)
+    broken = [areas[0], areas[2]]  # skips area 1
+    with pytest.raises(IntrospectionError):
+        validate_partition(broken, system_map.total_size)
+
+
+def test_validate_partition_catches_short_coverage(system_map):
+    areas = partition_sections(system_map)[:-1]
+    with pytest.raises(IntrospectionError):
+        validate_partition(areas, system_map.total_size)
+
+
+def test_validate_partition_rejects_empty():
+    with pytest.raises(IntrospectionError):
+        validate_partition([], 100)
+
+
+def test_area_containing(system_map):
+    areas = partition_sections(system_map)
+    for probe in (0, 1, system_map.total_size // 2, system_map.total_size - 1):
+        area = area_containing(areas, probe)
+        assert area.contains(probe)
+    with pytest.raises(IntrospectionError):
+        area_containing(areas, system_map.total_size)
+
+
+def test_syscall_table_lands_in_area_14(system_map):
+    areas = partition_sections(system_map)
+    offset = system_map.symbol("sys_call_table")
+    assert area_containing(areas, offset).index == 14

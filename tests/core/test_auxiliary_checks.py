@@ -1,0 +1,59 @@
+"""Auxiliary secure-world checks piggybacked on SATIN rounds."""
+
+from repro.attacks.dkom import DkomModuleHider
+from repro.core.satin import install_satin
+from repro.kernel.modules import ModuleList
+from repro.secure.semantic import SemanticChecker
+from repro.sim.process import cpu
+
+
+def test_auxiliary_check_runs_every_round(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    runs = []
+
+    def factory(core):
+        runs.append(core.index)
+        yield cpu(1e-6)
+
+    satin.add_auxiliary_check(factory)
+    machine.run(until=satin.policy.tp * 6)
+    assert satin.round_count >= 4
+    assert len(runs) == satin.auxiliary_runs == satin.round_count
+
+
+def test_semantic_checker_under_satin_scheduling(stack):
+    """The DKOM-hidden module is found by the next SATIN round."""
+    machine, rich_os = stack
+    modules = ModuleList(rich_os.image)
+    for name in ("usbcore", "evil_mod"):
+        modules.load(name)
+    satin = install_satin(machine, rich_os)
+    checker = SemanticChecker(modules)
+    satin.add_auxiliary_check(checker.run_check)
+
+    machine.run(until=satin.policy.tp * 3)
+    assert checker.detections == 0  # nothing hidden yet
+
+    DkomModuleHider(modules, "evil_mod").hide()
+    before = len(checker.results)
+    machine.run(until=machine.now + satin.policy.tp * 3)
+    new_results = checker.results[before:]
+    assert new_results
+    assert all(not r.clean for r in new_results)
+    assert checker.detections >= 1
+
+
+def test_auxiliary_time_counts_as_secure_time(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+
+    def heavy(core):
+        yield cpu(2e-3)
+
+    satin.add_auxiliary_check(heavy)
+    machine.run(until=satin.policy.tp * 4)
+    total_secure = sum(c.secure_time_total for c in machine.cores)
+    scan_time = sum(r.duration for r in satin.checker.results)
+    # The auxiliary 2 ms per round shows up in secure-world residency.
+    assert total_secure > scan_time + satin.round_count * 1.5e-3

@@ -1,0 +1,106 @@
+"""Integrity checker, policy derivation, and alarm sink tests."""
+
+import pytest
+
+from repro.core.alarms import AlarmRecord, AlarmSink
+from repro.core.areas import partition_sections
+from repro.core.policy import derive_policy
+from repro.core.race import RaceParameters
+from repro.core.satin import Satin, install_satin
+from repro.errors import IntrospectionError
+from repro.hw.world import World
+from repro.kernel.systemmap import SystemMap
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+def test_policy_tp_is_tgoal_over_m():
+    areas = partition_sections(SystemMap())
+    policy = derive_policy(tgoal=152.0, areas=areas)
+    assert policy.tp == pytest.approx(8.0)
+    assert policy.area_count == 19
+
+
+def test_policy_full_pass_near_152s():
+    """Paper: one full kernel pass takes approximately 152 s."""
+    areas = partition_sections(SystemMap())
+    policy = derive_policy(tgoal=152.0, areas=areas)
+    assert 151.0 < policy.full_pass_time < 153.0
+
+
+def test_policy_enforces_bound():
+    areas = partition_sections(SystemMap())
+    with pytest.raises(IntrospectionError):
+        derive_policy(tgoal=152.0, areas=areas, max_area_size=1000)
+
+
+def test_policy_bound_override_disabled():
+    areas = partition_sections(SystemMap())
+    policy = derive_policy(
+        tgoal=152.0, areas=areas, max_area_size=1000, enforce_bound=False
+    )
+    assert policy.max_area_size == 1000
+
+
+def test_policy_uses_race_bound_by_default():
+    areas = partition_sections(SystemMap())
+    policy = derive_policy(tgoal=152.0, areas=areas, race=RaceParameters())
+    assert policy.max_area_size == 1_218_351
+
+
+# ---------------------------------------------------------------------------
+# Checker
+# ---------------------------------------------------------------------------
+
+def test_checker_counts_and_results_per_area(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 21)
+    checker = satin.checker
+    assert checker.round_count == len(checker.results)
+    seen_area = checker.results[0].area_index
+    per_area = checker.results_for_area(seen_area)
+    assert all(r.area_index == seen_area for r in per_area)
+    assert checker.average_round_duration() > 0
+
+
+def test_checker_mismatch_counter(stack):
+    machine, rich_os = stack
+    satin = install_satin(machine, rich_os)
+    rich_os.image.write(10, b"\xff" * 4, World.NORMAL)  # area 0 corrupted
+    while satin.full_passes < 1:
+        machine.run_for(satin.policy.tp)
+    assert satin.checker.mismatch_count == len(satin.alarms)
+    assert satin.checker.mismatch_count >= 1
+
+
+# ---------------------------------------------------------------------------
+# Alarms
+# ---------------------------------------------------------------------------
+
+def _alarm(area=1, time=1.0):
+    return AlarmRecord(
+        time=time, area_index=area, offset=0, length=10,
+        core_index=0, round_index=0, digest=1, expected=2,
+    )
+
+
+def test_alarm_sink_collects_and_notifies():
+    sink = AlarmSink()
+    seen = []
+    sink.add_listener(seen.append)
+    alarm = _alarm()
+    sink.raise_alarm(alarm)
+    assert len(sink) == 1
+    assert seen == [alarm]
+
+
+def test_alarms_for_area_filter():
+    sink = AlarmSink()
+    sink.raise_alarm(_alarm(area=1))
+    sink.raise_alarm(_alarm(area=2))
+    sink.raise_alarm(_alarm(area=1))
+    assert len(sink.alarms_for_area(1)) == 2
+    assert len(sink.alarms_for_area(3)) == 0

@@ -1,0 +1,77 @@
+"""Portability tests (Section VII-D): SATIN beyond the Juno r1.
+
+SATIN's three requirements — multi-core, a high-privileged mode, a secure
+timer — are topology-independent in this library; these tests run the
+full mechanism on a generic octa-core SoC and an x86/SMM-flavoured
+platform.
+"""
+
+import pytest
+
+from repro.config import (
+    KernelConfig,
+    SatinConfig,
+    generic_octa_config,
+    smm_like_config,
+)
+from repro.core.race import RaceParameters, max_safe_area_size
+from repro.core.satin import install_satin
+from repro.hw.platform import build_machine
+from repro.hw.world import World
+from repro.kernel.os import boot_rich_os
+from repro.kernel.syscalls import NR_GETTID
+from tests.conftest import SMALL_KERNEL_SIZE
+
+
+def _shrink(config):
+    config.kernel = KernelConfig(image_size=SMALL_KERNEL_SIZE)
+    config.satin = SatinConfig(tgoal=19 * 0.25)
+    return config
+
+
+def test_octa_core_satin_detects(s=None):
+    machine = build_machine(_shrink(generic_octa_config(seed=9)))
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    assert len(machine.cores) == 8
+    rich_os.syscall_table.write_entry(NR_GETTID, 0xBAD, World.NORMAL)
+    while not satin.alarms.alarms:
+        machine.run_for(satin.policy.tp)
+    assert satin.alarms.alarms[0].area_index == 14
+
+
+def test_octa_core_spreads_rounds_over_all_cores():
+    machine = build_machine(_shrink(generic_octa_config(seed=9)))
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    machine.run(until=satin.policy.tp * 40)
+    cores_used = {r.core_index for r in satin.checker.results}
+    assert len(cores_used) >= 6
+
+
+def test_smm_platform_boots_and_detects():
+    machine = build_machine(_shrink(smm_like_config(seed=9)))
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    rich_os.syscall_table.write_entry(NR_GETTID, 0xBAD, World.NORMAL)
+    while not satin.alarms.alarms:
+        machine.run_for(satin.policy.tp)
+    assert satin.detection_count >= 1
+
+
+def test_smm_switch_cost_is_order_of_magnitude_larger():
+    juno_switch = 3.6e-6
+    config = smm_like_config()
+    lo, hi = config.clusters[0].timing.world_switch.support()
+    assert lo > 5 * juno_switch
+
+
+def test_smm_race_bound_absorbs_the_slower_switch():
+    """The Eq. 2 machinery transfers unchanged: a costlier switch only
+    shifts the bound, it does not break the derivation."""
+    smm = RaceParameters(ts_switch=6e-5, ts_1byte=4e-9, tns_recover=4e-3)
+    juno = RaceParameters()
+    assert max_safe_area_size(smm) > 0
+    # Faster per-byte scanning on x86 buys a *larger* safe area despite
+    # the slower switch.
+    assert max_safe_area_size(smm) > max_safe_area_size(juno)

@@ -1,0 +1,71 @@
+"""Stack builder and cluster-stat tests."""
+
+from repro.config import juno_r1_config
+from repro.experiments.common import ExperimentResult, build_stack
+
+
+def test_bare_stack_has_no_defence_or_attack():
+    stack = build_stack(seed=1)
+    assert stack.satin is None
+    assert stack.prober is None and stack.evader is None
+
+
+def test_full_stack_wiring():
+    stack = build_stack(seed=1, with_satin=True, with_evader=True)
+    assert stack.satin is not None and stack.satin.installed
+    assert stack.prober is not None and stack.prober.running
+    assert stack.rootkit is not None and stack.rootkit.active
+    assert stack.evader is not None
+    assert stack.oracle is not None
+
+
+def test_stack_without_acceleration():
+    stack = build_stack(seed=1, with_evader=True, accelerate=False)
+    assert stack.oracle is None
+    assert stack.prober is not None and stack.prober.oracle is None
+
+
+def test_seed_overrides_machine_config():
+    config = juno_r1_config(seed=111)
+    stack = build_stack(seed=222, machine_config=config)
+    assert stack.machine.config.seed == 222
+
+
+def test_trusted_boot_precedes_attack():
+    """SATIN's hashes describe the benign kernel even with the evader on."""
+    stack = build_stack(seed=1, with_satin=True, with_evader=True)
+    satin, rootkit = stack.satin, stack.rootkit
+    assert satin is not None and rootkit is not None
+    trace = rootkit.traces[0]
+    span = next(a.span for a in satin.areas if a.contains(trace.offset))
+    # The stored digest corresponds to the ORIGINAL bytes (hash computed
+    # pre-attack), so the planted trace is detectable.
+    from repro.hw.world import World
+    from repro.secure.hashes import djb2
+
+    live = djb2(stack.rich_os.image.view(span[0], span[1], World.SECURE))
+    assert live != satin.store.expected_digest(span)
+
+
+def test_experiment_result_comparisons():
+    result = ExperimentResult("X", "t", "rendered")
+    result.compare("q", 1.0, 1.1)
+    assert result.comparisons == [
+        {"quantity": "q", "paper": 1.0, "measured": 1.1}
+    ]
+    assert str(result) == "rendered"
+
+
+def test_cluster_statistics(juno_machine):
+    from repro.sim.process import cpu
+
+    def payload(core):
+        yield cpu(1e-3)
+
+    cluster = juno_machine.cluster("big")
+    assert cluster.total_secure_entries() == 0
+    juno_machine.monitor.request_secure_entry(juno_machine.big_core(), payload)
+    juno_machine.sim.run(max_events=100)
+    assert cluster.total_secure_entries() == 1
+    assert cluster.total_secure_time() > 1e-3
+    assert juno_machine.cluster("LITTLE").total_secure_entries() == 0

@@ -1,0 +1,109 @@
+"""Experiment driver tests (reduced sizes; shapes and invariants)."""
+
+import pytest
+
+import repro
+from repro.workloads.programs import program_by_name
+
+
+def test_table1_relations():
+    result = repro.run_table1(repetitions=12)
+    assert result.values["hash_not_slower_than_snapshot_a53"]
+    assert result.values["a57_faster_than_a53"]
+    a53 = result.values["A53.hash"]
+    a57 = result.values["A57.hash"]
+    # Calibration: averages within 5% of Table I.
+    assert abs(a53.average - 1.07e-8) / 1.07e-8 < 0.05
+    assert abs(a57.average - 6.71e-9) / 6.71e-9 < 0.05
+    assert "Table I" in result.rendered
+
+
+def test_switch_delay_within_paper_range():
+    result = repro.run_switch_delay(repetitions=25)
+    assert result.values["within_paper_range"]
+    assert result.values["clusters_similar"]
+
+
+def test_recover_delay_matches_paper():
+    result = repro.run_recover_delay(repetitions=25)
+    assert result.values["a57_recovers_faster"]
+    a53 = result.values["summaries"]["A53"]
+    assert abs(a53.average - 5.80e-3) / 5.80e-3 < 0.06
+
+
+def test_table2_growth():
+    result = repro.run_table2(rounds=100)
+    assert result.values["average_grows_with_period"]
+    assert 1.5 < result.values["growth_8s_to_300s"] < 3.5
+    assert result.values["worst_observed"] <= 2.0e-3
+
+
+def test_single_core_ratio_near_quarter():
+    result = repro.run_single_core_ratio(rounds=200)
+    for ratio in result.values["ratios"].values():
+        assert abs(ratio - 0.25) < 0.1
+
+
+def test_figure4_boxplots():
+    result = repro.run_figure4(rounds=60)
+    boxes = result.values["boxes"]
+    assert set(boxes) == {8.0, 16.0, 30.0, 120.0, 300.0}
+    for box in boxes.values():
+        assert box.q1 <= box.median <= box.q3
+        assert box.whisker_low <= box.q1 and box.q3 <= box.whisker_high
+
+
+def test_race_analysis_matches_paper():
+    result = repro.run_race_analysis(mc_trials=4000)
+    assert result.values["s_bound"] == 1_218_351
+    assert abs(result.values["unprotected_fraction"] - 0.898) < 0.002
+    assert abs(result.values["mc_escape_rate"] - 0.90) < 0.05
+
+
+@pytest.mark.slow
+def test_user_prober_eval():
+    result = repro.run_user_prober_eval(introspection_rounds=5)
+    delays = result.values["delay_summary"]
+    assert delays is not None
+    assert delays.maximum < 5.97e-3  # the paper's bound
+    a57 = result.values["a57_check_summary"]
+    if a57 is not None:
+        assert abs(a57.average - 8.04e-2) / 8.04e-2 < 0.1
+
+
+@pytest.mark.slow
+def test_detection_experiment_one_pass():
+    result = repro.run_detection_experiment(passes=1)
+    stats = result.values["stats"]
+    assert stats.prober_faithful
+    assert stats.all_trace_checks_detected
+    assert stats.trace_area_checks == 1
+    assert abs(stats.full_pass_time_estimate - 152.0) < 2.0
+
+
+@pytest.mark.slow
+def test_escape_comparison():
+    result = repro.run_escape_comparison(rounds=5, mean_period=2.0)
+    assert result.values["baseline"].escape_rate == 1.0
+    assert result.values["satin"].escape_rate == 0.0
+
+
+@pytest.mark.slow
+def test_figure7_quick_subset():
+    programs = [program_by_name("dhrystone2"), program_by_name("file_copy_256B")]
+    result = repro.run_figure7(
+        duration=8.0, task_counts=(1,), programs=programs
+    )
+    points = {p.program: p for p in result.values["points"]}
+    assert points["file_copy_256B"].degradation > 5 * points["dhrystone2"].degradation
+    assert 0.02 < points["file_copy_256B"].degradation < 0.06
+
+
+@pytest.mark.slow
+def test_ablation_whole_kernel_loses_satin_wins():
+    result = repro.run_ablations(
+        trace_scans_wanted=2, variants=["satin", "whole-kernel"]
+    )
+    outcomes = result.values["outcomes"]
+    assert outcomes["satin"].detection_rate == 1.0
+    assert outcomes["whole-kernel"].detection_rate == 0.0

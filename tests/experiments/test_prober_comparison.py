@@ -1,0 +1,31 @@
+"""Prober comparison experiment tests."""
+
+import pytest
+
+from repro.experiments.prober_comparison import (
+    _run_campaign,
+    run_prober_comparison,
+)
+
+
+def test_unknown_prober_rejected():
+    with pytest.raises(ValueError):
+        _run_campaign("bogus", "satin", seed=1, rounds_wanted=1)
+
+
+@pytest.mark.slow
+def test_comparison_shape():
+    result = run_prober_comparison(rounds=3)
+    outcomes = result.values["outcomes"]
+    assert len(outcomes) == 6
+    assert result.values["latency_ordering_holds"]
+    assert result.values["kprober1_mostly_blind_to_satin"]
+
+
+@pytest.mark.slow
+def test_kprober2_latency_beats_user_level():
+    result = run_prober_comparison(rounds=3)
+    outcomes = result.values["outcomes"]
+    k2 = outcomes[("kprober2", "whole-kernel")].latency
+    user = outcomes[("user", "whole-kernel")].latency
+    assert k2.average < user.average

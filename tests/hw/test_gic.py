@@ -1,0 +1,113 @@
+"""Interrupt controller routing tests."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.platform import build_machine
+from repro.hw.world import World
+from repro.sim.process import cpu
+from tests.conftest import small_config
+
+NS_TEST_INTID = 40
+SECURE_TEST_INTID = 41
+
+
+@pytest.fixture
+def machine():
+    return build_machine(small_config())
+
+
+def test_unconfigured_interrupt_raises(machine):
+    with pytest.raises(HardwareError):
+        machine.gic.trigger(machine.core(0), 77)
+
+
+def test_ns_interrupt_delivered_in_normal_world(machine):
+    hits = []
+    machine.gic.register_ns_handler(NS_TEST_INTID, lambda c, i: hits.append(c.index))
+    machine.gic.trigger(machine.core(1), NS_TEST_INTID)
+    assert hits == [1]
+    assert machine.gic.delivered_ns == 1
+
+
+def test_secure_interrupt_enters_monitor(machine):
+    entered = []
+
+    def payload(core):
+        entered.append(core.index)
+        yield cpu(1e-6)
+
+    machine.monitor.register_secure_handler(SECURE_TEST_INTID, payload)
+    machine.gic.trigger(machine.core(2), SECURE_TEST_INTID)
+    machine.run(until=1e-3)
+    assert entered == [2]
+    assert machine.core(2).world is World.NORMAL  # returned afterwards
+
+
+def test_ns_interrupt_pended_while_core_secure_when_blocked(machine):
+    hits = []
+    machine.gic.register_ns_handler(NS_TEST_INTID, lambda c, i: hits.append(machine.now))
+
+    def payload(core):
+        machine.gic.set_ns_blocked(core.index, True)
+        machine.gic.trigger(core, NS_TEST_INTID)  # arrives mid-round
+        machine.gic.trigger(core, NS_TEST_INTID)  # again: must coalesce
+        yield cpu(1e-3)
+        machine.gic.set_ns_blocked(core.index, False)
+
+    machine.monitor.register_secure_handler(SECURE_TEST_INTID, payload)
+    machine.gic.trigger(machine.core(0), SECURE_TEST_INTID)
+    machine.run(until=1e-2)
+    # Delivered exactly once (coalesced), only after the secure exit.
+    assert len(hits) == 1
+    assert hits[0] >= 1e-3
+    # Coalesced: the second trigger merged into the already-pending line.
+    assert machine.gic.pended_ns == 1
+
+
+def test_secure_interrupt_pended_while_core_already_secure(machine):
+    entries = []
+
+    def payload(core):
+        entries.append(machine.now)
+        if len(entries) == 1:
+            # Raise a second secure interrupt while still in the secure
+            # world: it must be pended and re-delivered after the exit.
+            machine.gic.trigger(core, SECURE_TEST_INTID)
+        yield cpu(1e-4)
+
+    machine.monitor.register_secure_handler(SECURE_TEST_INTID, payload)
+    machine.gic.trigger(machine.core(0), SECURE_TEST_INTID)
+    machine.run(until=1e-2)
+    assert len(entries) == 2
+    assert entries[1] > entries[0] + 1e-4
+
+
+def test_ns_blocked_flag_roundtrip(machine):
+    assert not machine.gic.ns_blocked(3)
+    machine.gic.set_ns_blocked(3, True)
+    assert machine.gic.ns_blocked(3)
+    machine.gic.set_ns_blocked(3, False)
+    assert not machine.gic.ns_blocked(3)
+
+
+def test_preemptive_mode_pauses_secure_execution(machine):
+    """Without blocking, an NS interrupt stretches the secure round."""
+    hits = []
+    machine.gic.register_ns_handler(NS_TEST_INTID, lambda c, i: hits.append(machine.now))
+    finished = []
+
+    def payload(core):
+        yield cpu(1e-3)
+        finished.append(machine.now)
+
+    machine.monitor.register_secure_handler(SECURE_TEST_INTID, payload)
+    machine.gic.trigger(machine.core(0), SECURE_TEST_INTID)
+    machine.run(until=2e-4)  # mid-round
+    machine.gic.trigger(machine.core(0), NS_TEST_INTID)
+    machine.run(until=1e-2)
+    assert len(finished) == 1
+    assert machine.monitor.preemptions == 1
+    # The round took longer than the uninterrupted 1e-3 + switches.
+    assert finished[0] > 1e-3 + 2e-6
+    assert len(hits) == 1

@@ -1,0 +1,124 @@
+"""EL3 secure monitor tests: world-switch lifecycle and timing."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.platform import build_machine
+from repro.hw.world import World
+from repro.sim.process import cpu
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def machine():
+    return build_machine(small_config())
+
+
+def _noop_payload(duration=1e-4):
+    def payload(core):
+        yield cpu(duration)
+
+    return payload
+
+
+def test_entry_exit_lifecycle(machine):
+    core = machine.core(0)
+    states = []
+
+    def payload(entered):
+        states.append((entered.world, entered.transitioning))
+        yield cpu(1e-4)
+
+    machine.monitor.request_secure_entry(core, payload)
+    assert core.transitioning  # context saving started immediately
+    machine.run(until=1e-2)
+    assert states == [(World.SECURE, False)]
+    assert core.world is World.NORMAL and not core.transitioning
+
+
+def test_switch_cost_in_calibrated_range(machine):
+    core = machine.core(0)
+    entered = []
+
+    def payload(c):
+        entered.append(machine.now)
+        yield cpu(0.0)
+
+    start = machine.now
+    machine.monitor.request_secure_entry(core, payload)
+    machine.run(until=1e-2)
+    switch = entered[0] - start
+    assert 2.38e-6 <= switch <= 3.60e-6
+
+
+def test_secure_time_accounted_on_core(machine):
+    core = machine.core(0)
+    machine.monitor.request_secure_entry(core, _noop_payload(1e-3))
+    machine.run(until=1e-2)
+    assert core.secure_entries == 1
+    # payload + two switches
+    assert 1e-3 < core.secure_time_total < 1e-3 + 1e-5
+
+
+def test_hooks_fire_in_order(machine):
+    core = machine.core(0)
+    events = []
+    core.on_enter_secure.append(lambda c: events.append(("enter", machine.now)))
+    core.on_exit_secure.append(lambda c: events.append(("exit", machine.now)))
+    machine.monitor.request_secure_entry(core, _noop_payload())
+    machine.run(until=1e-2)
+    assert [e[0] for e in events] == ["enter", "exit"]
+    assert events[1][1] > events[0][1]
+
+
+def test_entry_rejected_when_core_not_in_normal_world(machine):
+    core = machine.core(0)
+    machine.monitor.request_secure_entry(core, _noop_payload(1e-3))
+    with pytest.raises(HardwareError):
+        machine.monitor.request_secure_entry(core, _noop_payload())
+
+
+def test_unregistered_secure_interrupt_raises(machine):
+    from repro.hw.gic import InterruptGroup
+
+    machine.gic.configure(55, InterruptGroup.SECURE)
+    with pytest.raises(HardwareError):
+        machine.gic.trigger(machine.core(0), 55)
+
+
+def test_multiple_cores_in_secure_world_simultaneously(machine):
+    for index in (0, 1, 2):
+        machine.monitor.request_secure_entry(machine.core(index), _noop_payload(1e-3))
+    machine.run(until=5e-4)
+    secure_now = [c.index for c in machine.cores if c.world is World.SECURE]
+    assert sorted(secure_now) == [0, 1, 2]
+    machine.run(until=1e-2)
+    assert all(c.world is World.NORMAL for c in machine.cores)
+
+
+def test_switch_statistics(machine):
+    for _ in range(3):
+        machine.monitor.request_secure_entry(machine.core(0), _noop_payload())
+        machine.run(until=machine.now + 1e-3)
+    assert machine.monitor.switches_to_secure == 3
+
+
+def test_secure_execution_handle_visible_while_running(machine):
+    machine.monitor.request_secure_entry(machine.core(0), _noop_payload(1e-3))
+    machine.run(until=5e-4)
+    assert machine.monitor.secure_execution_on(0) is not None
+    machine.run(until=1e-2)
+    assert machine.monitor.secure_execution_on(0) is None
+
+
+def test_payload_yielding_wait_rejected(machine):
+    from repro.sim.process import Signal, wait
+
+    def bad(core):
+        yield wait(Signal())
+
+    from repro.errors import SimulationError
+
+    machine.monitor.request_secure_entry(machine.core(0), bad)
+    with pytest.raises(SimulationError):
+        machine.run(until=1e-2)

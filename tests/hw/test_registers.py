@@ -1,0 +1,78 @@
+"""System register file tests: TrustZone access control."""
+
+import pytest
+
+from repro.errors import HardwareError, SecureAccessError
+from repro.hw.registers import RegisterFile
+from repro.hw.world import World
+
+
+@pytest.fixture
+def regs():
+    return RegisterFile()
+
+
+def test_normal_register_accessible_from_both_worlds(regs):
+    regs.write("VBAR_EL1", 0x1000, World.NORMAL)
+    assert regs.read("VBAR_EL1", World.NORMAL) == 0x1000
+    assert regs.read("VBAR_EL1", World.SECURE) == 0x1000
+
+
+def test_secure_register_blocked_from_normal_world(regs):
+    with pytest.raises(SecureAccessError):
+        regs.read("CNTPS_CTL_EL1", World.NORMAL)
+    with pytest.raises(SecureAccessError):
+        regs.write("CNTPS_CVAL_EL1", 5, World.NORMAL)
+
+
+def test_secure_register_accessible_from_secure_world(regs):
+    regs.write("CNTPS_CVAL_EL1", 123, World.SECURE)
+    assert regs.read("CNTPS_CVAL_EL1", World.SECURE) == 123
+
+
+def test_scr_el3_is_secure_only(regs):
+    with pytest.raises(SecureAccessError):
+        regs.read("SCR_EL3", World.NORMAL)
+    assert regs.read("SCR_EL3", World.SECURE) == 0b0010  # IRQ bit reset value
+
+
+def test_unknown_register_raises(regs):
+    with pytest.raises(HardwareError):
+        regs.read("NOT_A_REGISTER", World.SECURE)
+    with pytest.raises(HardwareError):
+        regs.write("NOT_A_REGISTER", 1, World.SECURE)
+    with pytest.raises(HardwareError):
+        regs.on_write("NOT_A_REGISTER", lambda v: None)
+
+
+def test_write_hook_fires_with_value(regs):
+    seen = []
+    regs.on_write("CNTPS_CTL_EL1", seen.append)
+    regs.write("CNTPS_CTL_EL1", 1, World.SECURE)
+    assert seen == [1]
+
+
+def test_write_hook_removable(regs):
+    seen = []
+    regs.on_write("CNTPS_CTL_EL1", seen.append)
+    regs.on_write("CNTPS_CTL_EL1", None)
+    regs.write("CNTPS_CTL_EL1", 1, World.SECURE)
+    assert seen == []
+
+
+def test_blocked_write_does_not_fire_hook(regs):
+    seen = []
+    regs.on_write("CNTPS_CTL_EL1", seen.append)
+    with pytest.raises(SecureAccessError):
+        regs.write("CNTPS_CTL_EL1", 1, World.NORMAL)
+    assert seen == []
+
+
+def test_peek_bypasses_world_checks(regs):
+    regs.write("CNTPS_CVAL_EL1", 99, World.SECURE)
+    assert regs.peek("CNTPS_CVAL_EL1") == 99
+
+
+def test_values_coerced_to_int(regs):
+    regs.write("VBAR_EL1", 7.0, World.NORMAL)
+    assert regs.read("VBAR_EL1", World.NORMAL) == 7

@@ -1,0 +1,92 @@
+"""Generic timer model tests: shared counter + secure timers."""
+
+import pytest
+
+from repro.errors import SecureAccessError
+from repro.hw.registers import RegisterFile
+from repro.hw.timer import SecureTimer, SystemCounter
+from repro.hw.world import World
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def parts():
+    sim = Simulator()
+    counter = SystemCounter(sim, 50_000_000)
+    regs = RegisterFile()
+    timer = SecureTimer(sim, counter, regs, core_index=0)
+    fired = []
+    timer.interrupt_sink = fired.append
+    return sim, counter, regs, timer, fired
+
+
+def test_counter_tracks_simulated_time(parts):
+    sim, counter, *_ = parts
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert counter.read_seconds() == 1.0
+    assert counter.read_ticks() == 50_000_000
+
+
+def test_ticks_for_rounds_up(parts):
+    _, counter, *_ = parts
+    assert counter.ticks_for(1.0) == 50_000_000
+    assert counter.ticks_for(1.00000001) == 50_000_001
+    assert counter.seconds_for(50_000_000) == 1.0
+
+
+def test_program_wakeup_fires_at_requested_time(parts):
+    sim, _, _, timer, fired = parts
+    timer.program_wakeup(0.5, World.SECURE)
+    sim.run()
+    assert fired == [0]
+    assert abs(sim.now - 0.5) < 1e-7
+    assert timer.fire_count == 1
+
+
+def test_normal_world_cannot_program_secure_timer(parts):
+    _, _, _, timer, _ = parts
+    with pytest.raises(SecureAccessError):
+        timer.program_wakeup(0.5, World.NORMAL)
+
+
+def test_stop_prevents_firing(parts):
+    sim, _, _, timer, fired = parts
+    timer.program_wakeup(0.5, World.SECURE)
+    timer.stop(World.SECURE)
+    sim.run(until=1.0)
+    assert fired == []
+    assert timer.next_fire_time() is None
+
+
+def test_reprogram_moves_the_fire_time(parts):
+    sim, _, _, timer, fired = parts
+    timer.program_wakeup(0.5, World.SECURE)
+    timer.program_wakeup(0.8, World.SECURE)
+    sim.run()
+    assert len(fired) == 1
+    assert abs(sim.now - 0.8) < 1e-7
+
+
+def test_next_fire_time_visible_to_simulator(parts):
+    _, _, _, timer, _ = parts
+    timer.program_wakeup(0.25, World.SECURE)
+    assert abs(timer.next_fire_time() - 0.25) < 1e-7
+
+
+def test_past_wakeup_clamps_to_now(parts):
+    sim, _, _, timer, fired = parts
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    timer.program_wakeup(0.1, World.SECURE)  # in the past
+    sim.run()
+    assert fired == [0]
+    assert sim.now >= 1.0
+
+
+def test_disable_via_register_write(parts):
+    sim, _, regs, timer, fired = parts
+    timer.program_wakeup(0.5, World.SECURE)
+    regs.write("CNTPS_CTL_EL1", 0, World.SECURE)
+    sim.run(until=1.0)
+    assert fired == []

@@ -1,0 +1,149 @@
+"""End-to-end integration scenarios: the paper's storyline, in order."""
+
+import pytest
+
+from repro.attacks.evader import TZEvader
+from repro.attacks.kprober2 import KProberII
+from repro.attacks.oracle import ProberAccelerationOracle
+from repro.attacks.rootkit import PersistentRootkit
+from repro.config import SatinConfig
+from repro.core.satin import Satin, install_satin
+from repro.errors import SecureAccessError
+from repro.hw.world import World
+from repro.kernel.syscalls import NR_GETTID
+from repro.secure.baseline import random_whole_kernel
+
+
+def test_act1_naive_rootkit_is_caught_by_any_introspection(fast_juno_stack):
+    """A rootkit with no evasion loses even to the whole-kernel baseline."""
+    machine, rich_os = fast_juno_stack
+    engine = random_whole_kernel(machine, rich_os, mean_period=0.5).install()
+    PersistentRootkit(machine, rich_os).install()
+    machine.run(until=4.0)
+    assert engine.detection_count >= 1
+
+
+def test_act2_tz_evader_defeats_whole_kernel_baseline(fast_juno_stack):
+    """With the prober, the same rootkit escapes the baseline forever."""
+    machine, rich_os = fast_juno_stack
+    engine = random_whole_kernel(machine, rich_os, mean_period=0.5).install()
+    prober = KProberII(
+        machine, rich_os, oracle=ProberAccelerationOracle(machine)
+    ).install()
+    rootkit = PersistentRootkit(machine, rich_os)
+    evader = TZEvader(machine, rich_os, rootkit, prober.controller).start()
+    machine.run(until=5.0)
+    assert engine.round_count >= 5
+    assert engine.detection_count == 0      # every scan came up clean
+    assert evader.hides_completed >= 5      # because it hid every time
+    assert rootkit.active or evader.state.value == "hiding"
+
+
+def test_act3_satin_defeats_tz_evader(fast_juno_stack):
+    """SATIN's small random areas win the race the baseline loses."""
+    machine, rich_os = fast_juno_stack
+    satin = install_satin(machine, rich_os)
+    prober = KProberII(
+        machine, rich_os, oracle=ProberAccelerationOracle(machine)
+    ).install()
+    rootkit = PersistentRootkit(machine, rich_os)
+    evader = TZEvader(machine, rich_os, rootkit, prober.controller).start()
+    while satin.full_passes < 1:
+        machine.run_for(satin.policy.tp)
+    trace_scans = satin.checker.results_for_area(14)
+    assert trace_scans and all(not s.match for s in trace_scans)
+    assert evader.hide_attempts > 0          # it raced, and lost
+    assert satin.detection_count == len(trace_scans)
+
+
+def test_secure_world_state_is_invisible_to_normal_world(fast_juno_stack):
+    """The attacker can never read SATIN's secrets directly."""
+    machine, rich_os = fast_juno_stack
+    satin = install_satin(machine, rich_os)
+    with pytest.raises(SecureAccessError):
+        machine.memory.read(satin.store.table_base, 8, World.NORMAL)
+    with pytest.raises(SecureAccessError):
+        machine.memory.read(satin.wakeup_queue.queue_base, 8, World.NORMAL)
+    with pytest.raises(SecureAccessError):
+        machine.core(0).registers.read("CNTPS_CVAL_EL1", World.NORMAL)
+
+
+def test_prober_is_reliable_under_cfs_load(fast_juno_stack):
+    """KProber-II keeps working when CFS tasks saturate every core."""
+    from repro.sim.process import cpu
+
+    machine, rich_os = fast_juno_stack
+    satin = install_satin(machine, rich_os)
+
+    def hog(task):
+        while machine.now < satin.policy.tp * 6:
+            yield cpu(1e-3)
+
+    for i in range(12):  # two CFS hogs per core
+        rich_os.spawn(f"hog-{i}", hog)
+    prober = KProberII(
+        machine, rich_os, oracle=ProberAccelerationOracle(machine)
+    ).install()
+    machine.run(until=satin.policy.tp * 5)
+    rounds = satin.round_count
+    assert rounds >= 3
+    assert len(prober.controller.detections) >= rounds - 1
+
+
+def test_alarm_listener_fires_immediately_on_detection(fast_juno_stack):
+    machine, rich_os = fast_juno_stack
+    satin = install_satin(machine, rich_os)
+    alarms_seen = []
+    satin.alarms.add_listener(lambda a: alarms_seen.append(machine.now))
+    rich_os.syscall_table.write_entry(NR_GETTID, 0xBAD, World.NORMAL)
+    while not alarms_seen:
+        machine.run_for(satin.policy.tp)
+    assert alarms_seen[0] <= machine.now
+
+
+def test_whole_system_determinism():
+    """Identical seeds produce identical campaigns."""
+    from tests.conftest import fast_juno_config
+    from repro.hw.platform import build_machine
+    from repro.kernel.os import boot_rich_os
+
+    def run():
+        machine = build_machine(fast_juno_config(seed=321))
+        rich_os = boot_rich_os(machine)
+        satin = install_satin(machine, rich_os)
+        prober = KProberII(
+            machine, rich_os, oracle=ProberAccelerationOracle(machine)
+        ).install()
+        rootkit = PersistentRootkit(machine, rich_os)
+        TZEvader(machine, rich_os, rootkit, prober.controller).start()
+        machine.run(until=19 * 0.5 * 2)
+        return (
+            satin.round_count,
+            [round(r.start_time, 9) for r in satin.checker.results],
+            [round(d.time, 9) for d in prober.controller.detections],
+            rootkit.hide_count,
+        )
+
+    assert run() == run()
+
+
+def test_transplanted_config_generic_eight_core():
+    """Portability (Section VII-D): SATIN runs on a non-Juno topology."""
+    from repro.config import ClusterConfig, MachineConfig, a57_timing, KernelConfig
+    from repro.hw.platform import build_machine
+    from repro.kernel.os import boot_rich_os
+    from tests.conftest import SMALL_KERNEL_SIZE
+
+    config = MachineConfig(
+        clusters=[ClusterConfig("octa", 8, a57_timing())],
+        kernel=KernelConfig(image_size=SMALL_KERNEL_SIZE),
+        satin=SatinConfig(tgoal=19 * 0.25),
+        seed=5,
+    )
+    machine = build_machine(config)
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    machine.run(until=19 * 0.25 * 2)
+    assert satin.round_count >= 19
+    cores_used = {r.core_index for r in satin.checker.results}
+    assert len(cores_used) >= 5  # spreads over the 8 cores

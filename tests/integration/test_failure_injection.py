@@ -1,0 +1,89 @@
+"""Failure-injection property tests.
+
+Byte corruption *anywhere* in the static kernel must be caught within one
+full SATIN pass, regardless of position, size, or which bytes changed —
+the completeness property of the divide-and-conquer partition.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.areas import area_containing
+from repro.core.satin import install_satin
+from repro.hw.platform import build_machine
+from repro.hw.world import World
+from repro.kernel.os import boot_rich_os
+from tests.conftest import small_config
+
+
+def _fresh_stack(seed):
+    machine = build_machine(small_config(seed=seed))
+    rich_os = boot_rich_os(machine)
+    return machine, rich_os
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    offset_fraction=st.floats(min_value=0.0, max_value=0.999999),
+    length=st.integers(min_value=1, max_value=64),
+    xor_mask=st.integers(min_value=1, max_value=255),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_any_corruption_is_detected_within_one_pass(
+    offset_fraction, length, xor_mask, seed
+):
+    machine, rich_os = _fresh_stack(seed)
+    satin = install_satin(machine, rich_os)
+    offset = min(
+        int(offset_fraction * rich_os.image.size),
+        rich_os.image.size - length,
+    )
+    original = rich_os.image.read(offset, length, World.NORMAL)
+    corrupted = bytes(b ^ xor_mask for b in original)
+    rich_os.image.write(offset, corrupted, World.NORMAL)
+
+    expected_area = area_containing(satin.areas, offset)
+    passes_before = satin.full_passes
+    while satin.full_passes < passes_before + 1:
+        machine.run_for(satin.policy.tp)
+    alarmed = {a.area_index for a in satin.alarms.alarms}
+    assert expected_area.index in alarmed
+    # A corruption crossing an area boundary must alarm both areas.
+    end_area = area_containing(satin.areas, offset + length - 1)
+    assert end_area.index in alarmed
+
+
+def test_corruption_then_repair_between_passes_goes_unseen():
+    """The flip side: fixed before any scan touches it = no alarm.
+
+    (This is precisely the attacker's goal; SATIN's guarantee is about
+    the *race* once a scan has started, not about changes fully reverted
+    between rounds.)
+    """
+    machine, rich_os = _fresh_stack(7)
+    satin = install_satin(machine, rich_os)
+    # Corrupt and repair instantly while no scan is running.
+    original = rich_os.image.read(1000, 4, World.NORMAL)
+    rich_os.image.write(1000, b"\xff\xff\xff\xff", World.NORMAL)
+    rich_os.image.write(1000, original, World.NORMAL)
+    while satin.full_passes < 1:
+        machine.run_for(satin.policy.tp)
+    assert satin.detection_count == 0
+
+
+def test_multiple_simultaneous_corruptions_all_found():
+    machine, rich_os = _fresh_stack(13)
+    satin = install_satin(machine, rich_os)
+    targets = [100, rich_os.image.size // 3, rich_os.image.size - 50]
+    expected = set()
+    for offset in targets:
+        rich_os.image.write(offset, b"\xaa\xbb", World.NORMAL)
+        expected.add(area_containing(satin.areas, offset).index)
+    while satin.full_passes < 1:
+        machine.run_for(satin.policy.tp)
+    alarmed = {a.area_index for a in satin.alarms.alarms}
+    assert expected <= alarmed

@@ -1,0 +1,71 @@
+"""Kernel image tests."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.errors import MemoryAccessError
+from repro.hw.memory import PhysicalMemory
+from repro.hw.world import World
+from repro.kernel.image import KernelImage
+from tests.conftest import SMALL_KERNEL_SIZE
+
+
+@pytest.fixture
+def image():
+    memory = PhysicalMemory()
+    memory.add_region("dram", 0x8000_0000, 32 * 1024 * 1024)
+    config = KernelConfig(image_size=SMALL_KERNEL_SIZE)
+    return KernelImage(memory, config)
+
+
+def test_content_is_deterministic(image):
+    memory2 = PhysicalMemory()
+    memory2.add_region("dram", 0x8000_0000, 32 * 1024 * 1024)
+    image2 = KernelImage(memory2, KernelConfig(image_size=SMALL_KERNEL_SIZE))
+    assert image.read(0, 4096, World.NORMAL) == image2.read(0, 4096, World.NORMAL)
+
+
+def test_different_seed_changes_content():
+    memory = PhysicalMemory()
+    memory.add_region("dram", 0x8000_0000, 32 * 1024 * 1024)
+    other = KernelImage(
+        memory, KernelConfig(image_size=SMALL_KERNEL_SIZE, image_seed=7)
+    )
+    memory2 = PhysicalMemory()
+    memory2.add_region("dram", 0x8000_0000, 32 * 1024 * 1024)
+    default = KernelImage(memory2, KernelConfig(image_size=SMALL_KERNEL_SIZE))
+    assert other.read(0, 1024, World.NORMAL) != default.read(0, 1024, World.NORMAL)
+
+
+def test_addr_offset_roundtrip(image):
+    addr = image.addr_of(1234)
+    assert image.offset_of(addr) == 1234
+
+
+def test_symbol_addr(image):
+    sym = image.system_map.symbol("sys_call_table")
+    assert image.symbol_addr("sys_call_table") == image.base + sym
+
+
+def test_write_visible_to_both_worlds(image):
+    image.write(100, b"evil", World.NORMAL)
+    assert image.read(100, 4, World.SECURE) == b"evil"
+
+
+def test_view_matches_read(image):
+    view = image.view(0, 512, World.SECURE)
+    assert bytes(view) == image.read(0, 512, World.NORMAL)
+
+
+def test_section_lookup(image):
+    section = image.section_at(0)
+    assert section.index == 0
+
+
+def test_read_past_dram_raises(image):
+    with pytest.raises(MemoryAccessError):
+        image.read(64 * 1024 * 1024, 8, World.NORMAL)
+
+
+def test_size_matches_config(image):
+    assert image.size == SMALL_KERNEL_SIZE

@@ -1,0 +1,98 @@
+"""Loaded-module list tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.modules import LIST_END, ModuleList
+
+
+@pytest.fixture
+def modules(rich_os):
+    return ModuleList(rich_os.image)
+
+
+def test_empty_list(modules):
+    assert modules.read_head() == LIST_END
+    assert modules.walk_list() == []
+    assert modules.scan_slab() == []
+
+
+def test_load_pushes_to_head(modules):
+    modules.load("alpha")
+    modules.load("beta")
+    names = [r.name for r in modules.walk_list()]
+    assert names == ["beta", "alpha"]
+
+
+def test_load_allocates_slots(modules):
+    a = modules.load("alpha")
+    b = modules.load("beta")
+    assert a.slot != b.slot
+    assert a.live and b.live
+
+
+def test_scan_matches_walk_for_honest_kernel(modules):
+    for name in ("a", "b", "c"):
+        modules.load(name)
+    walked = {r.offset for r in modules.walk_list()}
+    scanned = {r.offset for r in modules.scan_slab()}
+    assert walked == scanned
+
+
+def test_unload_unlinks_and_frees(modules):
+    modules.load("alpha")
+    modules.load("beta")
+    modules.unload("alpha")
+    assert [r.name for r in modules.walk_list()] == ["beta"]
+    assert [r.name for r in modules.scan_slab()] == ["beta"]  # slot freed
+
+
+def test_unload_head(modules):
+    modules.load("alpha")
+    modules.load("beta")
+    modules.unload("beta")
+    assert [r.name for r in modules.walk_list()] == ["alpha"]
+
+
+def test_unload_missing_raises(modules):
+    with pytest.raises(KernelError):
+        modules.unload("ghost")
+
+
+def test_slot_reuse_after_unload(modules):
+    first = modules.load("alpha")
+    modules.unload("alpha")
+    second = modules.load("beta")
+    assert second.slot == first.slot
+
+
+def test_capacity_exhaustion():
+    pass  # covered indirectly; explicit version below
+
+
+def test_capacity_enforced(rich_os):
+    modules = ModuleList(rich_os.image, capacity=2)
+    modules.load("a")
+    modules.load("b")
+    with pytest.raises(KernelError):
+        modules.load("c")
+
+
+def test_long_name_rejected(modules):
+    with pytest.raises(KernelError):
+        modules.load("x" * 16)
+
+
+def test_cycle_detection(modules):
+    record = modules.load("alpha")
+    # Corrupt: point the record at itself.
+    modules._write_record(record.slot, "alpha", record.offset, record.flags,
+                          World.NORMAL)
+    with pytest.raises(KernelError):
+        modules.walk_list()
+
+
+def test_records_visible_to_secure_world(modules):
+    modules.load("alpha")
+    assert [r.name for r in modules.walk_list(World.SECURE)] == ["alpha"]

@@ -1,0 +1,90 @@
+"""RichOS facade tests."""
+
+from repro.hw.world import World
+from repro.kernel.syscalls import NR_GETTID
+from repro.kernel.threads import FIFO_PRIORITY_MAX, SchedPolicy
+
+
+def _empty_body(task):
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+def test_boot_installs_tables(rich_os):
+    assert rich_os.kernel_size == rich_os.image.size
+    assert rich_os.syscall_table.read_entry(0, World.NORMAL) != 0
+    assert rich_os.vector_table.read_entry(0, World.NORMAL) != 0
+
+
+def test_spawn_default_policy(stack):
+    machine, rich_os = stack
+    task = rich_os.spawn("t", _empty_body)
+    assert task.policy is SchedPolicy.CFS
+
+
+def test_spawn_realtime_policy_and_priority(rich_os):
+    task = rich_os.spawn_realtime("rt", _empty_body)
+    assert task.policy is SchedPolicy.FIFO
+    assert task.priority == FIFO_PRIORITY_MAX == 99
+
+
+def test_syscall_returns_tid_and_charges_time(stack):
+    machine, rich_os = stack
+    results = []
+
+    def caller(task):
+        start = machine.now
+        tid = yield from rich_os.syscall(task, NR_GETTID)
+        results.append((tid, machine.now - start))
+
+    task = rich_os.spawn("caller", caller)
+    machine.run(until=0.1)
+    tid, elapsed = results[0]
+    assert tid == task.tid
+    assert elapsed > 0  # the syscall cost was charged
+
+
+def test_hijacked_syscall_routes_to_interceptor(stack):
+    machine, rich_os = stack
+    captured = []
+    evil = 0xDEAD0000
+    rich_os.register_syscall_interceptor(evil, lambda task, nr: captured.append(nr))
+    rich_os.syscall_table.write_entry(NR_GETTID, evil, World.NORMAL)
+
+    def caller(task):
+        yield from rich_os.syscall(task, NR_GETTID)
+
+    rich_os.spawn("caller", caller)
+    machine.run(until=0.1)
+    assert captured == [NR_GETTID]
+    assert rich_os.intercepted_syscalls == 1
+
+
+def test_restored_syscall_stops_interception(stack):
+    machine, rich_os = stack
+    captured = []
+    evil = 0xDEAD0000
+    rich_os.register_syscall_interceptor(evil, lambda task, nr: captured.append(nr))
+    table = rich_os.syscall_table
+    table.write_entry(NR_GETTID, evil, World.NORMAL)
+    table.write_entry(NR_GETTID, table.original_entry(NR_GETTID), World.NORMAL)
+
+    def caller(task):
+        yield from rich_os.syscall(task, NR_GETTID)
+
+    rich_os.spawn("caller", caller)
+    machine.run(until=0.1)
+    assert captured == []
+    assert rich_os.syscall_count == 1
+
+
+def test_syscall_counters(stack):
+    machine, rich_os = stack
+
+    def caller(task):
+        for _ in range(5):
+            yield from rich_os.syscall(task, NR_GETTID)
+
+    rich_os.spawn("caller", caller)
+    machine.run(until=0.1)
+    assert rich_os.syscall_count == 5

@@ -1,0 +1,89 @@
+"""Page table / protected write path tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.paging import (
+    PAGE_SIZE,
+    PTE_WRITABLE,
+    PageTable,
+    ProtectedKernelMemory,
+)
+
+
+@pytest.fixture
+def table(rich_os):
+    return PageTable(rich_os.image)
+
+
+def test_page_count_covers_image(table, rich_os):
+    assert table.page_count * PAGE_SIZE >= rich_os.image.size
+    assert (table.page_count - 1) * PAGE_SIZE < rich_os.image.size
+
+
+def test_all_pages_writable_by_default(table):
+    for page in (0, table.page_count // 2, table.page_count - 1):
+        assert table.is_writable(page)
+
+
+def test_page_of(table):
+    assert table.page_of(0) == 0
+    assert table.page_of(PAGE_SIZE) == 1
+    assert table.page_of(PAGE_SIZE - 1) == 0
+    with pytest.raises(KernelError):
+        table.page_of(-1)
+
+
+def test_pte_offset_bounds(table):
+    with pytest.raises(KernelError):
+        table.pte_offset(table.page_count)
+
+
+def test_set_writable_roundtrip(table):
+    table.set_writable(5, False, World.SECURE)
+    assert not table.is_writable(5)
+    table.set_writable(5, True, World.SECURE)
+    assert table.is_writable(5)
+
+
+def test_protect_range_covers_straddling_pages(table):
+    pages = table.protect_range(PAGE_SIZE - 10, 20, World.SECURE)
+    assert pages == [0, 1]
+    assert not table.is_writable(0) and not table.is_writable(1)
+
+
+def test_ptes_live_inside_kernel_data(table, rich_os):
+    """The crux of the bypass: the PTEs are ordinary kernel bytes."""
+    section = rich_os.image.section_at(table.pte_offset(0))
+    assert section.name == ".data"
+
+
+def test_protected_memory_allows_writable_pages(rich_os, table):
+    mem = ProtectedKernelMemory(rich_os.image, table)
+    assert mem.write(100, b"ok", World.NORMAL)
+    assert rich_os.image.read(100, 2, World.NORMAL) == b"ok"
+
+
+def test_protected_memory_blocks_readonly_pages(rich_os, table):
+    mem = ProtectedKernelMemory(rich_os.image, table)
+    before = rich_os.image.read(100, 4, World.NORMAL)
+    table.set_writable(0, False, World.SECURE)
+    assert not mem.write(100, b"nope", World.NORMAL)
+    assert rich_os.image.read(100, 4, World.NORMAL) == before
+    assert mem.blocked_writes == 1
+
+
+def test_secure_world_bypasses_protection(rich_os, table):
+    mem = ProtectedKernelMemory(rich_os.image, table)
+    table.set_writable(0, False, World.SECURE)
+    assert mem.write(100, b"sw", World.SECURE)
+
+
+def test_mediator_can_allow(rich_os, table):
+    mem = ProtectedKernelMemory(rich_os.image, table)
+    table.set_writable(0, False, World.SECURE)
+    mem.mediator = lambda page, offset, data: True
+    assert mem.write(100, b"yes", World.NORMAL)
+    assert mem.mediated_writes == 1
+    assert mem.blocked_writes == 0

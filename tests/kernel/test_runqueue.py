@@ -1,0 +1,110 @@
+"""Run queue data structure tests."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernel.sched.runqueue import CoreRunQueue
+from repro.kernel.threads import SchedPolicy, Task
+
+
+def make_task(name, policy=SchedPolicy.CFS, priority=0, vruntime=0.0):
+    task = Task(name, lambda t: iter(()), policy=policy, priority=priority)
+    task.vruntime = vruntime
+    return task
+
+
+def test_fifo_before_cfs():
+    rq = CoreRunQueue(0)
+    cfs = make_task("cfs")
+    fifo = make_task("fifo", SchedPolicy.FIFO, priority=1)
+    rq.enqueue(cfs)
+    rq.enqueue(fifo)
+    assert rq.pick_next() is fifo
+    assert rq.pick_next() is cfs
+
+
+def test_fifo_highest_priority_wins():
+    rq = CoreRunQueue(0)
+    low = make_task("low", SchedPolicy.FIFO, priority=10)
+    high = make_task("high", SchedPolicy.FIFO, priority=90)
+    rq.enqueue(low)
+    rq.enqueue(high)
+    assert rq.pick_next() is high
+
+
+def test_fifo_same_priority_is_fifo_order():
+    rq = CoreRunQueue(0)
+    first = make_task("first", SchedPolicy.FIFO, priority=50)
+    second = make_task("second", SchedPolicy.FIFO, priority=50)
+    rq.enqueue(first)
+    rq.enqueue(second)
+    assert rq.pick_next() is first
+
+
+def test_cfs_smallest_vruntime_wins():
+    rq = CoreRunQueue(0)
+    behind = make_task("behind", vruntime=1.0)
+    ahead = make_task("ahead", vruntime=2.0)
+    rq.enqueue(ahead)
+    rq.enqueue(behind)
+    assert rq.pick_next() is behind
+
+
+def test_cfs_clock_floors_new_vruntime():
+    rq = CoreRunQueue(0)
+    rq.cfs_clock = 5.0
+    stale = make_task("stale", vruntime=0.0)
+    rq.enqueue(stale)
+    assert stale.vruntime == 5.0
+
+
+def test_double_enqueue_rejected():
+    rq = CoreRunQueue(0)
+    task = make_task("t")
+    rq.enqueue(task)
+    with pytest.raises(SchedulingError):
+        rq.enqueue(task)
+
+
+def test_enqueue_current_rejected():
+    rq = CoreRunQueue(0)
+    task = make_task("t")
+    rq.current = task
+    with pytest.raises(SchedulingError):
+        rq.enqueue(task)
+
+
+def test_remove():
+    rq = CoreRunQueue(0)
+    a, b = make_task("a"), make_task("b", SchedPolicy.FIFO, priority=1)
+    rq.enqueue(a)
+    rq.enqueue(b)
+    rq.remove(a)
+    rq.remove(b)
+    assert rq.pick_next() is None
+
+
+def test_load_and_busy():
+    rq = CoreRunQueue(0)
+    assert not rq.busy and rq.load == 0
+    task = make_task("t")
+    rq.enqueue(task)
+    assert rq.busy and rq.load == 1
+    rq.pick_next()
+    rq.current = task
+    assert rq.busy and rq.load == 1
+
+
+def test_max_fifo_priority():
+    rq = CoreRunQueue(0)
+    assert rq.max_fifo_priority() is None
+    rq.enqueue(make_task("a", SchedPolicy.FIFO, priority=3))
+    rq.enqueue(make_task("b", SchedPolicy.FIFO, priority=7))
+    assert rq.max_fifo_priority() == 7
+
+
+def test_enqueue_sets_core_index():
+    rq = CoreRunQueue(4)
+    task = make_task("t")
+    rq.enqueue(task)
+    assert task.core_index == 4

@@ -1,0 +1,118 @@
+"""Scheduler stress/property tests: invariants under random task mixes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hw.platform import build_machine
+from repro.kernel.os import boot_rich_os
+from repro.kernel.threads import SchedPolicy, TaskState, pin_to
+from repro.sim.process import cpu, sleep
+from tests.conftest import small_config
+
+task_spec = st.tuples(
+    st.sampled_from(["cfs", "fifo"]),
+    st.integers(min_value=0, max_value=5),        # core (pinned) or 6=free
+    st.floats(min_value=1e-4, max_value=5e-3),    # cpu per step
+    st.integers(min_value=1, max_value=6),        # steps
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(specs=st.lists(task_spec, min_size=1, max_size=10),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_random_task_mixes_complete_with_exact_accounting(specs, seed):
+    machine = build_machine(small_config(seed=seed))
+    rich_os = boot_rich_os(machine)
+    tasks = []
+    for i, (policy, core, step_cpu, steps) in enumerate(specs):
+        def body(task, _cpu=step_cpu, _steps=steps):
+            for _ in range(_steps):
+                yield cpu(_cpu)
+                yield sleep(1e-4)
+
+        affinity = pin_to(core) if core < 6 else None
+        if policy == "fifo":
+            task = rich_os.spawn_realtime(f"t{i}", body, priority=50,
+                                          affinity=affinity)
+        else:
+            task = rich_os.spawn(f"t{i}", body, affinity=affinity)
+        tasks.append((task, step_cpu * steps))
+
+    machine.run(until=10.0)
+    for task, expected_cpu in tasks:
+        assert task.state is TaskState.EXITED
+        assert task.total_cpu == pytest.approx(expected_cpu, rel=1e-6)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_one_task_per_core_at_any_instant(seed):
+    """Sampling invariant: a core never runs two tasks at once."""
+    machine = build_machine(small_config(seed=seed))
+    rich_os = boot_rich_os(machine)
+    running_states = []
+
+    def spawn_all():
+        for i in range(10):
+            def body(task):
+                for _ in range(20):
+                    yield cpu(5e-4)
+
+            rich_os.spawn(f"w{i}", body)
+
+    spawn_all()
+
+    def sample():
+        sched = rich_os.scheduler
+        currents = [
+            rq.current for rq in sched.run_queues if rq.current is not None
+        ]
+        running_states.append(len(set(id(t) for t in currents)) == len(currents))
+        # every RUNNING task is some queue's current
+        running = [t for t in sched.tasks if t.state is TaskState.RUNNING]
+        running_states.append(
+            all(any(rq.current is t for rq in sched.run_queues) for t in running)
+        )
+
+    for k in range(20):
+        machine.sim.schedule(1e-3 * (k + 1), sample)
+    machine.run(until=0.5)
+    assert all(running_states)
+
+
+def test_hundred_tasks_drain(stack):
+    machine, rich_os = stack
+    done = []
+
+    def body(task):
+        yield cpu(2e-4)
+        done.append(task.tid)
+
+    for i in range(100):
+        rich_os.spawn(f"burst-{i}", body)
+    machine.run(until=2.0)
+    assert len(done) == 100
+
+
+def test_fifo_starves_cfs_until_it_sleeps(stack):
+    """SCHED_FIFO semantics: a spinning RT task monopolises its core."""
+    machine, rich_os = stack
+    cfs_progress = []
+
+    def cfs_body(task):
+        yield cpu(1e-3)
+        cfs_progress.append(machine.now)
+
+    def rt_body(task):
+        yield cpu(0.05)  # solid RT burn, no sleeping
+
+    rich_os.spawn_realtime("rt", rt_body, affinity=pin_to(0))
+    machine.run(until=1e-3)
+    rich_os.spawn("cfs", cfs_body, affinity=pin_to(0))
+    machine.run(until=0.2)
+    assert cfs_progress and cfs_progress[0] > 0.05

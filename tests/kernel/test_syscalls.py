@@ -1,0 +1,55 @@
+"""System call table tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.syscalls import (
+    NR_GETTID,
+    SYSCALL_COUNT,
+    default_handler_addr,
+)
+
+
+def test_defaults_installed(rich_os):
+    table = rich_os.syscall_table
+    assert table.read_entry(0, World.NORMAL) == default_handler_addr(0)
+    assert table.read_entry(NR_GETTID, World.NORMAL) == default_handler_addr(NR_GETTID)
+
+
+def test_entry_offsets_are_8_bytes_apart(rich_os):
+    table = rich_os.syscall_table
+    assert table.entry_offset(1) - table.entry_offset(0) == 8
+
+
+def test_table_lives_in_area_14(rich_os):
+    assert rich_os.syscall_table.section_index == 14
+
+
+def test_hijack_and_detection(rich_os):
+    table = rich_os.syscall_table
+    assert not table.is_hijacked(NR_GETTID)
+    table.write_entry(NR_GETTID, 0xDEAD, World.NORMAL)
+    assert table.is_hijacked(NR_GETTID)
+    assert table.read_entry(NR_GETTID, World.SECURE) == 0xDEAD
+    table.write_entry(NR_GETTID, table.original_entry(NR_GETTID), World.NORMAL)
+    assert not table.is_hijacked(NR_GETTID)
+
+
+def test_out_of_range_syscall(rich_os):
+    table = rich_os.syscall_table
+    with pytest.raises(KernelError):
+        table.entry_offset(-1)
+    with pytest.raises(KernelError):
+        table.entry_offset(SYSCALL_COUNT)
+
+
+def test_entry_addr_physical(rich_os):
+    table = rich_os.syscall_table
+    assert table.entry_addr(0) == rich_os.image.addr_of(table.table_offset)
+
+
+def test_original_entries_preserved(rich_os):
+    table = rich_os.syscall_table
+    for nr in (0, 63, NR_GETTID, SYSCALL_COUNT - 1):
+        assert table.original_entry(nr) == default_handler_addr(nr)

@@ -1,0 +1,108 @@
+"""Synthetic System.map tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    PAPER_AREA_COUNT,
+    PAPER_KERNEL_SIZE,
+    PAPER_LARGEST_AREA,
+    PAPER_SMALLEST_AREA,
+)
+from repro.errors import KernelError
+from repro.kernel.systemmap import (
+    SYSCALL_SECTION_INDEX,
+    VECTOR_SECTION_INDEX,
+    SystemMap,
+    synthesize_section_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def system_map():
+    return SystemMap()
+
+
+def test_paper_constraints(system_map):
+    sizes = [s.size for s in system_map]
+    assert len(sizes) == PAPER_AREA_COUNT == 19
+    assert sum(sizes) == PAPER_KERNEL_SIZE == 11_916_240
+    assert max(sizes) == PAPER_LARGEST_AREA == 876_616
+    assert min(sizes) == PAPER_SMALLEST_AREA == 431_360
+
+
+def test_sections_are_contiguous(system_map):
+    cursor = 0
+    for section in system_map:
+        assert section.offset == cursor
+        cursor = section.end
+    assert cursor == system_map.total_size
+
+
+def test_section_at_every_boundary(system_map):
+    for section in system_map:
+        assert system_map.section_at(section.offset) is section
+        assert system_map.section_at(section.end - 1) is section
+
+
+def test_section_at_out_of_range(system_map):
+    with pytest.raises(KernelError):
+        system_map.section_at(-1)
+    with pytest.raises(KernelError):
+        system_map.section_at(system_map.total_size)
+
+
+def test_syscall_table_in_area_14(system_map):
+    offset = system_map.symbol("sys_call_table")
+    assert system_map.section_at(offset).index == SYSCALL_SECTION_INDEX == 14
+
+
+def test_vectors_in_vector_section(system_map):
+    offset = system_map.symbol("vectors")
+    assert system_map.section_at(offset).index == VECTOR_SECTION_INDEX
+
+
+def test_symbols(system_map):
+    assert system_map.symbol("_text") == 0
+    assert system_map.symbol("_end") == system_map.total_size
+    with pytest.raises(KernelError):
+        system_map.symbol("not_a_symbol")
+
+
+def test_section_by_name(system_map):
+    assert system_map.section_by_name(".text").index == 1
+    with pytest.raises(KernelError):
+        system_map.section_by_name(".missing")
+
+
+def test_deterministic():
+    a = SystemMap()
+    b = SystemMap()
+    assert [s.size for s in a] == [s.size for s in b]
+
+
+def test_sizes_are_8_byte_friendly(system_map):
+    # Interior sections are 8-byte aligned by construction except the
+    # residue carrier; the sum is exact regardless.
+    assert sum(s.size for s in system_map) == PAPER_KERNEL_SIZE
+
+
+def test_bad_count_rejected():
+    with pytest.raises(KernelError):
+        synthesize_section_sizes(count=7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.integers(min_value=2, max_value=40))
+def test_scaled_maps_keep_shape(scale):
+    total = PAPER_KERNEL_SIZE // scale
+    sm = SystemMap(total=total)
+    sizes = [s.size for s in sm]
+    assert sum(sizes) == total
+    assert len(sizes) == 19
+    # The syscall/vector tables still fit inside their sections.
+    sys_off = sm.symbol("sys_call_table")
+    assert sm.section_at(sys_off).index == 14
+    assert sys_off + 440 * 8 <= sm.section_at(sys_off).end
+    vec_off = sm.symbol("vectors")
+    assert vec_off + 16 * 8 <= sm.section_at(vec_off).end

@@ -1,0 +1,93 @@
+"""Timer tick (HZ / NO_HZ_IDLE) tests."""
+
+from repro.kernel.threads import pin_to
+from repro.sim.process import cpu
+
+
+def test_no_ticks_while_idle(stack):
+    machine, rich_os = stack
+    machine.run(until=0.5)
+    assert rich_os.ticks.tick_count == 0
+
+
+def test_ticks_at_hz_while_busy(stack):
+    machine, rich_os = stack
+
+    def hog(task):
+        while machine.now < 0.5:
+            yield cpu(1e-3)
+
+    rich_os.spawn("hog", hog, affinity=pin_to(0))
+    machine.run(until=0.5)
+    hz = machine.config.kernel.hz
+    expected = 0.5 * hz
+    assert 0.8 * expected <= rich_os.ticks.tick_count <= 1.2 * expected
+
+
+def test_ticks_stop_when_work_drains(stack):
+    machine, rich_os = stack
+
+    def brief(task):
+        yield cpu(0.01)
+
+    rich_os.spawn("brief", brief, affinity=pin_to(0))
+    machine.run(until=0.02)
+    count_after_work = rich_os.ticks.tick_count
+    machine.run(until=1.0)
+    # At most one residual armed tick fires after going idle.
+    assert rich_os.ticks.tick_count <= count_after_work + 1
+
+
+def test_tick_hook_runs_and_uninstalls(stack):
+    machine, rich_os = stack
+    hits = []
+
+    def hook(core):
+        hits.append(core.index)
+        return 1e-6
+
+    uninstall = rich_os.ticks.add_tick_hook(hook)
+
+    def hog(task):
+        while machine.now < 0.2:
+            yield cpu(1e-3)
+
+    rich_os.spawn("hog", hog, affinity=pin_to(1))
+    machine.run(until=0.1)
+    assert hits and all(h == 1 for h in hits)
+    seen = len(hits)
+    uninstall()
+    machine.run(until=0.2)
+    assert len(hits) == seen
+
+
+def test_ticks_pend_and_coalesce_during_secure_world(stack):
+    machine, rich_os = stack
+
+    def hog(task):
+        while machine.now < 0.5:
+            yield cpu(1e-3)
+
+    rich_os.spawn("hog", hog, affinity=pin_to(0))
+    machine.run(until=0.1)
+
+    def payload(core):
+        machine.gic.set_ns_blocked(core.index, True)
+        yield cpu(0.1)  # many tick periods
+        machine.gic.set_ns_blocked(core.index, False)
+
+    before = rich_os.ticks.tick_count
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.run(until=0.195)  # still inside the secure round
+    assert rich_os.ticks.tick_count == before  # all ticks pended
+    machine.run(until=0.5)
+    # The ~25 pended tick periods coalesced into one delivery, then
+    # regular ticking resumed.
+    assert rich_os.ticks.tick_count > before + 10
+
+
+def test_tick_phases_staggered_across_cores(stack):
+    machine, rich_os = stack
+    mgr = rich_os.ticks
+    phases = set(mgr._phase.values())
+    assert len(phases) == len(machine.cores)

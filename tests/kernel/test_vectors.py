@@ -1,0 +1,50 @@
+"""Exception vector table tests."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.world import World
+from repro.kernel.vectors import (
+    IRQ_VECTOR_INDEX,
+    VECTOR_NAMES,
+    default_vector_addr,
+)
+
+
+def test_defaults_installed(rich_os):
+    vectors = rich_os.vector_table
+    for index in range(len(VECTOR_NAMES)):
+        assert vectors.read_entry(index, World.NORMAL) == default_vector_addr(index)
+
+
+def test_irq_vector_index_is_lower_el_a64_irq():
+    assert VECTOR_NAMES[IRQ_VECTOR_INDEX] == "lower_el_a64_irq"
+
+
+def test_hijack_roundtrip(rich_os):
+    vectors = rich_os.vector_table
+    vectors.write_entry(IRQ_VECTOR_INDEX, 0xBAD, World.NORMAL)
+    assert vectors.is_hijacked(IRQ_VECTOR_INDEX)
+    vectors.write_entry(
+        IRQ_VECTOR_INDEX, vectors.original_entry(IRQ_VECTOR_INDEX), World.NORMAL
+    )
+    assert not vectors.is_hijacked(IRQ_VECTOR_INDEX)
+
+
+def test_vbar_points_to_table(rich_os):
+    vectors = rich_os.vector_table
+    assert vectors.vbar_value == rich_os.image.addr_of(vectors.table_offset)
+    # Every core's VBAR_EL1 was set at boot.
+    for core in rich_os.machine.cores:
+        assert core.registers.read("VBAR_EL1", World.NORMAL) == vectors.vbar_value
+
+
+def test_vector_section_differs_from_syscall_section(rich_os):
+    assert rich_os.vector_table.section_index != rich_os.syscall_table.section_index
+
+
+def test_out_of_range_vector(rich_os):
+    with pytest.raises(KernelError):
+        rich_os.vector_table.entry_offset(16)
+    with pytest.raises(KernelError):
+        rich_os.vector_table.entry_offset(-1)

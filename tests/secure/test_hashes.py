@@ -1,0 +1,88 @@
+"""Hash function tests: vectorised fast paths vs references."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secure.hashes import (
+    Djb2,
+    Sdbm,
+    djb2,
+    djb2_reference,
+    fnv1a,
+    sdbm,
+    sdbm_reference,
+)
+
+
+def test_djb2_known_values():
+    # h = 5381; empty input leaves it untouched.
+    assert djb2(b"") == 5381
+    assert djb2(b"a") == (5381 * 33 + ord("a")) & ((1 << 64) - 1)
+
+
+def test_djb2_matches_reference_basic():
+    data = bytes(range(256)) * 10
+    assert djb2(data) == djb2_reference(data)
+
+
+def test_sdbm_matches_reference_basic():
+    data = bytes(range(256)) * 10
+    assert sdbm(data) == sdbm_reference(data)
+
+
+def test_djb2_crosses_table_boundary():
+    data = b"\xab" * ((1 << 16) + 17)
+    assert djb2(data) == djb2_reference(data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=4096))
+def test_djb2_property_vs_reference(data):
+    assert djb2(data) == djb2_reference(data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=2048))
+def test_sdbm_property_vs_reference(data):
+    assert sdbm(data) == sdbm_reference(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=2048), st.integers(min_value=1, max_value=500))
+def test_incremental_equals_oneshot(data, split):
+    split = min(split, len(data))
+    hasher = Djb2()
+    hasher.update(data[:split])
+    hasher.update(data[split:])
+    assert hasher.digest() == djb2(data)
+
+
+def test_incremental_sdbm():
+    hasher = Sdbm()
+    hasher.update(b"hello ")
+    hasher.update(b"world")
+    assert hasher.digest() == sdbm(b"hello world")
+
+
+def test_single_byte_change_changes_digest():
+    data = bytearray(b"\x00" * 1000)
+    before = djb2(data)
+    data[500] ^= 1
+    assert djb2(data) != before
+
+
+def test_memoryview_input():
+    data = bytearray(b"some kernel bytes")
+    assert djb2(memoryview(data)) == djb2(bytes(data))
+
+
+def test_fnv1a_known_vectors():
+    # Official FNV-1a 64 test vectors.
+    assert fnv1a(b"") == 0xCBF29CE484222325
+    assert fnv1a(b"a") == 0xAF63DC4C8601EC8C
+    assert fnv1a(b"foobar") == 0x85944171F73967E8
+
+
+def test_hashes_differ_from_each_other():
+    data = b"collision check"
+    assert len({djb2(data), sdbm(data), fnv1a(data)}) == 3

@@ -1,0 +1,111 @@
+"""Edge cases for the secure world: scans, monitor, semantic checker."""
+
+import pytest
+
+from repro.hw.world import World
+from repro.secure.hashes import djb2
+from repro.secure.introspect import scan_area
+from repro.sim.process import cpu
+
+
+def test_scan_chunk_larger_than_length(stack):
+    """A chunk size above the area length degenerates to one read."""
+    machine, rich_os = stack
+    expected = djb2(rich_os.image.read(0, 100, World.SECURE))
+    digests = []
+
+    def payload(core):
+        digest = yield from scan_area(rich_os.image, core, 0, 100,
+                                      chunk_size=1 << 20)
+        digests.append(digest)
+
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.sim.run(max_events=1000)
+    assert digests == [expected]
+
+
+def test_scan_zero_length_area(stack):
+    machine, rich_os = stack
+    digests = []
+
+    def payload(core):
+        digest = yield from scan_area(rich_os.image, core, 0, 0)
+        digests.append(digest)
+
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.sim.run(max_events=1000)
+    assert digests == [djb2(b"")]
+
+
+def test_scan_last_byte_of_kernel(stack):
+    machine, rich_os = stack
+    size = rich_os.image.size
+    expected = djb2(rich_os.image.read(size - 17, 17, World.SECURE))
+    digests = []
+
+    def payload(core):
+        digest = yield from scan_area(rich_os.image, core, size - 17, 17)
+        digests.append(digest)
+
+    machine.monitor.request_secure_entry(machine.core(0), payload)
+    machine.sim.run(max_events=1000)
+    assert digests == [expected]
+
+
+def test_monitor_back_to_back_entries_same_core(stack):
+    machine, _ = stack
+    order = []
+
+    def payload(tag):
+        def inner(core):
+            order.append((tag, machine.now))
+            yield cpu(1e-4)
+
+        return inner
+
+    machine.monitor.request_secure_entry(machine.core(0), payload("first"))
+    machine.sim.run(max_events=100)
+    machine.monitor.request_secure_entry(machine.core(0), payload("second"))
+    machine.sim.run(max_events=100)
+    assert [tag for tag, _ in order] == ["first", "second"]
+    assert machine.core(0).secure_entries == 2
+
+
+def test_secure_entries_on_different_cores_do_not_interfere(stack):
+    machine, rich_os = stack
+    finished = []
+
+    def payload(core):
+        yield cpu(2e-3)
+        finished.append(core.index)
+
+    for index in (0, 3, 5):
+        machine.monitor.request_secure_entry(machine.core(index), payload)
+    machine.sim.run(max_events=1000)
+    assert sorted(finished) == [0, 3, 5]
+    # All within ~one payload duration: they truly ran in parallel.
+    assert machine.now < 3e-3
+
+
+def test_semantic_checker_empty_slab(stack):
+    from repro.kernel.modules import ModuleList
+    from repro.secure.semantic import SemanticChecker
+
+    machine, rich_os = stack
+    checker = SemanticChecker(ModuleList(rich_os.image))
+    assert checker.check_now().clean
+
+
+def test_semantic_checker_multiple_hidden(stack):
+    from repro.attacks.dkom import DkomModuleHider
+    from repro.kernel.modules import ModuleList
+    from repro.secure.semantic import SemanticChecker, hidden_module_names
+
+    machine, rich_os = stack
+    modules = ModuleList(rich_os.image)
+    for name in ("a", "b", "evil1", "evil2"):
+        modules.load(name)
+    DkomModuleHider(modules, "evil1").hide()
+    DkomModuleHider(modules, "evil2").hide()
+    result = SemanticChecker(modules).check_now()
+    assert sorted(hidden_module_names(result)) == ["evil1", "evil2"]

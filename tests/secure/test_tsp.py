@@ -1,0 +1,53 @@
+"""Test Secure Payload runtime tests."""
+
+import pytest
+
+from repro.errors import IntrospectionError
+from repro.hw.world import World
+from repro.secure.tsp import TestSecurePayload
+from repro.sim.process import cpu
+
+
+def test_timer_service_dispatch(machine):
+    tsp = TestSecurePayload(machine)
+    served = []
+
+    def service(core):
+        served.append(core.index)
+        yield cpu(1e-5)
+
+    tsp.set_timer_service(service)
+    machine.core(2).secure_timer.program_wakeup(0.1, World.SECURE)
+    machine.run(until=0.2)
+    assert served == [2]
+    assert tsp.timer_entries == 1
+
+
+def test_spurious_wake_without_service(machine):
+    tsp = TestSecurePayload(machine)
+    machine.core(0).secure_timer.program_wakeup(0.1, World.SECURE)
+    machine.run(until=0.2)
+    assert tsp.timer_entries == 1
+    assert machine.core(0).world is World.NORMAL  # returned cleanly
+
+
+def test_double_service_install_rejected(machine):
+    tsp = TestSecurePayload(machine)
+
+    def service(core):
+        yield cpu(1e-6)
+
+    tsp.set_timer_service(service)
+    with pytest.raises(IntrospectionError):
+        tsp.set_timer_service(service)
+
+
+def test_service_can_be_cleared_and_replaced(machine):
+    tsp = TestSecurePayload(machine)
+
+    def service(core):
+        yield cpu(1e-6)
+
+    tsp.set_timer_service(service)
+    tsp.set_timer_service(None)
+    tsp.set_timer_service(service)  # no error after clearing

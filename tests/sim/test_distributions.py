@@ -1,0 +1,144 @@
+"""Timing-noise distribution tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.distributions import (
+    BoundedPareto,
+    Constant,
+    LogNormalJitter,
+    Shifted,
+    SpikeMixture,
+    Uniform,
+    inverse_cdf,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+def test_constant_samples_and_cdf():
+    c = Constant(3.0)
+    assert c.sample(random.Random(0)) == 3.0
+    assert c.mean == 3.0
+    assert c.cdf(2.9) == 0.0 and c.cdf(3.0) == 1.0
+
+
+def test_uniform_sample_within_bounds(rng):
+    u = Uniform(1.0, 2.0)
+    samples = [u.sample(rng) for _ in range(500)]
+    assert all(1.0 <= s <= 2.0 for s in samples)
+    assert abs(sum(samples) / len(samples) - 1.5) < 0.05
+
+
+def test_uniform_cdf():
+    u = Uniform(0.0, 2.0)
+    assert u.cdf(-1) == 0.0 and u.cdf(1.0) == 0.5 and u.cdf(3.0) == 1.0
+
+
+def test_uniform_rejects_inverted_bounds():
+    with pytest.raises(ConfigurationError):
+        Uniform(2.0, 1.0)
+
+
+def test_lognormal_mean_matches_parameter(rng):
+    d = LogNormalJitter(1e-3, 0.1)
+    samples = [d.sample(rng) for _ in range(4000)]
+    assert abs(sum(samples) / len(samples) - 1e-3) / 1e-3 < 0.02
+
+
+def test_lognormal_clipping(rng):
+    d = LogNormalJitter(1.0, 1.0, lo_clip=0.9, hi_clip=1.1)
+    samples = [d.sample(rng) for _ in range(200)]
+    assert all(0.9 <= s <= 1.1 for s in samples)
+
+
+def test_lognormal_zero_sigma_is_constant(rng):
+    d = LogNormalJitter(2.0, 0.0)
+    assert d.sample(rng) == 2.0
+
+
+def test_lognormal_invalid_params():
+    with pytest.raises(ConfigurationError):
+        LogNormalJitter(0.0, 0.1)
+    with pytest.raises(ConfigurationError):
+        LogNormalJitter(1.0, -0.1)
+
+
+def test_lognormal_cdf_monotone():
+    d = LogNormalJitter(1.0, 0.3)
+    xs = [0.1, 0.5, 1.0, 2.0, 5.0]
+    cdfs = [d.cdf(x) for x in xs]
+    assert cdfs == sorted(cdfs)
+    assert d.cdf(0.0) == 0.0
+
+
+def test_bounded_pareto_support_and_mean(rng):
+    d = BoundedPareto(xm=1e-4, alpha=2.0, cap=1e-2)
+    samples = [d.sample(rng) for _ in range(5000)]
+    assert all(1e-4 <= s <= 1e-2 for s in samples)
+    empirical = sum(samples) / len(samples)
+    assert abs(empirical - d.mean) / d.mean < 0.1
+
+
+def test_bounded_pareto_inv_cdf_roundtrip():
+    d = BoundedPareto(xm=1e-4, alpha=3.0, cap=1e-2)
+    for u in (0.01, 0.5, 0.9, 0.999):
+        assert abs(d.cdf(d.inv_cdf(u)) - u) < 1e-9
+
+
+def test_bounded_pareto_alpha_one_mean():
+    d = BoundedPareto(xm=1.0, alpha=1.0, cap=10.0)
+    assert d.mean > 1.0
+
+
+def test_bounded_pareto_invalid_params():
+    with pytest.raises(ConfigurationError):
+        BoundedPareto(0.0, 1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        BoundedPareto(1.0, -1.0, 2.0)
+    with pytest.raises(ConfigurationError):
+        BoundedPareto(2.0, 1.0, 1.0)
+
+
+def test_spike_mixture_rates(rng):
+    base = Constant(1.0)
+    spike = Constant(100.0)
+    mix = SpikeMixture(base, spike, spike_prob=0.1)
+    samples = [mix.sample(rng) for _ in range(5000)]
+    spike_rate = sum(1 for s in samples if s == 100.0) / len(samples)
+    assert 0.07 < spike_rate < 0.13
+    assert abs(mix.mean - (0.9 * 1.0 + 0.1 * 100.0)) < 1e-12
+
+
+def test_spike_mixture_cdf_combines():
+    mix = SpikeMixture(Uniform(0, 1), Uniform(10, 11), 0.25)
+    assert abs(mix.cdf(1.0) - 0.75) < 1e-12
+    assert mix.cdf(11.0) == 1.0
+
+
+def test_spike_mixture_invalid_prob():
+    with pytest.raises(ConfigurationError):
+        SpikeMixture(Constant(1), Constant(2), 1.5)
+
+
+def test_shifted_distribution(rng):
+    d = Shifted(Uniform(0.0, 1.0), 10.0)
+    s = d.sample(rng)
+    assert 10.0 <= s <= 11.0
+    assert d.mean == 10.5
+    assert d.cdf(10.5) == 0.5
+    assert d.support() == (10.0, 11.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.001, max_value=0.999))
+def test_numeric_inverse_cdf_roundtrip(u):
+    d = SpikeMixture(Uniform(0.0, 1.0), BoundedPareto(2.0, 2.5, 50.0), 0.2)
+    x = inverse_cdf(d, u)
+    assert abs(d.cdf(x) - u) < 1e-6

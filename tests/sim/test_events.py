@@ -1,0 +1,111 @@
+"""Event and EventQueue unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, order.append, ("c",))
+    q.push(1.0, order.append, ("a",))
+    q.push(2.0, order.append, ("b",))
+    while True:
+        event = q.pop()
+        if event is None:
+            break
+        event.callback(*event.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    second = q.push(1.0, lambda: None)
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    victim = q.push(1.0, lambda: None)
+    survivor = q.push(2.0, lambda: None)
+    victim.cancel()
+    assert q.pop() is survivor
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent_and_safe_after_fire():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None)
+    assert q.pop() is event
+    event.cancel()
+    event.cancel()
+    assert not event.pending
+
+
+def test_pending_property_lifecycle():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None)
+    assert event.pending
+    event.cancel()
+    assert not event.pending
+
+
+def test_len_tracks_live_events():
+    q = EventQueue()
+    a = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    q.peek_time()  # compacts cancelled head
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_bool_reflects_liveness():
+    q = EventQueue()
+    assert not q
+    event = q.push(1.0, lambda: None)
+    assert q
+    event.cancel()
+    assert not q
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_event_comparison_uses_time_then_seq():
+    early = Event(1.0, 5, lambda: None)
+    late = Event(2.0, 1, lambda: None)
+    tie = Event(1.0, 6, lambda: None)
+    assert early < late
+    assert early < tie
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_pop_order_is_always_nondecreasing(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while True:
+        event = q.pop()
+        if event is None:
+            break
+        popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)

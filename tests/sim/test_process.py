@@ -1,0 +1,125 @@
+"""Coroutine process machinery tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Signal, cpu, run_coroutine, sleep, wait
+from repro.sim.simulator import Simulator
+
+
+def test_cpu_and_sleep_elapse_time():
+    sim = Simulator()
+    marks = []
+
+    def proc():
+        yield cpu(1.0)
+        marks.append(sim.now)
+        yield sleep(2.0)
+        marks.append(sim.now)
+
+    run_coroutine(sim, proc())
+    sim.run()
+    assert marks == [1.0, 3.0]
+
+
+def test_result_captured_on_done():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        yield cpu(0.5)
+        return 42
+
+    driver = run_coroutine(sim, proc(), on_done=results.append)
+    sim.run()
+    assert results == [42]
+    assert driver.finished and driver.result == 42
+
+
+def test_wait_blocks_until_signal_and_receives_payload():
+    sim = Simulator()
+    sig = Signal("test")
+    got = []
+
+    def waiter():
+        payload = yield wait(sig)
+        got.append((sim.now, payload))
+
+    run_coroutine(sim, waiter())
+    sim.schedule(5.0, sig.fire, "hello")
+    sim.run()
+    assert got == [(5.0, "hello")]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    sig = Signal()
+    woken = []
+
+    def waiter(name):
+        yield wait(sig)
+        woken.append(name)
+
+    run_coroutine(sim, waiter("a"))
+    run_coroutine(sim, waiter("b"))
+    assert sig.waiter_count == 2
+    assert sig.fire() == 2
+    assert sorted(woken) == ["a", "b"]
+    assert sig.waiter_count == 0
+
+
+def test_signal_fire_count_and_last_payload():
+    sig = Signal()
+    sig.fire("x")
+    sig.fire("y")
+    assert sig.fire_count == 2 and sig.last_payload == "y"
+
+
+def test_unknown_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "nonsense"
+
+    with pytest.raises(SimulationError):
+        run_coroutine(sim, bad())
+
+
+def test_negative_requests_rejected():
+    with pytest.raises(SimulationError):
+        cpu(-1.0)
+    with pytest.raises(SimulationError):
+        sleep(-0.1)
+
+
+def test_zero_duration_requests_complete():
+    sim = Simulator()
+    done = []
+
+    def proc():
+        yield cpu(0.0)
+        yield sleep(0.0)
+        done.append(sim.now)
+
+    run_coroutine(sim, proc())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_nested_generators_with_yield_from():
+    sim = Simulator()
+    trace = []
+
+    def inner():
+        yield cpu(1.0)
+        return "inner-result"
+
+    def outer():
+        value = yield from inner()
+        trace.append((sim.now, value))
+        yield cpu(1.0)
+
+    run_coroutine(sim, outer())
+    sim.run()
+    assert trace == [(1.0, "inner-result")]
+    assert sim.now == 2.0

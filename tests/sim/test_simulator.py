@@ -1,0 +1,124 @@
+"""Simulator core unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.5, out.append, "x")
+    sim.run()
+    assert out == ["x"]
+    assert sim.now == 1.5
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    out = []
+    sim.schedule_at(2.0, out.append, "y")
+    sim.run()
+    assert sim.now == 2.0 and out == ["y"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, out.append, "late")
+    sim.run(until=2.0)
+    assert out == [] and sim.now == 2.0 and sim.pending_events == 1
+    sim.run()
+    assert out == ["late"]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_for(1.0)
+    sim.run_for(1.0)
+    assert sim.now == 2.0
+
+
+def test_stop_from_callback():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, out.append, "never yet")
+    sim.run()
+    assert out == [] and sim.now == 1.0
+    sim.run()
+    assert out == ["never yet"]
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    out = []
+    for i in range(5):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=3)
+    assert out == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    out = []
+
+    def chain(n):
+        out.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert out == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 4
+
+
+def test_next_event_time():
+    sim = Simulator()
+    assert sim.next_event_time() is None
+    sim.schedule(2.5, lambda: None)
+    assert sim.next_event_time() == 2.5

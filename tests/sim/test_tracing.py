@@ -1,0 +1,81 @@
+"""Trace recorder tests."""
+
+from repro.sim.tracing import TraceRecorder
+
+
+def test_emit_and_count():
+    trace = TraceRecorder()
+    trace.emit(1.0, "cat", "msg", value=1)
+    trace.emit(2.0, "cat", "msg2")
+    trace.emit(3.0, "other", "msg3")
+    assert trace.count("cat") == 2
+    assert trace.count("other") == 1
+    assert trace.count("missing") == 0
+    assert len(trace) == 3
+
+
+def test_records_filtered_by_category():
+    trace = TraceRecorder()
+    trace.emit(1.0, "a", "one")
+    trace.emit(2.0, "b", "two")
+    assert [r.message for r in trace.records("a")] == ["one"]
+    assert len(list(trace.records())) == 2
+
+
+def test_last_record():
+    trace = TraceRecorder()
+    assert trace.last() is None
+    trace.emit(1.0, "a", "one")
+    trace.emit(2.0, "b", "two")
+    assert trace.last().message == "two"
+    assert trace.last("a").message == "one"
+    assert trace.last("zzz") is None
+
+
+def test_disabled_recorder_drops_everything():
+    trace = TraceRecorder(enabled=False)
+    trace.emit(1.0, "a", "one")
+    assert len(trace) == 0
+
+
+def test_mute_unmute_category():
+    trace = TraceRecorder()
+    trace.mute("noisy")
+    trace.emit(1.0, "noisy", "dropped")
+    trace.emit(1.0, "keep", "kept")
+    assert trace.count("noisy") == 0 and trace.count("keep") == 1
+    trace.unmute("noisy")
+    trace.emit(2.0, "noisy", "recorded")
+    assert trace.count("noisy") == 1
+
+
+def test_maxlen_bounds_retention_but_counts_continue():
+    trace = TraceRecorder(maxlen=3)
+    for i in range(10):
+        trace.emit(float(i), "c", f"m{i}")
+    assert len(trace) == 3
+    assert trace.count("c") == 10
+    assert [r.message for r in trace.records()] == ["m7", "m8", "m9"]
+
+
+def test_listener_invoked():
+    trace = TraceRecorder()
+    seen = []
+    trace.add_listener(lambda r: seen.append(r.message))
+    trace.emit(1.0, "c", "hello")
+    assert seen == ["hello"]
+
+
+def test_clear_resets_everything():
+    trace = TraceRecorder()
+    trace.emit(1.0, "c", "x")
+    trace.clear()
+    assert len(trace) == 0 and trace.count("c") == 0
+
+
+def test_record_fields_accessible():
+    trace = TraceRecorder()
+    trace.emit(1.0, "c", "x", core=3, value=7)
+    record = trace.last()
+    assert record.fields == {"core": 3, "value": 7}
+    assert record.time == 1.0

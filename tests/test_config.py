@@ -1,0 +1,101 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    KernelConfig,
+    MachineConfig,
+    ProberConfig,
+    SatinConfig,
+    a53_timing,
+    a57_timing,
+    generic_octa_config,
+    juno_r1_config,
+    smm_like_config,
+)
+from repro.errors import ConfigurationError
+
+
+def test_juno_preset_shape():
+    config = juno_r1_config(seed=5)
+    assert config.core_count == 6
+    assert config.seed == 5
+    assert [c.name for c in config.clusters] == ["LITTLE", "big"]
+
+
+def test_octa_preset_shape():
+    config = generic_octa_config()
+    assert config.core_count == 8
+    assert len(config.clusters) == 1
+
+
+def test_smm_preset_has_slow_switch():
+    config = smm_like_config()
+    lo, hi = config.clusters[0].timing.world_switch.support()
+    assert lo >= 3.0e-5
+
+
+def test_with_seed_copies():
+    config = juno_r1_config(seed=1)
+    other = config.with_seed(2)
+    assert other.seed == 2 and config.seed == 1
+
+
+def test_cluster_needs_positive_cores():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig("bad", 0, a53_timing())
+
+
+def test_machine_needs_clusters():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(clusters=[])
+
+
+def test_machine_needs_positive_counter_frequency():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(counter_frequency_hz=0)
+
+
+def test_kernel_hz_bounds():
+    with pytest.raises(ConfigurationError):
+        KernelConfig(hz=50)
+    with pytest.raises(ConfigurationError):
+        KernelConfig(hz=2000)
+    assert KernelConfig(hz=100).hz == 100
+    assert KernelConfig(hz=1000).hz == 1000
+
+
+def test_kernel_size_positive():
+    with pytest.raises(ConfigurationError):
+        KernelConfig(image_size=0)
+
+
+def test_kernel_must_fit_dram():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(dram_size=4 * 1024 * 1024)  # smaller than the kernel
+
+
+def test_satin_config_validation():
+    with pytest.raises(ConfigurationError):
+        SatinConfig(tgoal=0)
+    with pytest.raises(ConfigurationError):
+        SatinConfig(deviation_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        SatinConfig(chunk_size=0)
+    with pytest.raises(ConfigurationError):
+        SatinConfig(partition_mode="nonsense")
+
+
+def test_timing_presets_match_paper_means():
+    a53, a57 = a53_timing(), a57_timing()
+    assert abs(a53.hash_byte.mean - 1.07e-8) < 1e-10
+    assert abs(a57.hash_byte.mean - 6.71e-9) < 1e-11
+    assert abs(a53.recover_trace_8b.mean - 5.80e-3) < 1e-5
+    assert abs(a57.recover_trace_8b.mean - 4.96e-3) < 1e-5
+
+
+def test_prober_defaults_match_paper():
+    prober = ProberConfig()
+    assert prober.tsleep == 2e-4
+    assert prober.detect_threshold == 1.8e-3

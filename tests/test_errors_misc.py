@@ -1,0 +1,98 @@
+"""Exception hierarchy and miscellaneous small-surface tests."""
+
+import pytest
+
+from repro.errors import (
+    AttackError,
+    ConfigurationError,
+    HardwareError,
+    IntrospectionError,
+    KernelError,
+    MemoryAccessError,
+    ReproError,
+    SchedulingError,
+    SecureAccessError,
+    SimulationError,
+)
+
+
+def test_every_error_derives_from_repro_error():
+    for cls in (
+        AttackError, ConfigurationError, HardwareError, IntrospectionError,
+        KernelError, MemoryAccessError, SchedulingError, SecureAccessError,
+        SimulationError,
+    ):
+        assert issubclass(cls, ReproError)
+
+
+def test_secure_access_is_a_hardware_error():
+    assert issubclass(SecureAccessError, HardwareError)
+    assert issubclass(MemoryAccessError, HardwareError)
+
+
+def test_scheduling_is_a_simulation_error():
+    assert issubclass(SchedulingError, SimulationError)
+
+
+def test_one_catch_all():
+    with pytest.raises(ReproError):
+        raise SecureAccessError("blocked")
+
+
+# ---------------------------------------------------------------------------
+# Small dataclass surfaces
+# ---------------------------------------------------------------------------
+
+def test_overhead_point_degradation_math():
+    from repro.experiments.figure7 import OverheadPoint
+
+    point = OverheadPoint("p", 1, score_off=100.0, score_on=99.0)
+    assert point.degradation == pytest.approx(0.01)
+    # Never negative (measurement noise can make "on" beat "off").
+    lucky = OverheadPoint("p", 1, score_off=100.0, score_on=101.0)
+    assert lucky.degradation == 0.0
+    degenerate = OverheadPoint("p", 1, score_off=0.0, score_on=0.0)
+    assert degenerate.degradation == 0.0
+
+
+def test_program_score_rate():
+    from repro.workloads.suite import ProgramScore
+
+    score = ProgramScore("p", 1, duration=2.0, total_ops=50,
+                         secure_preemptions=0)
+    assert score.score == 25.0
+
+
+def test_evader_state_values():
+    from repro.attacks.evader import EvaderState
+
+    assert EvaderState.ATTACKING.value == "attacking"
+    assert EvaderState.HIDDEN.value == "hidden"
+
+
+def test_scan_result_properties():
+    from repro.secure.introspect import ScanResult
+
+    result = ScanResult(
+        offset=0, length=10, core_index=1, start_time=1.0, end_time=1.5,
+        digest=5, expected=5,
+    )
+    assert result.match and result.duration == 0.5
+    mismatch = ScanResult(
+        offset=0, length=10, core_index=1, start_time=1.0, end_time=1.5,
+        digest=5, expected=6,
+    )
+    assert not mismatch.match
+
+
+def test_world_enum():
+    from repro.hw.world import World
+
+    assert World.SECURE.is_secure and not World.NORMAL.is_secure
+    assert str(World.NORMAL) == "normal"
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,80 @@
+"""UnixBench-like workload suite tests."""
+
+import pytest
+
+from repro.config import SatinConfig
+from repro.core.satin import Satin
+from repro.errors import ReproError
+from repro.workloads.programs import (
+    UNIXBENCH_PROGRAMS,
+    BenchmarkProgram,
+    program_by_name,
+)
+from repro.workloads.suite import BenchmarkRun
+
+
+def test_program_table_integrity():
+    assert len(UNIXBENCH_PROGRAMS) == 12
+    names = [p.name for p in UNIXBENCH_PROGRAMS]
+    assert len(set(names)) == 12
+    assert all(p.op_cpu > 0 for p in UNIXBENCH_PROGRAMS)
+    assert all(p.disruption_cost >= 0 for p in UNIXBENCH_PROGRAMS)
+
+
+def test_figure7_outliers_have_largest_disruption():
+    by_cost = sorted(UNIXBENCH_PROGRAMS, key=lambda p: p.disruption_cost)
+    worst_two = {by_cost[-1].name, by_cost[-2].name}
+    assert worst_two == {"file_copy_256B", "pipe_context_switching"}
+
+
+def test_program_lookup():
+    assert program_by_name("dhrystone2").syscall_nr is None
+    assert program_by_name("syscall_overhead").syscall_heavy
+    with pytest.raises(KeyError):
+        program_by_name("nope")
+
+
+def test_run_produces_positive_score(stack):
+    machine, rich_os = stack
+    program = program_by_name("dhrystone2")
+    score = BenchmarkRun(machine, rich_os, program, duration=0.5).run_to_completion()
+    assert score.total_ops > 0
+    assert score.score == pytest.approx(score.total_ops / 0.5)
+
+
+def test_score_scales_with_task_count(stack):
+    machine, rich_os = stack
+    program = program_by_name("whetstone")
+    multi = BenchmarkRun(
+        machine, rich_os, program, task_count=4, duration=0.5
+    ).run_to_completion()
+    single_rate = 0.5 / program.op_cpu
+    # 4 copies on 6 cores: near-linear scaling.
+    assert multi.total_ops > 3.0 * single_rate * 0.8
+
+
+def test_task_count_must_be_positive(stack):
+    machine, rich_os = stack
+    with pytest.raises(ReproError):
+        BenchmarkRun(machine, rich_os, UNIXBENCH_PROGRAMS[0], task_count=0)
+
+
+def test_syscall_heavy_program_exercises_syscall_path(stack):
+    machine, rich_os = stack
+    program = program_by_name("syscall_overhead")
+    BenchmarkRun(machine, rich_os, program, duration=0.3).run_to_completion()
+    assert rich_os.syscall_count > 100
+
+
+def test_satin_interruption_reduces_sensitive_score(fast_juno_stack):
+    machine, rich_os = fast_juno_stack
+    # High-rate SATIN to make the effect visible in a short run.
+    satin = Satin(machine, rich_os, config=SatinConfig(tgoal=19 * 0.05)).install()
+    sensitive = BenchmarkProgram(
+        "sensitive", op_cpu=5e-4, syscall_nr=None, disruption_cost=5e-2
+    )
+    run = BenchmarkRun(machine, rich_os, sensitive, task_count=6, duration=2.0)
+    score_on = run.run_to_completion()
+    assert score_on.secure_preemptions > 0
+    ideal_rate = 6 / sensitive.op_cpu
+    assert score_on.score < ideal_rate  # visibly degraded
