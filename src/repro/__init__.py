@@ -68,6 +68,7 @@ from repro.experiments import (
     run_table2,
     run_user_prober_eval,
 )
+from repro.campaign import CampaignResult, CampaignSpec, run_campaign
 from repro.hw import Machine, World, build_machine
 from repro.kernel import RichOS, boot_rich_os
 from repro.secure import SynchronousIntrospection, pkm_like, random_whole_kernel
@@ -76,6 +77,8 @@ from repro.attacks import IrqStormAttacker, KnoxBypassAttack
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignResult",
+    "CampaignSpec",
     "KProberI",
     "KProberII",
     "Machine",
@@ -119,6 +122,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_user_prober_eval",
+    "run_campaign",
     "s_bound",
     "unprotected_fraction",
     "__version__",

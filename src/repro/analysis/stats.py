@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import ReproError
 
@@ -34,6 +35,37 @@ class Summary:
             average=mean,
             maximum=max(samples),
             minimum=min(samples),
+            stdev=math.sqrt(var),
+        )
+
+    @classmethod
+    def merged(cls, parts: Sequence["Summary"]) -> "Summary":
+        """Combine per-shard summaries into the whole-set summary.
+
+        Uses the pairwise (Chan et al.) update for mean and M2, so merging
+        K partial summaries matches summarising the concatenated samples
+        (up to float rounding) — the invariant campaign shard aggregation
+        relies on.
+        """
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            raise ReproError("cannot merge zero summaries")
+        count = 0
+        mean = 0.0
+        m2 = 0.0
+        for part in parts:
+            part_m2 = part.stdev ** 2 * (part.count - 1)
+            delta = part.average - mean
+            total = count + part.count
+            m2 += part_m2 + delta * delta * count * part.count / total
+            mean += delta * part.count / total
+            count = total
+        var = m2 / (count - 1) if count > 1 else 0.0
+        return cls(
+            count=count,
+            average=mean,
+            maximum=max(p.maximum for p in parts),
+            minimum=min(p.minimum for p in parts),
             stdev=math.sqrt(var),
         )
 
@@ -114,3 +146,46 @@ def ratios_within(samples: Sequence[float], lo: float, hi: float) -> float:
         raise ReproError("no samples")
     hits = sum(1 for x in samples if lo <= x <= hi)
     return hits / len(samples)
+
+
+# ---------------------------------------------------------------------------
+# Campaign shard aggregation
+# ---------------------------------------------------------------------------
+
+
+def _z_score(confidence: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level in (0, 1).
+
+    Inverted from ``math.erf`` by bisection — exact enough (1e-12) for CI
+    reporting without dragging in scipy.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    target = confidence  # P(|Z| <= z) = erf(z / sqrt(2))
+    lo, hi = 0.0, 40.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if math.erf(mid / math.sqrt(2.0)) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Normal-approximation confidence interval for the mean."""
+    summary = Summary.of(samples)
+    if summary.count < 2:
+        return (summary.average, summary.average)
+    half = _z_score(confidence) * summary.stdev / math.sqrt(summary.count)
+    return (summary.average - half, summary.average + half)
+
+
+def merge_sorted_samples(shards: Iterable[Sequence[float]]) -> List[float]:
+    """Merge per-shard sample sets into one sorted whole.
+
+    Each shard is sorted independently, then k-way merged, so order
+    statistics (percentiles, boxplots) over the merge equal those over
+    the concatenated samples.
+    """
+    return list(heapq.merge(*(sorted(shard) for shard in shards)))

@@ -1,0 +1,46 @@
+"""Parallel Monte-Carlo campaign engine with a content-addressed cache.
+
+Fans a grid of platform presets x seed ranges out across a worker pool
+(:mod:`repro.campaign.pool`), memoises completed trials in JSONL shards
+under ``.repro-cache/`` (:mod:`repro.campaign.store`), and merges the
+results through :mod:`repro.analysis.stats` into aggregate
+paper-vs-measured tables (:mod:`repro.campaign.runner`).
+
+Entry points::
+
+    python -m repro campaign E9 --seeds 64 --jobs 4 --resume
+
+    from repro.campaign import CampaignSpec, run_campaign
+    result = run_campaign(CampaignSpec("E9", seeds=range(64), jobs=4))
+"""
+
+from repro.campaign.digest import (
+    CODE_VERSION,
+    canonical_form,
+    stable_digest,
+    trial_key,
+)
+from repro.campaign.pool import TrialOutcome, run_tasks
+from repro.campaign.progress import ProgressMeter
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignSpec,
+    aggregate_records,
+    run_campaign,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CODE_VERSION",
+    "CampaignResult",
+    "CampaignSpec",
+    "ProgressMeter",
+    "ResultStore",
+    "TrialOutcome",
+    "aggregate_records",
+    "canonical_form",
+    "run_campaign",
+    "run_tasks",
+    "stable_digest",
+    "trial_key",
+]

@@ -1,0 +1,81 @@
+"""Stable content digests for configurations and campaign trials.
+
+A campaign's result cache is *content-addressed*: a trial's cache key is a
+digest of everything that determines its outcome — the experiment id, the
+seed, the machine/SATIN configuration (distribution parameters included),
+the fast/full scale, and a code-version tag bumped whenever trial
+semantics change.  Two runs that would produce the same record therefore
+hash to the same key, and nothing else does.
+
+Canonicalisation rules (``canonical_form``):
+
+* dataclasses  -> ``{"__dataclass__": ClassName, <fields sorted by name>}``
+* distributions (and other plain objects with a ``__dict__`` of simple
+  values) -> ``{"__class__": ClassName, <attributes sorted by name>}``
+* dicts -> keys stringified and sorted; lists/tuples -> lists
+* floats are emitted through ``repr`` so the digest is decimal-exact and
+  independent of JSON float formatting quirks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.errors import CampaignError
+
+#: Bump when the meaning of a trial record changes (new fields computed
+#: differently, experiment semantics altered, ...).  Invalidates every
+#: cached trial, which is exactly what a semantic change requires.
+CODE_VERSION = "campaign-v1"
+
+
+def canonical_form(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable structure with a stable layout."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_form(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical_form(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body: Dict[str, Any] = {"__dataclass__": type(obj).__name__}
+        for field in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+            body[field.name] = canonical_form(getattr(obj, field.name))
+        return body
+    if hasattr(obj, "__dict__"):
+        body = {"__class__": type(obj).__name__}
+        for name, value in sorted(vars(obj).items()):
+            body[name] = canonical_form(value)
+        return body
+    raise CampaignError(f"cannot canonicalise {type(obj).__name__!r} for digesting")
+
+
+def stable_digest(obj: Any, length: int = 16) -> str:
+    """Hex digest of ``obj``'s canonical form (sha256, truncated)."""
+    blob = json.dumps(canonical_form(obj), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return digest[:length] if length else digest
+
+
+def trial_key(
+    experiment_id: str,
+    seed: int,
+    full: bool,
+    config_digest: str,
+    code_version: str = CODE_VERSION,
+) -> str:
+    """The content address of one trial."""
+    return stable_digest(
+        {
+            "experiment_id": experiment_id.upper(),
+            "seed": seed,
+            "full": full,
+            "config": config_digest,
+            "code": code_version,
+        }
+    )

@@ -1,0 +1,333 @@
+"""Crash-isolated worker pool for Monte-Carlo trial fan-out.
+
+Each worker is a separate OS process running ``_worker_main``: it pulls
+task dicts off a private queue, applies the trial function (resolved from
+a ``"module:function"`` path so it survives process boundaries), and ships
+the result back over a shared queue.  The supervisor enforces:
+
+* **per-trial timeout** — a worker that exceeds it is killed and respawned;
+* **crash isolation** — a worker dying mid-trial (segfault, ``os._exit``,
+  OOM-kill) fails only that trial, never the campaign;
+* **bounded retry** — a failed trial is re-dispatched until it has used
+  ``max_attempts`` attempts, then reported as quarantined.
+
+``jobs=0`` selects the *inline* mode: trials run serially in-process with
+no subprocess overhead (and no timeout enforcement) — the reference
+"serial equivalent" a parallel campaign must match bit-for-bit.
+
+The fork start method is preferred (workers inherit the loaded simulator
+modules, so spin-up is milliseconds); spawn is the fallback on platforms
+without fork.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import CampaignError
+
+#: Default attempts per trial: the first run plus one retry.
+DEFAULT_MAX_ATTEMPTS = 2
+
+#: How long the supervisor blocks on the result queue per loop iteration.
+_POLL_INTERVAL = 0.05
+
+
+def resolve_function(path: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Resolve a ``"package.module:function"`` path to a callable."""
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise CampaignError(f"bad trial-function path {path!r} (want 'module:function')")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise CampaignError(f"{module_name!r} has no attribute {attr!r}") from None
+
+
+@dataclass
+class TrialOutcome:
+    """Final fate of one task after all attempts."""
+
+    key: str
+    status: str  # "ok" | "error" | "timeout" | "crashed"
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 0
+    #: non-final failures absorbed by the retry budget, e.g. ["timeout"].
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _worker_main(fn_path: str, task_queue, result_queue) -> None:
+    """Worker loop: apply the trial function until a ``None`` sentinel."""
+    fn = resolve_function(fn_path)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        started = time.monotonic()
+        try:
+            payload = fn(task)
+            result_queue.put(
+                {
+                    "key": task["key"],
+                    "ok": True,
+                    "payload": payload,
+                    "elapsed": time.monotonic() - started,
+                }
+            )
+        except BaseException:
+            result_queue.put(
+                {
+                    "key": task["key"],
+                    "ok": False,
+                    "error": traceback.format_exc(limit=20),
+                    "elapsed": time.monotonic() - started,
+                }
+            )
+
+
+class _WorkerSlot:
+    """One worker process plus its private task queue and current task."""
+
+    def __init__(self, context, fn_path: str, result_queue) -> None:
+        self._context = context
+        self._fn_path = fn_path
+        self._result_queue = result_queue
+        self.task_queue = context.Queue()
+        self.current: Optional[Dict[str, Any]] = None
+        self.started_at = 0.0
+        self.process = context.Process(
+            target=_worker_main,
+            args=(fn_path, self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    def assign(self, task: Dict[str, Any]) -> None:
+        self.current = task
+        self.started_at = time.monotonic()
+        self.task_queue.put(task)
+
+    def respawn(self) -> None:
+        """Kill the current process (if needed) and start a fresh one."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        self.task_queue.close()
+        self.task_queue = self._context.Queue()
+        self.current = None
+        self.process = self._context.Process(
+            target=_worker_main,
+            args=(self._fn_path, self.task_queue, self._result_queue),
+            daemon=True,
+        )
+        self.process.start()
+
+    def shutdown(self) -> None:
+        try:
+            self.task_queue.put(None)
+        except (ValueError, OSError):  # pragma: no cover - queue closed
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def run_tasks(
+    tasks: List[Dict[str, Any]],
+    fn_path: str,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    on_final: Optional[Callable[[Dict[str, Any], TrialOutcome], None]] = None,
+    on_retry: Optional[Callable[[Dict[str, Any], str], None]] = None,
+) -> Dict[str, TrialOutcome]:
+    """Run every task through the pool; returns ``key -> TrialOutcome``.
+
+    Every task dict must carry a unique ``"key"``.  ``on_final`` fires once
+    per task with its final outcome (in completion order); ``on_retry``
+    fires for each absorbed failure.  The call returns only when every
+    task has a final outcome — a hung or crashed worker never wedges the
+    campaign.
+    """
+    keys = [t["key"] for t in tasks]
+    if len(set(keys)) != len(keys):
+        raise CampaignError("duplicate task keys in one pool run")
+    if max_attempts < 1:
+        raise CampaignError(f"max_attempts must be >= 1, got {max_attempts}")
+    if jobs < 0:
+        raise CampaignError(f"jobs must be >= 0, got {jobs}")
+
+    if not tasks:
+        return {}
+    if jobs == 0:
+        return _run_inline(tasks, fn_path, max_attempts, on_final, on_retry)
+
+    context = _pool_context()
+    result_queue = context.Queue()
+    slots = [_WorkerSlot(context, fn_path, result_queue) for _ in range(min(jobs, len(tasks)))]
+    pending: List[Dict[str, Any]] = list(tasks)
+    attempts: Dict[str, int] = {t["key"]: 0 for t in tasks}
+    failures: Dict[str, List[str]] = {t["key"]: [] for t in tasks}
+    elapsed_total: Dict[str, float] = {t["key"]: 0.0 for t in tasks}
+    by_key: Dict[str, Dict[str, Any]] = {t["key"]: t for t in tasks}
+    outcomes: Dict[str, TrialOutcome] = {}
+
+    def finalize(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+        outcomes[task["key"]] = outcome
+        if on_final is not None:
+            on_final(task, outcome)
+
+    def record_failure(task: Dict[str, Any], kind: str, error: str) -> None:
+        key = task["key"]
+        failures[key].append(kind)
+        if attempts[key] < max_attempts:
+            if on_retry is not None:
+                on_retry(task, kind)
+            pending.append(task)
+        else:
+            finalize(
+                task,
+                TrialOutcome(
+                    key=key,
+                    status=kind,
+                    error=error,
+                    elapsed=elapsed_total[key],
+                    attempts=attempts[key],
+                    failures=failures[key][:-1],
+                ),
+            )
+
+    def handle_message(message: Dict[str, Any]) -> None:
+        key = message["key"]
+        slot = next((s for s in slots if s.current and s.current["key"] == key), None)
+        if slot is None:
+            return  # stale result from a worker we already gave up on
+        task = slot.current
+        slot.current = None
+        elapsed_total[key] += message.get("elapsed", 0.0)
+        if message["ok"]:
+            finalize(
+                task,
+                TrialOutcome(
+                    key=key,
+                    status="ok",
+                    payload=message["payload"],
+                    elapsed=elapsed_total[key],
+                    attempts=attempts[key],
+                    failures=failures[key],
+                ),
+            )
+        else:
+            record_failure(task, "error", message.get("error", "unknown worker error"))
+
+    try:
+        while len(outcomes) < len(tasks):
+            # Dispatch work to idle slots.
+            for slot in slots:
+                if pending and not slot.busy:
+                    task = pending.pop(0)
+                    attempts[task["key"]] += 1
+                    slot.assign(task)
+
+            # Collect any finished results.
+            try:
+                handle_message(result_queue.get(timeout=_POLL_INTERVAL))
+                while True:  # drain without blocking
+                    handle_message(result_queue.get_nowait())
+            except queue_module.Empty:
+                pass
+
+            # Police the workers: timeouts first, then crashes.
+            now = time.monotonic()
+            for slot in slots:
+                if not slot.busy:
+                    continue
+                task = slot.current
+                key = task["key"]
+                if timeout is not None and now - slot.started_at > timeout:
+                    elapsed_total[key] += now - slot.started_at
+                    slot.respawn()
+                    record_failure(task, "timeout", f"trial exceeded {timeout:g}s; worker killed")
+                elif not slot.process.is_alive():
+                    exitcode = slot.process.exitcode
+                    elapsed_total[key] += now - slot.started_at
+                    slot.respawn()
+                    record_failure(
+                        task, "crashed", f"worker died mid-trial (exitcode {exitcode})"
+                    )
+    finally:
+        for slot in slots:
+            slot.shutdown()
+        result_queue.close()
+
+    return outcomes
+
+
+def _run_inline(
+    tasks: List[Dict[str, Any]],
+    fn_path: str,
+    max_attempts: int,
+    on_final: Optional[Callable[[Dict[str, Any], TrialOutcome], None]],
+    on_retry: Optional[Callable[[Dict[str, Any], str], None]],
+) -> Dict[str, TrialOutcome]:
+    """jobs=0: serial in-process execution (the reference path)."""
+    fn = resolve_function(fn_path)
+    outcomes: Dict[str, TrialOutcome] = {}
+    for task in tasks:
+        key = task["key"]
+        failures: List[str] = []
+        elapsed = 0.0
+        for attempt in range(1, max_attempts + 1):
+            started = time.monotonic()
+            try:
+                payload = fn(task)
+            except Exception:
+                elapsed += time.monotonic() - started
+                error = traceback.format_exc(limit=20)
+                if attempt < max_attempts:
+                    failures.append("error")
+                    if on_retry is not None:
+                        on_retry(task, "error")
+                    continue
+                outcomes[key] = TrialOutcome(
+                    key=key, status="error", error=error,
+                    elapsed=elapsed, attempts=attempt, failures=failures,
+                )
+            else:
+                elapsed += time.monotonic() - started
+                outcomes[key] = TrialOutcome(
+                    key=key, status="ok", payload=payload,
+                    elapsed=elapsed, attempts=attempt, failures=failures,
+                )
+            break
+        if on_final is not None:
+            on_final(task, outcomes[key])
+    return outcomes

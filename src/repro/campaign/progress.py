@@ -1,0 +1,116 @@
+"""Campaign progress streamed to stderr: counts, throughput, ETA.
+
+On a TTY the meter repaints one status line with carriage returns; on a
+pipe (CI logs) it emits a full line at most every ``interval`` seconds so
+logs stay readable.  All counters are driven by the supervisor, so the
+meter needs no locking.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressMeter:
+    """Trials done/failed/cached, trials-per-second, and ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        interval: float = 0.5,
+        label: str = "campaign",
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.interval = interval
+        self.label = label
+        self.done = 0
+        self.failed = 0
+        self.cached = 0
+        self.retries = 0
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        return self.done + self.failed + self.cached
+
+    def note_cached(self, count: int = 1) -> None:
+        self.cached += count
+        self._maybe_emit()
+
+    def note_done(self) -> None:
+        self.done += 1
+        self._maybe_emit()
+
+    def note_failed(self) -> None:
+        self.failed += 1
+        self._maybe_emit()
+
+    def note_retry(self) -> None:
+        self.retries += 1
+        self._maybe_emit()
+
+    # ------------------------------------------------------------------
+
+    def _rate(self) -> float:
+        elapsed = time.monotonic() - self._started
+        ran = self.done + self.failed  # cache hits are free, not throughput
+        return ran / elapsed if elapsed > 0 else 0.0
+
+    def render(self) -> str:
+        rate = self._rate()
+        remaining = self.total - self.completed
+        eta = _fmt_eta(remaining / rate) if rate > 0 else "?"
+        parts = [
+            f"[{self.label}] {self.completed}/{self.total}",
+            f"{self.done} done",
+            f"{self.failed} failed",
+            f"{self.cached} cached",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        parts.append(f"{rate:.2f} trials/s")
+        parts.append(f"ETA {eta}")
+        return " | ".join(parts)
+
+    def _maybe_emit(self, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        if self._tty:
+            self.stream.write("\r" + self.render().ljust(79))
+        else:
+            self.stream.write(self.render() + "\n")
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Emit the final tally unconditionally."""
+        if not self.enabled:
+            return
+        self._maybe_emit(force=True)
+        if self._tty:
+            self.stream.write("\n")
+            self.stream.flush()

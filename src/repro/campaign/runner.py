@@ -1,0 +1,313 @@
+"""Campaign orchestration: grid expansion, cache consult, fan-out, merge.
+
+A *campaign* is a grid of platform presets (and optional SATIN overrides)
+crossed with a seed range, all running one experiment.  The runner:
+
+1. expands the grid into trial tasks in a deterministic order
+   (preset-major, then seed) and computes each trial's content address;
+2. consults the :class:`~repro.campaign.store.ResultStore` — with
+   ``resume=True`` completed trials are served from cache;
+3. fans the misses out across the :mod:`~repro.campaign.pool` with
+   per-trial timeout, crash isolation and bounded retry;
+4. merges all records through :mod:`repro.analysis.stats` into
+   paper-vs-measured aggregate tables.
+
+Aggregation iterates records in task order, never completion order, so a
+parallel campaign renders byte-identical tables to a serial (``jobs=0``)
+run over the same seed set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+from repro.analysis.stats import Summary, mean_ci
+from repro.analysis.tables import render_table
+from repro.campaign.digest import CODE_VERSION, stable_digest, trial_key
+from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome, run_tasks
+from repro.campaign.progress import ProgressMeter
+from repro.campaign.store import ResultStore
+from repro.campaign.trials import DEFAULT_PRESET, build_trial_config
+from repro.errors import CampaignError
+
+#: Import path of the worker-side trial function.
+TRIAL_FN = "repro.campaign.trials:run_experiment_trial"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass
+class CampaignSpec:
+    """Everything that defines a campaign run."""
+
+    experiment_id: str
+    seeds: Sequence[int]
+    full: bool = False
+    presets: Sequence[str] = (DEFAULT_PRESET,)
+    satin: Optional[Dict[str, Any]] = None
+    jobs: int = 1
+    timeout: Optional[float] = None
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    cache_dir: str = DEFAULT_CACHE_DIR
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise CampaignError("campaign needs at least one seed")
+        if not self.presets:
+            raise CampaignError("campaign needs at least one preset")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise CampaignError("campaign seeds must be unique")
+
+    def campaign_id(self) -> str:
+        """Cache directory name: human-readable prefix + grid digest.
+
+        Seeds are deliberately excluded so campaigns over different seed
+        ranges of the same grid share one cache.
+        """
+        digest = stable_digest(
+            {
+                "experiment_id": self.experiment_id.upper(),
+                "full": self.full,
+                "presets": list(self.presets),
+                "satin": self.satin or {},
+                "code": CODE_VERSION,
+            },
+            length=12,
+        )
+        return f"{self.experiment_id.upper()}-{digest}"
+
+    def trial_tasks(self) -> List[Dict[str, Any]]:
+        """The grid expanded to task dicts, preset-major then seed order."""
+        tasks: List[Dict[str, Any]] = []
+        for preset in self.presets:
+            for seed in self.seeds:
+                config = build_trial_config(int(seed), preset=preset, satin=self.satin)
+                tasks.append(
+                    {
+                        "key": trial_key(
+                            self.experiment_id,
+                            int(seed),
+                            self.full,
+                            config.config_digest(),
+                        ),
+                        "experiment_id": self.experiment_id.upper(),
+                        "seed": int(seed),
+                        "full": self.full,
+                        "preset": preset,
+                        "satin": dict(self.satin) if self.satin else None,
+                    }
+                )
+        return tasks
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    spec: CampaignSpec
+    total: int
+    records: List[Dict[str, Any]]  # ok records, in task order
+    cached: int
+    ran: int
+    quarantined: List[Dict[str, Any]]
+    rendered: str
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+
+def make_record(task: Dict[str, Any], outcome: TrialOutcome) -> Dict[str, Any]:
+    """The JSONL record persisted for one completed trial."""
+    return {
+        "key": task["key"],
+        "status": "ok",
+        "experiment_id": task["experiment_id"],
+        "seed": task["seed"],
+        "preset": task["preset"],
+        "full": task["full"],
+        "elapsed": round(outcome.elapsed, 6),
+        "attempts": outcome.attempts,
+        "payload": outcome.payload,
+    }
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def aggregate_records(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Merge trial records into per-preset paper-vs-measured tables.
+
+    For every comparison quantity the per-seed ``measured`` values become
+    a sample set summarised by :class:`repro.analysis.stats.Summary` plus
+    a 95% confidence interval — the Monte-Carlo analogue of the single
+    measured column ``experiments/report.py`` prints.
+    """
+    sections: List[str] = []
+    by_preset: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_preset.setdefault(record["preset"], []).append(record)
+
+    for preset, group in by_preset.items():
+        quantities: List[str] = []
+        paper: Dict[str, Any] = {}
+        samples: Dict[str, List[float]] = {}
+        for record in group:
+            for row in record["payload"].get("comparisons", []):
+                q = row["quantity"]
+                if q not in samples:
+                    quantities.append(q)
+                    samples[q] = []
+                    paper[q] = row["paper"]
+                measured = row["measured"]
+                if isinstance(measured, (int, float)) and not isinstance(measured, bool):
+                    samples[q].append(float(measured))
+        rows = []
+        for q in quantities:
+            values = samples[q]
+            if not values:
+                rows.append([q, _fmt(paper[q]), "n/a", "n/a", "n/a", "n/a", "0"])
+                continue
+            summary = Summary.of(values)
+            lo, hi = mean_ci(values)
+            rows.append(
+                [
+                    q,
+                    _fmt(paper[q]),
+                    _fmt(summary.average),
+                    f"[{_fmt(lo)}, {_fmt(hi)}]",
+                    _fmt(summary.minimum),
+                    _fmt(summary.maximum),
+                    str(summary.count),
+                ]
+            )
+        sections.append(
+            render_table(
+                ("quantity", "paper", "mean", "95% ci", "min", "max", "n"),
+                rows,
+                title=f"preset {preset} — {len(group)} trials",
+            )
+        )
+    return sections
+
+
+def render_campaign(
+    spec: CampaignSpec,
+    records: Sequence[Dict[str, Any]],
+    cached: int,
+    ran: int,
+    quarantined: Sequence[Dict[str, Any]],
+) -> str:
+    total = len(spec.seeds) * len(spec.presets)
+    lines = [
+        f"# campaign {spec.experiment_id.upper()} — "
+        f"{len(spec.seeds)} seeds x {len(spec.presets)} preset(s), "
+        f"scale={'full' if spec.full else 'fast'}",
+        f"trials: {total} total, {ran} ran, {cached} cached, "
+        f"{len(quarantined)} quarantined",
+        "",
+    ]
+    lines.extend(aggregate_records(records))
+    if quarantined:
+        lines.append("")
+        lines.append("quarantined trials (failed every attempt):")
+        for item in quarantined:
+            failures = "+".join(item.get("failures", []) + [item["status"]])
+            lines.append(
+                f"  - seed={item['seed']} preset={item['preset']} "
+                f"[{failures}] after {item['attempts']} attempt(s)"
+            )
+    return "\n".join(lines)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    stream: Optional[TextIO] = None,
+    progress: bool = True,
+    trial_fn: str = TRIAL_FN,
+) -> CampaignResult:
+    """Execute a campaign end-to-end; never aborts on individual trials.
+
+    ``trial_fn`` is the worker-side function's import path; tests override
+    it to inject hanging/crashing trials against a real campaign.
+    """
+    tasks = spec.trial_tasks()
+    store = ResultStore(spec.cache_dir, spec.campaign_id())
+    store.load()
+
+    cached_records: Dict[str, Dict[str, Any]] = {}
+    pending: List[Dict[str, Any]] = []
+    for task in tasks:
+        record = store.get(task["key"]) if spec.resume else None
+        if record is not None and record.get("status") == "ok" and "payload" in record:
+            cached_records[task["key"]] = record
+        else:
+            pending.append(task)
+
+    meter = ProgressMeter(total=len(tasks), stream=stream, enabled=progress)
+    if cached_records:
+        meter.note_cached(len(cached_records))
+
+    quarantined: List[Dict[str, Any]] = []
+
+    def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+        if outcome.ok:
+            store.put(make_record(task, outcome))
+            meter.note_done()
+        else:
+            entry = {
+                "key": task["key"],
+                "status": outcome.status,
+                "seed": task["seed"],
+                "preset": task["preset"],
+                "attempts": outcome.attempts,
+                "failures": outcome.failures,
+                "error": outcome.error,
+            }
+            store.quarantine(entry)
+            quarantined.append(entry)
+            meter.note_failed()
+
+    def on_retry(_task: Dict[str, Any], _kind: str) -> None:
+        meter.note_retry()
+
+    outcomes = run_tasks(
+        pending,
+        trial_fn,
+        jobs=spec.jobs,
+        timeout=spec.timeout,
+        max_attempts=spec.max_attempts,
+        on_final=on_final,
+        on_retry=on_retry,
+    )
+    meter.finish()
+
+    records = []
+    for task in tasks:  # task order => deterministic aggregation
+        if task["key"] in cached_records:
+            records.append(cached_records[task["key"]])
+        else:
+            outcome = outcomes.get(task["key"])
+            if outcome is not None and outcome.ok:
+                records.append(make_record(task, outcome))
+
+    rendered = render_campaign(
+        spec, records, cached=len(cached_records), ran=len(pending), quarantined=quarantined
+    )
+    return CampaignResult(
+        spec=spec,
+        total=len(tasks),
+        records=records,
+        cached=len(cached_records),
+        ran=len(pending),
+        quarantined=quarantined,
+        rendered=rendered,
+    )

@@ -1,0 +1,138 @@
+"""Content-addressed result store: JSONL shards under ``.repro-cache/``.
+
+Layout::
+
+    <root>/<campaign_id>/
+        shard-00.jsonl .. shard-0f.jsonl   completed trial records
+        quarantine.jsonl                    trials that failed every attempt
+
+A record is one JSON object per line carrying at least ``key`` (the trial's
+content address from :mod:`repro.campaign.digest`).  Records are routed to
+a shard by the first hex character of their key, so warm-cache loads can
+stream 16 small files instead of one monolith and shard merging is easy to
+exercise in tests.
+
+Only the campaign supervisor writes (workers hand results back over a
+queue), so appends need no cross-process locking; each line is flushed as
+it is written, which makes the cache crash-consistent at line granularity.
+Corrupt trailing lines (a run killed mid-write) are skipped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Shard fan-out: one shard per first hex digit of the key.
+SHARD_COUNT = 16
+
+_QUARANTINE = "quarantine.jsonl"
+
+
+class ResultStore:
+    """Append-only JSONL store for one campaign's trial records."""
+
+    def __init__(self, root: str, campaign_id: str) -> None:
+        self.root = root
+        self.campaign_id = campaign_id
+        self.directory = os.path.join(root, campaign_id)
+        os.makedirs(self.directory, exist_ok=True)
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+
+    def shard_path(self, key: str) -> str:
+        digit = key[0] if key and key[0] in "0123456789abcdef" else "0"
+        return os.path.join(self.directory, f"shard-0{digit}.jsonl")
+
+    def shard_paths(self) -> List[str]:
+        """Every existing shard file, in name order (deterministic)."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return []
+        return [
+            os.path.join(self.directory, n)
+            for n in names
+            if n.startswith("shard-") and n.endswith(".jsonl")
+        ]
+
+    @staticmethod
+    def _iter_records(path: str) -> Iterator[Dict[str, Any]]:
+        try:
+            handle = open(path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn write from a killed run
+                if isinstance(record, dict) and "key" in record:
+                    yield record
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def load(self) -> int:
+        """Read every shard into the in-memory index; returns record count.
+
+        Later lines win, so a re-run record supersedes an older one.
+        """
+        self._index = {}
+        for path in self.shard_paths():
+            for record in self._iter_records(path):
+                self._index[record["key"]] = record
+        self._loaded = True
+        return len(self._index)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self._loaded:
+            self.load()
+        return self._index.get(key)
+
+    def put(self, record: Dict[str, Any]) -> None:
+        """Append one completed-trial record to its shard (flushed)."""
+        key = record["key"]
+        with open(self.shard_path(key), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._index[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        if not self._loaded:
+            self.load()
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    def quarantine_path(self) -> str:
+        return os.path.join(self.directory, _QUARANTINE)
+
+    def quarantine(self, record: Dict[str, Any]) -> None:
+        """Record a trial that failed every attempt.
+
+        Quarantined records are *not* served as cache hits: a later
+        ``--resume`` run will retry the trial (the failure may have been
+        environmental).
+        """
+        with open(self.quarantine_path(), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        return list(self._iter_records(self.quarantine_path()))

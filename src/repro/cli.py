@@ -6,8 +6,11 @@ Commands
     List the reproducible experiments (id and title).
 ``experiment <id>``
     Run one experiment and print its table (``--full`` for paper-scale).
+``campaign <id>``
+    Monte-Carlo fan-out: many seeds across a worker pool, cached results.
 ``report``
-    Run the whole suite and print/write the assembled report.
+    Run the whole suite and print/write the assembled report
+    (``--full`` runs are fanned out across the campaign worker pool).
 ``demo``
     A 60-second narrated run: SATIN catching a GETTID hijack.
 """
@@ -15,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -47,12 +51,50 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, run_campaign
+    from repro.errors import ReproError
+
+    from repro.experiments.report import spec_by_id
+
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    try:
+        spec_by_id(args.id)  # fail fast on unknown experiment ids
+        spec = CampaignSpec(
+            experiment_id=args.id,
+            seeds=seeds,
+            full=args.full,
+            presets=tuple(args.preset) if args.preset else ("juno_r1",),
+            jobs=args.jobs,
+            timeout=args.timeout if args.timeout > 0 else None,
+            max_attempts=args.retries + 1,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+        result = run_campaign(spec, progress=not args.quiet)
+    except (ReproError, KeyError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.rendered + "\n")
+        print(f"campaign summary written to {args.output}", file=sys.stderr)
+    else:
+        print(result.rendered)
+    return 0 if result.records else 3
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    jobs = args.jobs
+    if jobs is None and args.full:
+        # Paper-scale suites go through the campaign worker pool.
+        jobs = os.cpu_count() or 1
     text = generate_report(
         seed=args.seed,
         full=args.full,
         only=args.only if args.only else None,
         progress=lambda msg: print(msg, file=sys.stderr),
+        jobs=jobs,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -99,11 +141,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("-v", "--verbose", action="store_true",
                             help="also print paper-vs-measured rows")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="Monte-Carlo campaign: one experiment, many seeds, worker pool",
+    )
+    campaign.add_argument("id", help="experiment id (e.g. E9, A1)")
+    campaign.add_argument("--seeds", type=int, default=64, metavar="N",
+                          help="number of seeds (default 64)")
+    campaign.add_argument("--seed-base", type=int, default=0,
+                          help="first seed; trials use base..base+N-1")
+    campaign.add_argument("--jobs", type=int,
+                          default=max(os.cpu_count() or 1, 1), metavar="N",
+                          help="worker processes (0 = serial in-process)")
+    campaign.add_argument("--full", action="store_true",
+                          help="paper-scale trials")
+    campaign.add_argument("--preset", action="append", metavar="NAME",
+                          help="platform preset; repeat to form a grid "
+                               "(default juno_r1)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="serve completed trials from the result cache")
+    campaign.add_argument("--timeout", type=float, default=600.0,
+                          help="per-trial timeout in seconds (0 disables)")
+    campaign.add_argument("--retries", type=int, default=1,
+                          help="retries per failing trial before quarantine")
+    campaign.add_argument("--cache-dir", default=".repro-cache",
+                          help="result store root (default .repro-cache)")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress the stderr progress meter")
+    campaign.add_argument("-o", "--output",
+                          help="write the campaign summary to a file")
+
     report = sub.add_parser("report", help="run the whole suite")
     report.add_argument("--seed", type=int, default=2019)
     report.add_argument("--full", action="store_true")
     report.add_argument("--only", nargs="*", metavar="ID",
                         help="restrict to these experiment ids")
+    report.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan experiments out across N worker processes "
+                             "(default: CPU count when --full, else serial)")
     report.add_argument("-o", "--output", help="write the report to a file")
 
     demo = sub.add_parser("demo", help="narrated SATIN detection demo")
@@ -115,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "list": _cmd_list,
     "experiment": _cmd_experiment,
+    "campaign": _cmd_campaign,
     "report": _cmd_report,
     "demo": _cmd_demo,
 }
@@ -122,7 +198,15 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

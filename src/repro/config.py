@@ -265,6 +265,19 @@ class SatinConfig:
     #: the two; direct hashing wins and is the default).
     use_snapshot: bool = False
 
+    def config_digest(self) -> str:
+        """Stable content digest of every field, distribution params included.
+
+        Canonical field ordering is handled by the digest layer, so two
+        equal configurations always hash identically; any parameter change
+        (including a distribution's shape) changes the digest.  Campaign
+        cache keys are derived from this, so it must never drift silently —
+        ``tests/campaign/test_digest.py`` pins the value for the Juno preset.
+        """
+        from repro.campaign.digest import stable_digest
+
+        return stable_digest(self)
+
     def __post_init__(self) -> None:
         if self.tgoal <= 0:
             raise ConfigurationError("tgoal must be positive")
@@ -340,6 +353,19 @@ class MachineConfig:
         """A copy of this configuration with a different master seed."""
         return replace(self, seed=seed)
 
+    def config_digest(self) -> str:
+        """Stable content digest of the whole machine description.
+
+        Covers every nested dataclass and every distribution parameter
+        (cluster timings, kernel layout, prober model, SATIN policy, the
+        master seed).  Used as the configuration component of campaign
+        cache keys; pinned by a regression test so keys never silently
+        drift when fields are added or reordered.
+        """
+        from repro.campaign.digest import stable_digest
+
+        return stable_digest(self)
+
 
 def juno_r1_config(seed: int = 2019) -> MachineConfig:
     """The paper's evaluation platform: ARM Juno r1 (4xA53 + 2xA57)."""
@@ -382,3 +408,22 @@ def smm_like_config(seed: int = 2019) -> MachineConfig:
         clusters=[ClusterConfig("smm", 4, smm_timing)],
         seed=seed,
     )
+
+
+#: Named platform presets, as accepted by ``python -m repro campaign
+#: --preset`` and :mod:`repro.campaign` grids.
+PRESET_CONFIGS = {
+    "juno_r1": juno_r1_config,
+    "generic_octa": generic_octa_config,
+    "smm_like": smm_like_config,
+}
+
+
+def preset_config(name: str, seed: int = 2019) -> MachineConfig:
+    """Build a preset platform by name."""
+    try:
+        factory = PRESET_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(PRESET_CONFIGS))
+        raise ConfigurationError(f"unknown preset {name!r} (known: {known})") from None
+    return factory(seed=seed)

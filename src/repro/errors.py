@@ -49,3 +49,7 @@ class IntrospectionError(ReproError):
 
 class AttackError(ReproError):
     """An attack component (rootkit / prober / evader) was misused."""
+
+
+class CampaignError(ReproError):
+    """A Monte-Carlo campaign was misconfigured or its cache is unusable."""

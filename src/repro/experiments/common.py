@@ -15,6 +15,7 @@ from repro.attacks.oracle import ProberAccelerationOracle
 from repro.attacks.rootkit import PersistentRootkit
 from repro.attacks.evader import TZEvader
 from repro.config import MachineConfig, SatinConfig, juno_r1_config
+from repro.errors import ConfigurationError
 from repro.core.satin import Satin
 from repro.hw.platform import Machine, build_machine
 from repro.kernel.os import RichOS, boot_rich_os
@@ -37,7 +38,7 @@ class Stack:
 
 
 def build_stack(
-    seed: int = 2019,
+    seed: Optional[int] = None,
     machine_config: Optional[MachineConfig] = None,
     satin_config: Optional[SatinConfig] = None,
     with_satin: bool = False,
@@ -46,12 +47,27 @@ def build_stack(
 ) -> Stack:
     """Boot a full stack: machine + rich OS [+ SATIN] [+ TZ-Evader].
 
+    Seed precedence: with only ``seed``, a ``juno_r1_config(seed)`` machine
+    is built (``seed=None`` means the default 2019); with only
+    ``machine_config``, its embedded ``seed`` is authoritative; passing
+    both is allowed only when they agree — a conflict raises
+    :class:`~repro.errors.ConfigurationError` rather than silently
+    re-seeding, because a silently re-seeded config would hash to a
+    different campaign cache key than the one that was requested.
+
     SATIN's trusted boot runs *before* the rootkit installs, matching the
     paper's threat model (the boot-time kernel is benign).
     """
-    config = machine_config if machine_config is not None else juno_r1_config(seed)
-    if machine_config is not None and seed != config.seed:
-        config = config.with_seed(seed)
+    if machine_config is None:
+        config = juno_r1_config(2019 if seed is None else seed)
+    elif seed is not None and seed != machine_config.seed:
+        raise ConfigurationError(
+            f"conflicting seeds: build_stack(seed={seed}) vs "
+            f"machine_config.seed={machine_config.seed}; pass one, or make "
+            f"them agree (e.g. machine_config.with_seed({seed}))"
+        )
+    else:
+        config = machine_config
     machine = build_machine(config)
     rich_os = boot_rich_os(machine)
     stack = Stack(machine=machine, rich_os=rich_os)

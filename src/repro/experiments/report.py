@@ -143,16 +143,82 @@ def _format_comparison(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _run_specs_parallel(
+    chosen: List[ExperimentSpec],
+    seed: int,
+    full: bool,
+    jobs: int,
+    progress: "Callable[[str], None] | None",
+) -> Dict[str, ExperimentResult]:
+    """Fan the chosen experiments out across the campaign worker pool.
+
+    Each experiment is one pool task (crash-isolated, retried once), and
+    results are reassembled in spec order, so the report text is
+    byte-identical to the serial path for the same seed.
+    """
+    from repro.campaign.pool import run_tasks
+    from repro.campaign.runner import TRIAL_FN
+
+    tasks = [
+        {
+            "key": spec.experiment_id,
+            "experiment_id": spec.experiment_id,
+            "seed": seed,
+            "full": full,
+        }
+        for spec in chosen
+    ]
+
+    def on_final(task, outcome) -> None:
+        if progress is not None:
+            state = "done" if outcome.ok else outcome.status
+            progress(f"{task['experiment_id']}: {state}")
+
+    outcomes = run_tasks(tasks, TRIAL_FN, jobs=jobs, on_final=on_final)
+    results: Dict[str, ExperimentResult] = {}
+    for spec in chosen:
+        outcome = outcomes[spec.experiment_id]
+        if not outcome.ok:
+            raise RuntimeError(
+                f"experiment {spec.experiment_id} failed in the worker pool:\n"
+                f"{outcome.error}"
+            )
+        payload = outcome.payload
+        results[spec.experiment_id] = ExperimentResult(
+            experiment_id=spec.experiment_id,
+            title=spec.title,
+            rendered=payload["rendered"],
+            values=payload["values"],
+            comparisons=payload["comparisons"],
+        )
+    return results
+
+
 def generate_report(
     seed: int = 2019,
     full: bool = False,
     only: "List[str] | None" = None,
     progress: "Callable[[str], None] | None" = None,
+    jobs: "int | None" = None,
 ) -> str:
-    """Run the experiment suite and return the assembled report text."""
+    """Run the experiment suite and return the assembled report text.
+
+    ``jobs=None`` runs everything serially in-process (the historical
+    behaviour); any integer routes the experiments through the campaign
+    worker pool (``jobs`` workers; 0 = the pool's inline serial mode).
+    Both paths render identical text for the same seed.
+    """
     chosen = (
         [spec_by_id(eid) for eid in only] if only else list(EXPERIMENT_SPECS)
     )
+    parallel: Dict[str, ExperimentResult] = {}
+    if jobs is not None:
+        if progress is not None:
+            progress(
+                f"running {len(chosen)} experiments across "
+                f"{jobs or 1} worker(s) ..."
+            )
+        parallel = _run_specs_parallel(chosen, seed, full, jobs, progress)
     scale = "full (paper-scale)" if full else "fast"
     sections: List[str] = [
         "# SATIN reproduction report",
@@ -161,9 +227,12 @@ def generate_report(
         "",
     ]
     for spec in chosen:
-        if progress is not None:
-            progress(f"running {spec.experiment_id}: {spec.title} ...")
-        result = (spec.full if full else spec.fast)(seed)
+        if spec.experiment_id in parallel:
+            result = parallel[spec.experiment_id]
+        else:
+            if progress is not None:
+                progress(f"running {spec.experiment_id}: {spec.title} ...")
+            result = (spec.full if full else spec.fast)(seed)
         sections.append(f"## {spec.experiment_id} — {spec.title}")
         sections.append("")
         sections.append("```")

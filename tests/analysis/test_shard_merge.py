@@ -1,0 +1,96 @@
+"""Shard-merge invariants: aggregating K partial result sets must equal
+aggregating the concatenated whole (mean, CI bounds, order statistics)."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    boxplot_stats,
+    mean_ci,
+    merge_sorted_samples,
+    percentile,
+)
+from repro.errors import ReproError
+
+
+def shards_and_whole(seed=7, k=5, sizes=(3, 17, 1, 40, 9)):
+    rng = random.Random(seed)
+    shards = [[rng.lognormvariate(0.0, 1.0) for _ in range(n)] for n in sizes[:k]]
+    whole = [x for shard in shards for x in shard]
+    return shards, whole
+
+
+def test_merged_summary_equals_whole_summary():
+    shards, whole = shards_and_whole()
+    merged = Summary.merged([Summary.of(s) for s in shards])
+    direct = Summary.of(whole)
+    assert merged.count == direct.count
+    assert merged.average == pytest.approx(direct.average, rel=1e-12)
+    assert merged.stdev == pytest.approx(direct.stdev, rel=1e-12)
+    assert merged.maximum == direct.maximum
+    assert merged.minimum == direct.minimum
+
+
+def test_merged_summary_single_shard_identity():
+    _, whole = shards_and_whole(k=1, sizes=(12,))
+    merged = Summary.merged([Summary.of(whole)])
+    direct = Summary.of(whole)
+    assert merged.count == direct.count
+    assert merged.average == direct.average
+    assert merged.maximum == direct.maximum
+    assert merged.minimum == direct.minimum
+    # var -> stdev -> var costs one ulp
+    assert merged.stdev == pytest.approx(direct.stdev, rel=1e-15)
+
+
+def test_merged_summary_handles_single_sample_shards():
+    shards = [[1.0], [2.0], [3.0], [4.0]]
+    merged = Summary.merged([Summary.of(s) for s in shards])
+    direct = Summary.of([1.0, 2.0, 3.0, 4.0])
+    assert merged.average == pytest.approx(direct.average)
+    assert merged.stdev == pytest.approx(direct.stdev)
+
+
+def test_merged_summary_rejects_empty():
+    with pytest.raises(ReproError):
+        Summary.merged([])
+
+
+def test_ci_bounds_match_on_merge():
+    """CI computed from merged samples equals CI of the concatenated whole."""
+    shards, whole = shards_and_whole(seed=11)
+    merged_samples = merge_sorted_samples(shards)
+    assert mean_ci(merged_samples) == pytest.approx(mean_ci(sorted(whole)))
+    lo, hi = mean_ci(whole)
+    assert lo < sum(whole) / len(whole) < hi
+
+
+def test_mean_ci_single_sample_degenerates():
+    assert mean_ci([5.0]) == (5.0, 5.0)
+
+
+def test_mean_ci_confidence_ordering():
+    _, whole = shards_and_whole(seed=3)
+    lo99, hi99 = mean_ci(whole, confidence=0.99)
+    lo95, hi95 = mean_ci(whole, confidence=0.95)
+    assert lo99 < lo95 and hi95 < hi99
+
+
+def test_mean_ci_rejects_bad_confidence():
+    with pytest.raises(ReproError):
+        mean_ci([1.0, 2.0], confidence=1.5)
+
+
+def test_order_statistics_survive_merge():
+    shards, whole = shards_and_whole(seed=23, k=4, sizes=(8, 2, 31, 5))
+    merged = merge_sorted_samples(shards)
+    assert merged == sorted(whole)
+    for p in (0.0, 25.0, 50.0, 75.0, 90.0, 100.0):
+        assert percentile(merged, p) == percentile(whole, p)
+    assert boxplot_stats(merged) == boxplot_stats(whole)
+
+
+def test_merge_sorted_samples_accepts_unsorted_shards():
+    assert merge_sorted_samples([[3.0, 1.0], [2.0]]) == [1.0, 2.0, 3.0]

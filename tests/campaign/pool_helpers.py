@@ -1,0 +1,43 @@
+"""Trial functions the pool tests resolve by import path.
+
+They live in a real module (not a test file) so the pool's
+``"module:function"`` resolution exercises the same path production uses,
+and so spawn-based platforms could import them too.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def double_seed(task):
+    return {"value": task["seed"] * 2}
+
+
+def hang_on_flag(task):
+    """Sleeps far past any test timeout when the task says so."""
+    if task.get("hang"):
+        time.sleep(120)
+    return {"value": task["seed"]}
+
+
+def exit_on_flag(task):
+    """Simulates a worker killed mid-trial (OOM-kill, segfault)."""
+    if task.get("crash"):
+        os._exit(23)
+    return {"value": task["seed"]}
+
+
+def fail_once(task):
+    """Fails the first attempt, succeeds the second (marker-file state)."""
+    marker = task["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("transient failure")
+    return {"value": "recovered"}
+
+
+def always_raise(task):
+    raise ValueError(f"trial {task['key']} is broken")

@@ -1,0 +1,88 @@
+"""Digest stability: cache keys must never silently drift."""
+
+import pytest
+
+from repro.campaign.digest import canonical_form, stable_digest, trial_key
+from repro.config import (
+    MachineConfig,
+    SatinConfig,
+    generic_octa_config,
+    juno_r1_config,
+)
+from repro.errors import CampaignError
+
+#: Regression pin: the digest of the paper's platform at seed 42.  If this
+#: changes, every cached campaign trial is silently invalidated — bump
+#: repro.campaign.digest.CODE_VERSION instead when semantics change.
+JUNO_R1_SEED42_DIGEST = "b52f8af86a1cfb06"
+
+
+def test_juno_r1_digest_is_pinned():
+    assert juno_r1_config(seed=42).config_digest() == JUNO_R1_SEED42_DIGEST
+
+
+def test_digest_is_deterministic_across_instances():
+    assert (
+        juno_r1_config(seed=7).config_digest()
+        == juno_r1_config(seed=7).config_digest()
+    )
+
+
+def test_seed_changes_digest():
+    assert juno_r1_config(seed=1).config_digest() != juno_r1_config(seed=2).config_digest()
+
+
+def test_preset_changes_digest():
+    assert (
+        juno_r1_config(seed=1).config_digest()
+        != generic_octa_config(seed=1).config_digest()
+    )
+
+
+def test_distribution_parameters_are_covered():
+    a = juno_r1_config(seed=1)
+    b = juno_r1_config(seed=1)
+    b.clusters[0].timing.hash_byte.sigma = 0.999
+    assert a.config_digest() != b.config_digest()
+
+
+def test_satin_config_digest_covers_fields():
+    assert SatinConfig().config_digest() == SatinConfig().config_digest()
+    assert SatinConfig().config_digest() != SatinConfig(tgoal=10.0).config_digest()
+    assert (
+        SatinConfig().config_digest()
+        != SatinConfig(partition_mode="whole", enforce_area_bound=False).config_digest()
+    )
+
+
+def test_canonical_form_sorts_dict_keys():
+    assert canonical_form({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+    assert stable_digest({"b": 1, "a": 2}) == stable_digest({"a": 2, "b": 1})
+
+
+def test_canonical_form_distinguishes_float_and_int():
+    assert stable_digest(1) != stable_digest(1.0)
+
+
+def test_canonical_form_rejects_opaque_objects():
+    with pytest.raises(CampaignError):
+        canonical_form(object())
+
+
+def test_trial_key_varies_on_each_component():
+    base = trial_key("E9", 1, False, "abc")
+    assert trial_key("E9", 2, False, "abc") != base
+    assert trial_key("E9", 1, True, "abc") != base
+    assert trial_key("E9", 1, False, "abd") != base
+    assert trial_key("E7", 1, False, "abc") != base
+    assert trial_key("e9", 1, False, "abc") == base  # id case-insensitive
+
+
+def test_trial_key_includes_code_version():
+    assert trial_key("E9", 1, False, "abc", code_version="v1") != trial_key(
+        "E9", 1, False, "abc", code_version="v2"
+    )
+
+
+def test_machine_config_default_equals_juno_preset():
+    assert MachineConfig(seed=42).config_digest() == JUNO_R1_SEED42_DIGEST

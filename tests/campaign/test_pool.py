@@ -1,0 +1,131 @@
+"""Worker-pool robustness: timeout, crash isolation, retry, inline mode."""
+
+import os
+
+import pytest
+
+from repro.campaign.pool import TrialOutcome, resolve_function, run_tasks
+from repro.errors import CampaignError
+
+HELPERS = "tests.campaign.pool_helpers"
+
+
+def test_resolve_function_roundtrip():
+    fn = resolve_function(f"{HELPERS}:double_seed")
+    assert fn({"key": "k", "seed": 21}) == {"value": 42}
+
+
+def test_resolve_function_bad_paths():
+    with pytest.raises(CampaignError):
+        resolve_function("no-colon")
+    with pytest.raises(CampaignError):
+        resolve_function(f"{HELPERS}:missing_fn")
+
+
+def test_empty_task_list():
+    assert run_tasks([], f"{HELPERS}:double_seed", jobs=2) == {}
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(CampaignError):
+        run_tasks([{"key": "a"}, {"key": "a"}], f"{HELPERS}:double_seed")
+
+
+def test_parallel_success():
+    tasks = [{"key": f"k{i}", "seed": i} for i in range(6)]
+    outcomes = run_tasks(tasks, f"{HELPERS}:double_seed", jobs=3, timeout=30)
+    assert all(outcomes[f"k{i}"].ok for i in range(6))
+    assert all(outcomes[f"k{i}"].payload == {"value": i * 2} for i in range(6))
+    assert all(outcomes[f"k{i}"].attempts == 1 for i in range(6))
+
+
+def test_timeout_retries_then_quarantines_without_aborting():
+    """A hung worker is killed; the trial retried once, then reported."""
+    tasks = [
+        {"key": "hung", "seed": 0, "hang": True},
+        {"key": "fine1", "seed": 1},
+        {"key": "fine2", "seed": 2},
+    ]
+    outcomes = run_tasks(tasks, f"{HELPERS}:hang_on_flag", jobs=2, timeout=0.6)
+    hung = outcomes["hung"]
+    assert hung.status == "timeout"
+    assert hung.attempts == 2  # first run + one retry
+    assert hung.failures == ["timeout"]
+    assert outcomes["fine1"].ok and outcomes["fine2"].ok
+
+
+def test_worker_crash_is_isolated():
+    tasks = [
+        {"key": "boom", "seed": 0, "crash": True},
+        {"key": "fine", "seed": 1},
+    ]
+    outcomes = run_tasks(tasks, f"{HELPERS}:exit_on_flag", jobs=2, timeout=30)
+    assert outcomes["boom"].status == "crashed"
+    assert "exitcode" in outcomes["boom"].error
+    assert outcomes["fine"].ok
+
+
+def test_transient_failure_recovers_on_retry(tmp_path):
+    marker = str(tmp_path / "marker")
+    outcomes = run_tasks(
+        [{"key": "flaky", "marker": marker}],
+        f"{HELPERS}:fail_once",
+        jobs=1,
+        timeout=30,
+    )
+    assert outcomes["flaky"].ok
+    assert outcomes["flaky"].attempts == 2
+    assert outcomes["flaky"].failures == ["error"]
+
+
+def test_exceptions_carry_tracebacks():
+    outcomes = run_tasks(
+        [{"key": "bad"}], f"{HELPERS}:always_raise", jobs=1, timeout=30
+    )
+    assert outcomes["bad"].status == "error"
+    assert "ValueError" in outcomes["bad"].error
+
+
+def test_on_final_and_on_retry_callbacks(tmp_path):
+    finals, retries = [], []
+    marker = str(tmp_path / "m")
+    run_tasks(
+        [{"key": "flaky", "marker": marker}],
+        f"{HELPERS}:fail_once",
+        jobs=1,
+        timeout=30,
+        on_final=lambda task, outcome: finals.append((task["key"], outcome.status)),
+        on_retry=lambda task, kind: retries.append((task["key"], kind)),
+    )
+    assert finals == [("flaky", "ok")]
+    assert retries == [("flaky", "error")]
+
+
+def test_inline_mode_matches_pool_payloads():
+    tasks = [{"key": f"k{i}", "seed": i} for i in range(4)]
+    inline = run_tasks(tasks, f"{HELPERS}:double_seed", jobs=0)
+    pooled = run_tasks(tasks, f"{HELPERS}:double_seed", jobs=2, timeout=30)
+    assert {k: v.payload for k, v in inline.items()} == {
+        k: v.payload for k, v in pooled.items()
+    }
+
+
+def test_inline_mode_retries_and_reports(tmp_path):
+    marker = str(tmp_path / "m")
+    outcomes = run_tasks([{"key": "f", "marker": marker}], f"{HELPERS}:fail_once", jobs=0)
+    assert outcomes["f"].ok and outcomes["f"].attempts == 2
+
+    outcomes = run_tasks([{"key": "b"}], f"{HELPERS}:always_raise", jobs=0)
+    assert outcomes["b"].status == "error" and outcomes["b"].attempts == 2
+
+
+def test_invalid_arguments():
+    with pytest.raises(CampaignError):
+        run_tasks([{"key": "a"}], f"{HELPERS}:double_seed", jobs=-1)
+    with pytest.raises(CampaignError):
+        run_tasks([{"key": "a"}], f"{HELPERS}:double_seed", max_attempts=0)
+
+
+def test_outcome_ok_property():
+    assert TrialOutcome(key="k", status="ok").ok
+    assert not TrialOutcome(key="k", status="timeout").ok

@@ -1,0 +1,72 @@
+"""Content-addressed result store behaviour."""
+
+import json
+import os
+
+from repro.campaign.store import ResultStore
+
+
+def make_store(tmp_path):
+    return ResultStore(str(tmp_path), "E7-test")
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = make_store(tmp_path)
+    record = {"key": "abc123", "status": "ok", "payload": {"x": 1.5}}
+    store.put(record)
+    assert store.get("abc123") == record
+    assert "abc123" in store
+    assert len(store) == 1
+
+
+def test_records_persist_across_reopen(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a1", "status": "ok", "payload": {}})
+    store.put({"key": "b2", "status": "ok", "payload": {}})
+    reopened = make_store(tmp_path)
+    assert reopened.load() == 2
+    assert reopened.get("a1") is not None and reopened.get("b2") is not None
+
+
+def test_keys_route_to_shards_by_first_hex_digit(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a111", "status": "ok"})
+    store.put({"key": "a222", "status": "ok"})
+    store.put({"key": "f333", "status": "ok"})
+    names = sorted(os.path.basename(p) for p in store.shard_paths())
+    assert names == ["shard-0a.jsonl", "shard-0f.jsonl"]
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a1", "status": "ok", "payload": {"v": 1}})
+    # Simulate a run killed mid-write: torn JSON on the final line.
+    with open(store.shard_path("a1"), "a", encoding="utf-8") as handle:
+        handle.write('{"key": "a2", "status": "o')
+    reopened = make_store(tmp_path)
+    assert reopened.load() == 1
+    assert reopened.get("a2") is None
+
+
+def test_later_records_supersede_earlier(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a1", "status": "ok", "payload": {"v": 1}})
+    store.put({"key": "a1", "status": "ok", "payload": {"v": 2}})
+    reopened = make_store(tmp_path)
+    reopened.load()
+    assert reopened.get("a1")["payload"]["v"] == 2
+
+
+def test_quarantine_is_separate_from_cache(tmp_path):
+    store = make_store(tmp_path)
+    store.quarantine({"key": "bad1", "status": "timeout", "seed": 9})
+    assert store.get("bad1") is None  # never served as a cache hit
+    assert [q["key"] for q in store.quarantined()] == ["bad1"]
+
+
+def test_shard_lines_are_valid_json(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "c9", "status": "ok", "payload": {"pi": 3.14}})
+    with open(store.shard_path("c9"), encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    assert lines == [{"key": "c9", "status": "ok", "payload": {"pi": 3.14}}]

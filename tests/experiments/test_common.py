@@ -1,6 +1,9 @@
 """Stack builder and cluster-stat tests."""
 
+import pytest
+
 from repro.config import juno_r1_config
+from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult, build_stack
 
 
@@ -25,10 +28,24 @@ def test_stack_without_acceleration():
     assert stack.prober is not None and stack.prober.oracle is None
 
 
-def test_seed_overrides_machine_config():
+def test_conflicting_seeds_raise():
     config = juno_r1_config(seed=111)
-    stack = build_stack(seed=222, machine_config=config)
-    assert stack.machine.config.seed == 222
+    with pytest.raises(ConfigurationError, match="conflicting seeds"):
+        build_stack(seed=222, machine_config=config)
+
+
+def test_machine_config_seed_is_authoritative():
+    stack = build_stack(machine_config=juno_r1_config(seed=111))
+    assert stack.machine.config.seed == 111
+
+
+def test_matching_seeds_accepted():
+    stack = build_stack(seed=111, machine_config=juno_r1_config(seed=111))
+    assert stack.machine.config.seed == 111
+
+
+def test_default_seed_is_2019():
+    assert build_stack().machine.config.seed == 2019
 
 
 def test_trusted_boot_precedes_attack():
