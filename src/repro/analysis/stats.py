@@ -101,7 +101,9 @@ def percentile(samples: Sequence[float], p: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # ordered[low] + delta*frac (not the two-product lerp) so equal
+    # neighbours interpolate exactly and the result stays in range.
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
 
 
 def boxplot_stats(samples: Sequence[float]) -> BoxplotStats:

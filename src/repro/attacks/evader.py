@@ -88,11 +88,13 @@ class TZEvader:
     # ------------------------------------------------------------------
     def _on_detect(self, detection: ProbeDetection) -> None:
         self.detections_seen += 1
+        self.machine.metrics.counter("attack.detections_seen").inc()
         self._suspects.add(detection.suspect_core)
         if self.state is not EvaderState.ATTACKING:
             return
         self.state = EvaderState.HIDING
         self.hide_attempts += 1
+        self.machine.metrics.counter("attack.hide_attempts").inc()
         self._hide_started_at = self.machine.sim.now
         self.rich_os.spawn_realtime(
             f"evader-recover-{self.hide_attempts}",
@@ -117,8 +119,11 @@ class TZEvader:
         yield cpu(self.rootkit.recovery_time(core))
         self.rootkit.apply_hide()
         self.hides_completed += 1
+        self.machine.metrics.counter("attack.hides_completed").inc()
         if self._hide_started_at is not None:
-            self.hide_latencies.append(self.machine.sim.now - self._hide_started_at)
+            latency = self.machine.sim.now - self._hide_started_at
+            self.hide_latencies.append(latency)
+            self.machine.metrics.histogram("attack.hide_latency_seconds").observe(latency)
             self._hide_started_at = None
         if self.state is EvaderState.HIDING:
             self.state = EvaderState.HIDDEN
@@ -138,6 +143,7 @@ class TZEvader:
         if self.state is EvaderState.HIDDEN and not self._suspects:
             self.rootkit.apply_reattack()
             self.reattacks += 1
+            self.machine.metrics.counter("attack.reattacks").inc()
             self.state = EvaderState.ATTACKING
 
     # ------------------------------------------------------------------

@@ -211,6 +211,7 @@ class ProbeController:
                     detection = ProbeDetection(now, observer_core, target, staleness)
                     self.detections.append(detection)
                     new_detections.append(detection)
+                    self.machine.metrics.counter("attack.probe_detections").inc()
                     self.machine.trace.emit(
                         now, "prober", "core suspected in secure world",
                         observer=observer_core, suspect=target,

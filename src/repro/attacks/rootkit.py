@@ -115,6 +115,7 @@ class PersistentRootkit:
         self.active = False
         self.hide_count += 1
         self.timeline.append(StateTransition(self.machine.sim.now, False))
+        self.machine.metrics.counter("attack.traces_hidden").inc()
         self.machine.trace.emit(self.machine.sim.now, "rootkit", "traces hidden")
 
     def apply_reattack(self) -> None:
@@ -123,6 +124,7 @@ class PersistentRootkit:
             return
         self._write_evil()
         self.reattack_count += 1
+        self.machine.metrics.counter("attack.traces_replanted").inc()
         self.machine.trace.emit(self.machine.sim.now, "rootkit", "traces re-planted")
 
     def _write_evil(self) -> None:

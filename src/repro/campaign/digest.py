@@ -29,7 +29,7 @@ from repro.errors import CampaignError
 #: Bump when the meaning of a trial record changes (new fields computed
 #: differently, experiment semantics altered, ...).  Invalidates every
 #: cached trial, which is exactly what a semantic change requires.
-CODE_VERSION = "campaign-v1"
+CODE_VERSION = "campaign-v2"  # v2: trial payloads carry a metrics snapshot
 
 
 def canonical_form(obj: Any) -> Any:

@@ -168,6 +168,7 @@ def run_tasks(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     on_final: Optional[Callable[[Dict[str, Any], TrialOutcome], None]] = None,
     on_retry: Optional[Callable[[Dict[str, Any], str], None]] = None,
+    metrics: Optional[Any] = None,
 ) -> Dict[str, TrialOutcome]:
     """Run every task through the pool; returns ``key -> TrialOutcome``.
 
@@ -175,7 +176,9 @@ def run_tasks(
     per task with its final outcome (in completion order); ``on_retry``
     fires for each absorbed failure.  The call returns only when every
     task has a final outcome — a hung or crashed worker never wedges the
-    campaign.
+    campaign.  ``metrics`` (a supervisor-side
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives dispatch,
+    timeout-kill and respawn counters.
     """
     keys = [t["key"] for t in tasks]
     if len(set(keys)) != len(keys):
@@ -187,8 +190,13 @@ def run_tasks(
 
     if not tasks:
         return {}
+
+    def count(name: str) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc()
+
     if jobs == 0:
-        return _run_inline(tasks, fn_path, max_attempts, on_final, on_retry)
+        return _run_inline(tasks, fn_path, max_attempts, on_final, on_retry, count)
 
     context = _pool_context()
     result_queue = context.Queue()
@@ -255,6 +263,7 @@ def run_tasks(
                 if pending and not slot.busy:
                     task = pending.pop(0)
                     attempts[task["key"]] += 1
+                    count("campaign.pool_dispatches")
                     slot.assign(task)
 
             # Collect any finished results.
@@ -274,11 +283,13 @@ def run_tasks(
                 key = task["key"]
                 if timeout is not None and now - slot.started_at > timeout:
                     elapsed_total[key] += now - slot.started_at
+                    count("campaign.worker_respawns")
                     slot.respawn()
                     record_failure(task, "timeout", f"trial exceeded {timeout:g}s; worker killed")
                 elif not slot.process.is_alive():
                     exitcode = slot.process.exitcode
                     elapsed_total[key] += now - slot.started_at
+                    count("campaign.worker_respawns")
                     slot.respawn()
                     record_failure(
                         task, "crashed", f"worker died mid-trial (exitcode {exitcode})"
@@ -297,6 +308,7 @@ def _run_inline(
     max_attempts: int,
     on_final: Optional[Callable[[Dict[str, Any], TrialOutcome], None]],
     on_retry: Optional[Callable[[Dict[str, Any], str], None]],
+    count: Callable[[str], None] = lambda name: None,
 ) -> Dict[str, TrialOutcome]:
     """jobs=0: serial in-process execution (the reference path)."""
     fn = resolve_function(fn_path)
@@ -306,6 +318,7 @@ def _run_inline(
         failures: List[str] = []
         elapsed = 0.0
         for attempt in range(1, max_attempts + 1):
+            count("campaign.pool_dispatches")
             started = time.monotonic()
             try:
                 payload = fn(task)

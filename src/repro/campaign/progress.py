@@ -1,9 +1,19 @@
 """Campaign progress streamed to stderr: counts, throughput, ETA.
 
-On a TTY the meter repaints one status line with carriage returns; on a
-pipe (CI logs) it emits a full line at most every ``interval`` seconds so
-logs stay readable.  All counters are driven by the supervisor, so the
-meter needs no locking.
+The meter owns no counters of its own: every number it prints is read
+from a :class:`~repro.obs.metrics.MetricsRegistry` (the campaign
+supervisor's), so the progress line, the final manifest, and ``repro
+metrics`` can never disagree.
+
+Three output modes:
+
+* **TTY** — repaint one status line with carriage returns;
+* **non-TTY** (CI logs, pipes) — a full line at most every ``interval``
+  seconds so logs stay readable;
+* **quiet** — nothing until :meth:`finish`, which emits the final tally
+  once (pass ``enabled=False`` to silence even that).
+
+All counters are driven by the supervisor, so the meter needs no locking.
 """
 
 from __future__ import annotations
@@ -11,6 +21,14 @@ from __future__ import annotations
 import sys
 import time
 from typing import Optional, TextIO
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Supervisor metric names the meter reads (and increments).
+DONE = "campaign.trials_done"
+FAILED = "campaign.trials_failed"
+CACHED = "campaign.trials_cached"
+RETRIES = "campaign.trial_retries"
 
 
 def _fmt_eta(seconds: float) -> str:
@@ -30,44 +48,62 @@ class ProgressMeter:
     def __init__(
         self,
         total: int,
+        registry: Optional[MetricsRegistry] = None,
         stream: Optional[TextIO] = None,
         enabled: bool = True,
+        quiet: bool = False,
         interval: float = 0.5,
         label: str = "campaign",
     ) -> None:
         self.total = total
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
+        self.quiet = quiet
         self.interval = interval
         self.label = label
-        self.done = 0
-        self.failed = 0
-        self.cached = 0
-        self.retries = 0
         self._started = time.monotonic()
         self._last_emit = 0.0
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
 
     # ------------------------------------------------------------------
+    # Registry-backed counters
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> int:
+        return self.registry.counter(DONE).value
+
+    @property
+    def failed(self) -> int:
+        return self.registry.counter(FAILED).value
+
+    @property
+    def cached(self) -> int:
+        return self.registry.counter(CACHED).value
+
+    @property
+    def retries(self) -> int:
+        return self.registry.counter(RETRIES).value
 
     @property
     def completed(self) -> int:
         return self.done + self.failed + self.cached
 
     def note_cached(self, count: int = 1) -> None:
-        self.cached += count
+        self.registry.counter(CACHED).inc(count)
         self._maybe_emit()
 
     def note_done(self) -> None:
-        self.done += 1
+        self.registry.counter(DONE).inc()
         self._maybe_emit()
 
     def note_failed(self) -> None:
-        self.failed += 1
+        self.registry.counter(FAILED).inc()
         self._maybe_emit()
 
     def note_retry(self) -> None:
-        self.retries += 1
+        self.registry.counter(RETRIES).inc()
         self._maybe_emit()
 
     # ------------------------------------------------------------------
@@ -94,23 +130,23 @@ class ProgressMeter:
         return " | ".join(parts)
 
     def _maybe_emit(self, force: bool = False) -> None:
-        if not self.enabled:
+        if not self.enabled or (self.quiet and not force):
             return
         now = time.monotonic()
         if not force and now - self._last_emit < self.interval:
             return
         self._last_emit = now
-        if self._tty:
+        if self._tty and not self.quiet:
             self.stream.write("\r" + self.render().ljust(79))
         else:
             self.stream.write(self.render() + "\n")
         self.stream.flush()
 
     def finish(self) -> None:
-        """Emit the final tally unconditionally."""
+        """Emit the final tally unconditionally (even in quiet mode)."""
         if not self.enabled:
             return
         self._maybe_emit(force=True)
-        if self._tty:
+        if self._tty and not self.quiet:
             self.stream.write("\n")
             self.stream.flush()

@@ -19,8 +19,9 @@ run over the same seed set.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.analysis.stats import Summary, mean_ci
 from repro.analysis.tables import render_table
@@ -30,6 +31,8 @@ from repro.campaign.progress import ProgressMeter
 from repro.campaign.store import ResultStore
 from repro.campaign.trials import DEFAULT_PRESET, build_trial_config
 from repro.errors import CampaignError
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
 
 #: Import path of the worker-side trial function.
 TRIAL_FN = "repro.campaign.trials:run_experiment_trial"
@@ -114,6 +117,8 @@ class CampaignResult:
     ran: int
     quarantined: List[Dict[str, Any]]
     rendered: str
+    #: path of the run manifest written beside the result cache.
+    manifest_path: Optional[str] = None
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -231,14 +236,17 @@ def render_campaign(
 def run_campaign(
     spec: CampaignSpec,
     stream: Optional[TextIO] = None,
-    progress: bool = True,
+    progress: Union[bool, str] = True,
     trial_fn: str = TRIAL_FN,
 ) -> CampaignResult:
     """Execute a campaign end-to-end; never aborts on individual trials.
 
     ``trial_fn`` is the worker-side function's import path; tests override
     it to inject hanging/crashing trials against a real campaign.
+    ``progress`` is ``True`` (live meter), ``False`` (silent), or
+    ``"quiet"`` (one final tally line).
     """
+    started_wall = time.monotonic()
     tasks = spec.trial_tasks()
     store = ResultStore(spec.cache_dir, spec.campaign_id())
     store.load()
@@ -252,13 +260,22 @@ def run_campaign(
         else:
             pending.append(task)
 
-    meter = ProgressMeter(total=len(tasks), stream=stream, enabled=progress)
+    supervisor = MetricsRegistry()
+    meter = ProgressMeter(
+        total=len(tasks),
+        registry=supervisor,
+        stream=stream,
+        enabled=progress is not False,
+        quiet=progress == "quiet",
+    )
     if cached_records:
         meter.note_cached(len(cached_records))
 
     quarantined: List[Dict[str, Any]] = []
 
     def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+        supervisor.histogram("campaign.trial_wall_seconds").observe(outcome.elapsed)
+        supervisor.histogram("campaign.trial_attempts").observe(float(outcome.attempts))
         if outcome.ok:
             store.put(make_record(task, outcome))
             meter.note_done()
@@ -287,6 +304,7 @@ def run_campaign(
         max_attempts=spec.max_attempts,
         on_final=on_final,
         on_retry=on_retry,
+        metrics=supervisor,
     )
     meter.finish()
 
@@ -302,7 +320,7 @@ def run_campaign(
     rendered = render_campaign(
         spec, records, cached=len(cached_records), ran=len(pending), quarantined=quarantined
     )
-    return CampaignResult(
+    result = CampaignResult(
         spec=spec,
         total=len(tasks),
         records=records,
@@ -311,3 +329,11 @@ def run_campaign(
         quarantined=quarantined,
         rendered=rendered,
     )
+    manifest = build_manifest(
+        spec,
+        result,
+        wall_seconds=time.monotonic() - started_wall,
+        supervisor_snapshot=supervisor.snapshot(),
+    )
+    result.manifest_path = write_manifest(store.directory, manifest)
+    return result

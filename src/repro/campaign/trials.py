@@ -67,8 +67,17 @@ def build_trial_config(
 
 
 def run_experiment_trial(task: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one experiment trial and distil a serialisable record."""
+    """Execute one experiment trial and distil a serialisable record.
+
+    The whole trial runs under a scoped
+    :class:`~repro.obs.metrics.MetricsRegistry` — every machine the
+    experiment builds adopts it — and the registry's snapshot rides along
+    in the payload.  All metered quantities are simulated-time or count
+    based, so the snapshot is a pure function of the task: the campaign
+    manifest can merge shard snapshots into a byte-reproducible rollup.
+    """
     from repro.experiments.report import run_experiment, spec_by_id
+    from repro.obs.metrics import use_registry
 
     experiment_id = task["experiment_id"]
     seed = task["seed"]
@@ -76,27 +85,28 @@ def run_experiment_trial(task: Dict[str, Any]) -> Dict[str, Any]:
     preset = task.get("preset", DEFAULT_PRESET)
     satin = task.get("satin") or None
 
-    if preset == DEFAULT_PRESET and not satin:
-        result = run_experiment(experiment_id, seed=seed, full=full)
-    else:
-        # Variant trials need a driver that accepts a prebuilt stack;
-        # everything else hard-codes its own juno_r1 build.
-        if experiment_id.upper() not in STACK_AWARE_EXPERIMENTS:
-            raise CampaignError(
-                f"experiment {experiment_id} cannot run config variants "
-                f"(stack-aware: {', '.join(STACK_AWARE_EXPERIMENTS)})"
-            )
-        from repro.experiments.common import build_stack
-        from repro.experiments.detection import run_detection_experiment
+    with use_registry() as registry:
+        if preset == DEFAULT_PRESET and not satin:
+            result = run_experiment(experiment_id, seed=seed, full=full)
+        else:
+            # Variant trials need a driver that accepts a prebuilt stack;
+            # everything else hard-codes its own juno_r1 build.
+            if experiment_id.upper() not in STACK_AWARE_EXPERIMENTS:
+                raise CampaignError(
+                    f"experiment {experiment_id} cannot run config variants "
+                    f"(stack-aware: {', '.join(STACK_AWARE_EXPERIMENTS)})"
+                )
+            from repro.experiments.common import build_stack
+            from repro.experiments.detection import run_detection_experiment
 
-        spec = spec_by_id(experiment_id)
-        config = build_trial_config(seed, preset=preset, satin=satin)
-        stack = build_stack(
-            machine_config=config, with_satin=True, with_evader=True
-        )
-        passes = 10 if full else 2
-        result = run_detection_experiment(seed=seed, passes=passes, stack=stack)
-        result.title = f"{spec.title} [{preset}]"
+            spec = spec_by_id(experiment_id)
+            config = build_trial_config(seed, preset=preset, satin=satin)
+            stack = build_stack(
+                machine_config=config, with_satin=True, with_evader=True
+            )
+            passes = 10 if full else 2
+            result = run_detection_experiment(seed=seed, passes=passes, stack=stack)
+            result.title = f"{spec.title} [{preset}]"
 
     return {
         "experiment_id": result.experiment_id,
@@ -106,4 +116,5 @@ def run_experiment_trial(task: Dict[str, Any]) -> Dict[str, Any]:
         "rendered": result.rendered,
         "comparisons": sanitize_comparisons(result.comparisons),
         "values": scalar_values(result.values),
+        "metrics": registry.snapshot(),
     }

@@ -11,6 +11,11 @@ Commands
 ``report``
     Run the whole suite and print/write the assembled report
     (``--full`` runs are fanned out across the campaign worker pool).
+``trace <scenario>``
+    Run a trace scenario and export Perfetto ``trace_event`` JSON
+    (open in ui.perfetto.dev) and/or JSONL.
+``metrics <campaign-dir>``
+    Render the rollup of a campaign's ``manifest.json``.
 ``demo``
     A 60-second narrated run: SATIN catching a GETTID hijack.
 """
@@ -71,10 +76,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             resume=args.resume,
         )
-        result = run_campaign(spec, progress=not args.quiet)
+        if args.no_progress:
+            progress = False
+        elif args.quiet:
+            progress = "quiet"
+        else:
+            progress = True
+        result = run_campaign(spec, progress=progress)
     except (ReproError, KeyError) as error:
         print(error.args[0] if error.args else str(error), file=sys.stderr)
         return 2
+    if result.manifest_path:
+        print(f"manifest written to {result.manifest_path}", file=sys.stderr)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.rendered + "\n")
@@ -102,6 +115,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.scenarios import (
+        build_scenario_stack,
+        run_scenario,
+        scenario_by_name,
+        scenario_records,
+    )
+    from repro.obs.trace_export import (
+        JsonlTraceWriter,
+        machine_core_labels,
+        write_perfetto,
+    )
+
+    if not args.out and not args.jsonl:
+        print("trace: pass --out (Perfetto JSON) and/or --jsonl", file=sys.stderr)
+        return 2
+    try:
+        scenario = scenario_by_name(args.scenario)
+        stack = build_scenario_stack(scenario, seed=args.seed, preset=args.preset)
+        jsonl_handle = None
+        if args.jsonl:
+            # Stream records as they happen (a crash leaves a readable prefix).
+            jsonl_handle = open(args.jsonl, "w", encoding="utf-8")
+            writer = JsonlTraceWriter(jsonl_handle)
+            stack.machine.trace.add_listener(writer)
+        try:
+            run_scenario(stack, scenario, duration=args.duration, rounds=args.rounds)
+        finally:
+            if jsonl_handle is not None:
+                jsonl_handle.close()
+        records = scenario_records(stack)
+        if args.out:
+            trace = write_perfetto(
+                records, args.out, machine_core_labels(stack.machine)
+            )
+            spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+            print(
+                f"{args.out}: {len(trace['traceEvents'])} trace events "
+                f"({spans} spans) over {stack.machine.now:.3f}s simulated — "
+                f"open in ui.perfetto.dev",
+                file=sys.stderr,
+            )
+        if args.jsonl:
+            print(f"{args.jsonl}: {len(records)} records (JSONL)", file=sys.stderr)
+    except ReproError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    counters = stack.machine.metrics.snapshot()["counters"]
+    for name in sorted(counters):
+        print(f"{name} = {counters[name]}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.manifest import load_manifest, render_manifest
+
+    try:
+        manifest = load_manifest(args.path)
+    except (ReproError, OSError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    print(render_manifest(manifest), end="")
     return 0
 
 
@@ -167,7 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cache-dir", default=".repro-cache",
                           help="result store root (default .repro-cache)")
     campaign.add_argument("--quiet", action="store_true",
-                          help="suppress the stderr progress meter")
+                          help="progress meter prints only the final tally")
+    campaign.add_argument("--no-progress", action="store_true",
+                          help="suppress the stderr progress meter entirely")
     campaign.add_argument("-o", "--output",
                           help="write the campaign summary to a file")
 
@@ -181,6 +263,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: CPU count when --full, else serial)")
     report.add_argument("-o", "--output", help="write the report to a file")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario and export Perfetto/JSONL traces",
+    )
+    trace.add_argument("scenario",
+                       help="scenario name (figure4, baseline, idle)")
+    trace.add_argument("--seed", type=int, default=2019)
+    trace.add_argument("--preset", default="juno_r1",
+                       help="platform preset (default juno_r1)")
+    trace.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="simulated seconds to run (default: run until "
+                            "--rounds introspection rounds)")
+    trace.add_argument("--rounds", type=int, default=4,
+                       help="introspection rounds to capture when no "
+                            "--duration is given (default 4)")
+    trace.add_argument("-o", "--out", metavar="FILE",
+                       help="write Chrome/Perfetto trace_event JSON here")
+    trace.add_argument("--jsonl", metavar="FILE",
+                       help="stream raw trace records to this JSONL file")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a campaign manifest rollup",
+    )
+    metrics.add_argument("path",
+                         help="manifest.json, a campaign directory, or a "
+                              "cache root (most recent campaign wins)")
+
     demo = sub.add_parser("demo", help="narrated SATIN detection demo")
     demo.add_argument("--seed", type=int, default=42)
 
@@ -192,6 +302,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "demo": _cmd_demo,
 }
 

@@ -76,7 +76,12 @@ class IntegrityCheckingModule:
             result.area_index = area.index
             result.round_index = round_index
             self.results.append(result)
+            metrics = self.machine.metrics
+            metrics.counter("satin.rounds").inc()
+            metrics.histogram("satin.round_duration_seconds").observe(result.duration)
+            metrics.histogram("satin.scan_bytes").observe(float(area.length))
             if not result.match:
+                metrics.counter("satin.mismatches").inc()
                 self.mismatch_count += 1
                 self.alarms.raise_alarm(
                     AlarmRecord(

@@ -141,6 +141,8 @@ class Satin:
         self.tsp.set_timer_service(self._on_secure_wake)
         self.activation.arm_initial()
         self.installed = True
+        self.machine.metrics.gauge("satin.areas").set(float(len(self.areas)))
+        self.machine.metrics.gauge("satin.tp_seconds").set(self.policy.tp)
         self.machine.trace.emit(
             self.machine.sim.now, "satin", "installed",
             areas=len(self.areas), tp=self.policy.tp,

@@ -53,3 +53,7 @@ class AttackError(ReproError):
 
 class CampaignError(ReproError):
     """A Monte-Carlo campaign was misconfigured or its cache is unusable."""
+
+
+class ObservabilityError(ReproError):
+    """The telemetry subsystem (metrics / trace export) was misused."""

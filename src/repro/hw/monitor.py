@@ -21,7 +21,7 @@ interrupts for the duration of a round (ablated in the benchmarks).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import HardwareError, SimulationError
 from repro.hw.core import Core
@@ -113,12 +113,20 @@ class SecureExecution:
 class SecureMonitor:
     """The EL3 firmware: owns every world transition."""
 
-    def __init__(self, sim: Simulator, gic: Gic, trace: TraceRecorder) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        gic: Gic,
+        trace: TraceRecorder,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.sim = sim
         self.gic = gic
         self.trace = trace
+        self.metrics = metrics
         self._handlers: Dict[int, SecurePayload] = {}
         self._executions: Dict[int, SecureExecution] = {}
+        self._entry_started: Dict[int, float] = {}
         gic.attach_monitor(self)
         # --- statistics -------------------------------------------------
         self.switches_to_secure = 0
@@ -158,6 +166,10 @@ class SecureMonitor:
         core.transitioning = True
         core.notify_enter_secure()  # the normal world loses the core NOW
         switch_cost = core.perf.world_switch()
+        self._entry_started[core.index] = self.sim.now
+        if self.metrics is not None:
+            self.metrics.counter("monitor.world_switches").inc()
+            self.metrics.histogram("monitor.switch_cost_seconds").observe(switch_cost)
         self.trace.emit(self.sim.now, "monitor", "secure entry begins",
                         core=core.index, switch_cost=switch_cost)
         self.sim.schedule(switch_cost, self._enter_secure, core, payload)
@@ -174,11 +186,19 @@ class SecureMonitor:
         core.transitioning = True
         core.world = World.SECURE  # still secure during the return switch
         switch_cost = core.perf.world_switch()
+        if self.metrics is not None:
+            self.metrics.counter("monitor.world_switches").inc()
+            self.metrics.histogram("monitor.switch_cost_seconds").observe(switch_cost)
         self.sim.schedule(switch_cost, self._exit_secure, core)
 
     def _exit_secure(self, core: Core) -> None:
         core.world = World.NORMAL
         core.transitioning = False
+        entered_at = self._entry_started.pop(core.index, None)
+        if self.metrics is not None and entered_at is not None:
+            self.metrics.histogram("monitor.secure_residency_seconds").observe(
+                self.sim.now - entered_at
+            )
         self.trace.emit(self.sim.now, "monitor", "normal world resumed", core=core.index)
         core.notify_exit_secure()
         self.gic.flush_pending(core)
@@ -197,6 +217,8 @@ class SecureMonitor:
         if execution is None or not execution.pause():
             return False
         self.preemptions += 1
+        if self.metrics is not None:
+            self.metrics.counter("monitor.preemptions").inc()
         out_switch = core.perf.world_switch()
         handler_cost = core.perf.tick()
         in_switch = core.perf.world_switch()

@@ -20,6 +20,7 @@ from repro.hw.monitor import SecureMonitor
 from repro.hw.perf import CorePerf
 from repro.hw.timer import SystemCounter
 from repro.hw.world import World
+from repro.obs.metrics import MetricsRegistry, active_registry
 from repro.sim.rng import RngRegistry
 from repro.sim.simulator import Simulator
 from repro.sim.tracing import TraceRecorder
@@ -38,7 +39,12 @@ class Machine:
         self.config = config
         self.sim = Simulator()
         self.rng = RngRegistry(config.seed)
-        self.trace = TraceRecorder(enabled=config.trace_enabled)
+        # Adopt the harness-scoped registry when one is installed (the
+        # campaign trial runner meters whole trials this way); otherwise
+        # every machine gets its own.
+        self.metrics = active_registry() or MetricsRegistry()
+        self.sim.metrics = self.metrics
+        self.trace = TraceRecorder(enabled=config.trace_enabled, metrics=self.metrics)
 
         # --- memory map ---------------------------------------------------
         self.memory = PhysicalMemory()
@@ -50,7 +56,7 @@ class Machine:
         # --- timers, interrupts, cores -------------------------------------
         self.counter = SystemCounter(self.sim, config.counter_frequency_hz)
         self.gic = Gic(self.sim, self.trace)
-        self.monitor = SecureMonitor(self.sim, self.gic, self.trace)
+        self.monitor = SecureMonitor(self.sim, self.gic, self.trace, metrics=self.metrics)
 
         self.cores: List[Core] = []
         self.clusters: List[Cluster] = []

@@ -1,0 +1,52 @@
+"""Telemetry subsystem: metrics registry, trace export, run manifests.
+
+Three pillars (docs/observability.md has the operator's view):
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-log-bucket
+  histograms and timers with deterministic snapshot/merge, emitted by the
+  simulator loop, the world-switch path, introspection rounds, the attack
+  state machines, and the campaign supervisor;
+* :mod:`repro.obs.trace_export` — :class:`~repro.sim.tracing.TraceRecorder`
+  records streamed to JSONL and rendered as Chrome/Perfetto
+  ``trace_event`` JSON (``python -m repro trace ...``);
+* :mod:`repro.obs.manifest` — per-campaign ``manifest.json`` evidence
+  files and their rollup (``python -m repro metrics ...``).
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    merge_snapshots,
+    use_registry,
+)
+from repro.obs.trace_export import (
+    JsonlTraceWriter,
+    PerfettoExporter,
+    perfetto_trace,
+    validate_trace_event_json,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    load_manifest,
+    render_manifest,
+    write_manifest,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "active_registry",
+    "merge_snapshots",
+    "use_registry",
+    "JsonlTraceWriter",
+    "PerfettoExporter",
+    "perfetto_trace",
+    "validate_trace_event_json",
+    "write_jsonl",
+    "write_perfetto",
+    "build_manifest",
+    "load_manifest",
+    "render_manifest",
+    "write_manifest",
+]

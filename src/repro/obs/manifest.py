@@ -1,0 +1,244 @@
+"""Campaign run manifests: attestable evidence beside the result cache.
+
+Every campaign run writes ``manifest.json`` into its cache directory
+(``.repro-cache/<campaign_id>/``), recording what ran, under which code
+version and config digest, how each trial fared (wall time, attempts,
+cache hit, quarantine), and — the part that must be bit-reproducible —
+the **merged deterministic metrics** of every trial, folded in task
+order through :func:`repro.obs.metrics.merge_snapshots`.  A ``--jobs 4``
+run and a ``--jobs 0`` run over the same grid therefore render identical
+``metrics`` sections; only the wall-clock ``supervisor`` section may
+differ.
+
+``python -m repro metrics <campaign-dir>`` renders the rollup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import bucket_bound, merge_snapshots
+
+MANIFEST_NAME = "manifest.json"
+
+#: Bumped when the manifest layout changes shape.
+MANIFEST_SCHEMA = "satin-campaign-manifest/v1"
+
+
+def build_manifest(
+    spec,
+    result,
+    wall_seconds: float,
+    supervisor_snapshot: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest for one finished campaign run.
+
+    ``spec``/``result`` are the campaign's
+    :class:`~repro.campaign.runner.CampaignSpec` and
+    :class:`~repro.campaign.runner.CampaignResult` (typed loosely to keep
+    this module import-light for the CLI's ``metrics`` command).
+    """
+    from repro.campaign.digest import CODE_VERSION
+
+    by_key = {record["key"]: record for record in result.records}
+    quarantined = {item["key"]: item for item in result.quarantined}
+    trials: List[Dict[str, Any]] = []
+    metric_snapshots: List[Dict[str, Any]] = []
+    for task in spec.trial_tasks():  # task order => deterministic merge
+        key = task["key"]
+        record = by_key.get(key)
+        if record is not None:
+            payload = record.get("payload", {})
+            trials.append(
+                {
+                    "seed": task["seed"],
+                    "preset": task["preset"],
+                    "status": "ok",
+                    "elapsed": record.get("elapsed", 0.0),
+                    "attempts": record.get("attempts", 1),
+                }
+            )
+            metric_snapshots.append(payload.get("metrics") or {})
+        elif key in quarantined:
+            item = quarantined[key]
+            trials.append(
+                {
+                    "seed": task["seed"],
+                    "preset": task["preset"],
+                    "status": item.get("status", "failed"),
+                    "elapsed": 0.0,
+                    "attempts": item.get("attempts", 0),
+                }
+            )
+        else:
+            trials.append(
+                {
+                    "seed": task["seed"],
+                    "preset": task["preset"],
+                    "status": "missing",
+                    "elapsed": 0.0,
+                    "attempts": 0,
+                }
+            )
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "campaign_id": spec.campaign_id(),
+        "experiment_id": spec.experiment_id.upper(),
+        "code_version": CODE_VERSION,
+        "generated_unix": time.time(),
+        "spec": {
+            "seeds": len(spec.seeds),
+            "seed_range": [min(spec.seeds), max(spec.seeds)],
+            "presets": list(spec.presets),
+            "full": spec.full,
+            "jobs": spec.jobs,
+            "timeout": spec.timeout,
+            "max_attempts": spec.max_attempts,
+        },
+        "totals": {
+            "trials": result.total,
+            "ran": result.ran,
+            "cached": result.cached,
+            "quarantined": len(result.quarantined),
+            "cache_hit_ratio": result.cache_hit_ratio,
+            "wall_seconds": wall_seconds,
+        },
+        "trials": trials,
+        "metrics": merge_snapshots(metric_snapshots),
+        "supervisor": supervisor_snapshot or {},
+    }
+
+
+def write_manifest(directory: str, manifest: Dict[str, Any]) -> str:
+    """Write ``manifest.json`` into ``directory``; returns the path."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
+
+
+def find_manifest(path: str) -> str:
+    """Resolve a manifest path from a file, campaign dir, or cache root.
+
+    Accepts the manifest file itself, the campaign directory containing
+    it, or a cache root holding campaign directories — the most recently
+    written manifest wins in the last case.
+    """
+    if os.path.isfile(path):
+        return path
+    direct = os.path.join(path, MANIFEST_NAME)
+    if os.path.isfile(direct):
+        return direct
+    candidates = []
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            nested = os.path.join(path, name, MANIFEST_NAME)
+            if os.path.isfile(nested):
+                candidates.append(nested)
+    if not candidates:
+        raise ObservabilityError(
+            f"no {MANIFEST_NAME} under {path!r} (run a campaign first)"
+        )
+    return max(candidates, key=os.path.getmtime)
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    with open(find_manifest(path), "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict) or "schema" not in manifest:
+        raise ObservabilityError(f"{path!r} is not a campaign manifest")
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Rollup rendering (``python -m repro metrics``)
+# ---------------------------------------------------------------------------
+
+_BAR_WIDTH = 32
+
+
+def _fmt_bound(index_key: str) -> str:
+    bound = bucket_bound(int(index_key))
+    return "inf" if bound is None else f"{bound:.3g}"
+
+
+def render_histogram(name: str, histogram: Dict[str, Any]) -> List[str]:
+    """ASCII rendering of one snapshot histogram."""
+    count = histogram.get("count", 0)
+    lines = [
+        f"{name}: n={count} sum={histogram.get('sum', 0.0):.6g} "
+        f"min={histogram.get('min')} max={histogram.get('max')}"
+    ]
+    buckets = histogram.get("buckets", {})
+    if not buckets or not count:
+        return lines
+    top = max(buckets.values())
+    for key in sorted(buckets, key=int):
+        n = buckets[key]
+        bar = "#" * max(1, round(n / top * _BAR_WIDTH))
+        lines.append(f"  <= {_fmt_bound(key):>8}  {n:>8}  {bar}")
+    return lines
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Human rollup of one manifest (the ``repro metrics`` output)."""
+    spec = manifest.get("spec", {})
+    totals = manifest.get("totals", {})
+    lines = [
+        f"# campaign {manifest.get('experiment_id')} — "
+        f"{manifest.get('campaign_id')}",
+        f"code={manifest.get('code_version')} schema={manifest.get('schema')}",
+        f"grid: {spec.get('seeds')} seeds x {len(spec.get('presets', []))} "
+        f"preset(s), scale={'full' if spec.get('full') else 'fast'}, "
+        f"jobs={spec.get('jobs')}",
+        f"trials: {totals.get('trials')} total, {totals.get('ran')} ran, "
+        f"{totals.get('cached')} cached, {totals.get('quarantined')} "
+        f"quarantined, cache-hit {100.0 * totals.get('cache_hit_ratio', 0.0):.1f}%, "
+        f"wall {totals.get('wall_seconds', 0.0):.2f}s",
+        "",
+    ]
+    failed = [t for t in manifest.get("trials", []) if t["status"] not in ("ok",)]
+    if failed:
+        lines.append("non-ok trials:")
+        for trial in failed:
+            lines.append(
+                f"  - seed={trial['seed']} preset={trial['preset']} "
+                f"status={trial['status']} attempts={trial['attempts']}"
+            )
+        lines.append("")
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("merged counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}  {value}")
+        lines.append("")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("merged gauges (max across trials):")
+        width = max(len(name) for name in gauges)
+        for name, gauge in gauges.items():
+            lines.append(
+                f"  {name.ljust(width)}  value={gauge['value']:.6g} "
+                f"peak={gauge['peak']:.6g}"
+            )
+        lines.append("")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("merged histograms:")
+        for name, histogram in histograms.items():
+            lines.extend("  " + line for line in render_histogram(name, histogram))
+        lines.append("")
+    supervisor = manifest.get("supervisor", {})
+    sup_hists = supervisor.get("histograms", {})
+    if sup_hists:
+        lines.append("supervisor (wall-clock, not reproducible):")
+        for name, histogram in sup_hists.items():
+            lines.extend("  " + line for line in render_histogram(name, histogram))
+    return "\n".join(lines).rstrip() + "\n"

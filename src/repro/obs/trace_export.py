@@ -1,0 +1,313 @@
+"""Trace export: JSONL streaming and Chrome/Perfetto ``trace_event`` JSON.
+
+The :class:`~repro.sim.tracing.TraceRecorder` is the simulator's flight
+recorder; this module turns its records into files other tools read:
+
+* **JSONL** — one record per line, streamed as records are emitted
+  (:class:`JsonlTraceWriter` attaches as a recorder listener) or dumped
+  after the run (:func:`write_jsonl`).
+* **Perfetto** — the Chrome ``trace_event`` JSON format that
+  ``ui.perfetto.dev`` and ``chrome://tracing`` open directly.  The track
+  layout makes the paper's Figure-3/Figure-4 race visible at a glance:
+  one *process* per core, with a ``world`` track carrying secure-world
+  residency spans, an ``introspection`` track carrying per-area scan
+  spans, and an ``events`` track for that core's instants; everything
+  without a core affinity lands on per-category tracks of a ``machine``
+  pseudo-process (pid 0).
+
+Timestamps: trace records carry simulated seconds; ``trace_event`` wants
+microseconds, so ``ts = time * 1e6``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.sim.tracing import TraceRecord
+
+#: pid of the pseudo-process that carries core-less instant events.
+MACHINE_PID = 0
+
+#: Thread ids inside each per-core process.
+WORLD_TID = 1
+INTROSPECTION_TID = 2
+EVENTS_TID = 3
+
+_SECONDS_TO_US = 1e6
+
+#: Event phases this exporter emits (a subset of the trace_event spec).
+_KNOWN_PHASES = frozenset({"X", "i", "I", "M", "B", "E", "C"})
+
+
+def record_to_json(record: TraceRecord) -> Dict[str, Any]:
+    """The JSONL form of one trace record."""
+    return {
+        "time": record.time,
+        "category": record.category,
+        "message": record.message,
+        "fields": dict(record.fields),
+    }
+
+
+class JsonlTraceWriter:
+    """Recorder listener that streams each record as one JSON line.
+
+    Attach with ``recorder.add_listener(writer)``; records hit the file
+    as they are emitted, so even a run that dies mid-simulation leaves a
+    readable prefix.
+    """
+
+    def __init__(self, handle: IO[str]) -> None:
+        self.handle = handle
+        self.written = 0
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.handle.write(json.dumps(record_to_json(record), sort_keys=True) + "\n")
+        self.written += 1
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str) -> int:
+    """Dump records to a JSONL file; returns the line count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = JsonlTraceWriter(handle)
+        for record in records:
+            writer(record)
+    return writer.written
+
+
+def core_pid(core_index: int) -> int:
+    """Perfetto pid for a core (pid 0 is the machine pseudo-process)."""
+    return core_index + 1
+
+
+class PerfettoExporter:
+    """Incremental ``trace_event`` builder over a record stream.
+
+    Usable both ways: feed retained records after a run, or attach as a
+    recorder listener (``recorder.add_listener(exporter.feed)``) and call
+    :meth:`finish` when the simulation stops.
+    """
+
+    def __init__(self, core_labels: Optional[Dict[int, str]] = None) -> None:
+        #: core index -> display name ("core 0 (A53)"); grown on demand.
+        self.core_labels = dict(core_labels or {})
+        self.events: List[Dict[str, Any]] = []
+        self._seen_cores: set = set()
+        self._category_tids: Dict[str, int] = {}
+        # open span state: core index -> (start time, args)
+        self._secure_open: Dict[int, Tuple[float, Dict[str, Any]]] = {}
+        self._scan_open: Dict[int, Tuple[float, Dict[str, Any]]] = {}
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Track metadata
+    # ------------------------------------------------------------------
+    def _metadata(self, pid: int, tid: Optional[int], name: str) -> None:
+        event: Dict[str, Any] = {
+            "ph": "M",
+            "pid": pid,
+            "name": "process_name" if tid is None else "thread_name",
+            "args": {"name": name},
+        }
+        if tid is not None:
+            event["tid"] = tid
+        self.events.append(event)
+
+    def _ensure_core(self, core_index: int) -> int:
+        pid = core_pid(core_index)
+        if core_index not in self._seen_cores:
+            self._seen_cores.add(core_index)
+            label = self.core_labels.get(core_index, f"core {core_index}")
+            self._metadata(pid, None, label)
+            self._metadata(pid, WORLD_TID, "world")
+            self._metadata(pid, INTROSPECTION_TID, "introspection")
+            self._metadata(pid, EVENTS_TID, "events")
+        return pid
+
+    def _category_tid(self, category: str) -> int:
+        if category not in self._category_tids:
+            if not self._category_tids:
+                self._metadata(MACHINE_PID, None, "machine")
+            tid = len(self._category_tids) + 1
+            self._category_tids[category] = tid
+            self._metadata(MACHINE_PID, tid, category)
+        return self._category_tids[category]
+
+    # ------------------------------------------------------------------
+    # Record consumption
+    # ------------------------------------------------------------------
+    def feed(self, record: TraceRecord) -> None:
+        self._last_time = max(self._last_time, record.time)
+        key = (record.category, record.message)
+        if key == ("monitor", "secure entry begins"):
+            core = int(record.fields["core"])
+            self._ensure_core(core)
+            self._secure_open[core] = (record.time, dict(record.fields))
+            return
+        if key == ("monitor", "normal world resumed"):
+            core = int(record.fields["core"])
+            opened = self._secure_open.pop(core, None)
+            if opened is not None:
+                self._complete(core, WORLD_TID, "secure world", "monitor",
+                               opened[0], record.time, opened[1])
+            return
+        if key == ("satin", "round begins"):
+            core = int(record.fields["core"])
+            self._ensure_core(core)
+            self._scan_open[core] = (record.time, dict(record.fields))
+            return
+        if key == ("satin", "round complete"):
+            core = int(record.fields["core"])
+            opened = self._scan_open.pop(core, None)
+            if opened is not None:
+                args = dict(opened[1])
+                args.update(record.fields)
+                self._complete(
+                    core, INTROSPECTION_TID,
+                    f"scan area {args.get('area', '?')}", "satin",
+                    opened[0], record.time, args,
+                )
+                return
+            # fall through: a complete without a begin is still an instant
+        self._instant(record)
+
+    def _complete(
+        self,
+        core_index: int,
+        tid: int,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        args: Dict[str, Any],
+    ) -> None:
+        self.events.append(
+            {
+                "ph": "X",
+                "pid": self._ensure_core(core_index),
+                "tid": tid,
+                "name": name,
+                "cat": category,
+                "ts": start * _SECONDS_TO_US,
+                "dur": max(end - start, 0.0) * _SECONDS_TO_US,
+                "args": args,
+            }
+        )
+
+    def _instant(self, record: TraceRecord) -> None:
+        core = record.fields.get("core")
+        if isinstance(core, int):
+            pid = self._ensure_core(core)
+            tid = EVENTS_TID
+        else:
+            pid = MACHINE_PID
+            tid = self._category_tid(record.category)
+        self.events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "name": record.message,
+                "cat": record.category,
+                "ts": record.time * _SECONDS_TO_US,
+                "args": dict(record.fields),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def finish(self) -> Dict[str, Any]:
+        """Close dangling spans at the last seen time and return the JSON."""
+        for core, (start, args) in sorted(self._secure_open.items()):
+            args = dict(args, truncated=True)
+            self._complete(core, WORLD_TID, "secure world", "monitor",
+                           start, self._last_time, args)
+        self._secure_open.clear()
+        for core, (start, args) in sorted(self._scan_open.items()):
+            args = dict(args, truncated=True)
+            self._complete(core, INTROSPECTION_TID,
+                           f"scan area {args.get('area', '?')}", "satin",
+                           start, self._last_time, args)
+        self._scan_open.clear()
+        return {"displayTimeUnit": "ms", "traceEvents": list(self.events)}
+
+
+def perfetto_trace(
+    records: Iterable[TraceRecord],
+    core_labels: Optional[Dict[int, str]] = None,
+) -> Dict[str, Any]:
+    """Batch conversion: records -> ``trace_event`` JSON object."""
+    exporter = PerfettoExporter(core_labels)
+    for record in records:
+        exporter.feed(record)
+    return exporter.finish()
+
+
+def write_perfetto(
+    records: Iterable[TraceRecord],
+    path: str,
+    core_labels: Optional[Dict[int, str]] = None,
+) -> Dict[str, Any]:
+    """Convert, validate, and write; returns the trace object."""
+    trace = perfetto_trace(records, core_labels)
+    validate_trace_event_json(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, sort_keys=True)
+        handle.write("\n")
+    return trace
+
+
+def machine_core_labels(machine) -> Dict[int, str]:
+    """Display labels for a machine's cores ("core 2 (A57)")."""
+    return {
+        core.index: f"core {core.index} ({core.cluster_name})"
+        for core in machine.cores
+    }
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (the CI smoke gate)
+# ---------------------------------------------------------------------------
+
+
+def validate_trace_event_json(trace: Any) -> int:
+    """Check ``trace`` against the ``trace_event`` rules we rely on.
+
+    Not the full Chrome spec — the subset Perfetto needs to render our
+    tracks: the envelope shape, known phases, numeric non-negative
+    timestamps, integer pid/tid, and durations on complete events.
+    Raises :class:`~repro.errors.ObservabilityError` on the first
+    violation; returns the event count when valid.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ObservabilityError("trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("'traceEvents' must be a list")
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            raise ObservabilityError(f"{where}: unknown phase {phase!r}")
+        if not isinstance(event.get("pid"), int):
+            raise ObservabilityError(f"{where}: pid must be an integer")
+        if not isinstance(event.get("name"), str):
+            raise ObservabilityError(f"{where}: name must be a string")
+        if phase == "M":
+            if not isinstance(event.get("args"), dict):
+                raise ObservabilityError(f"{where}: metadata needs args")
+            continue
+        if not isinstance(event.get("tid"), int):
+            raise ObservabilityError(f"{where}: tid must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ObservabilityError(f"{where}: ts must be a number >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ObservabilityError(f"{where}: X event needs dur >= 0")
+    return len(events)

@@ -27,7 +27,10 @@ class Simulator:
     (1.5, ['hello'])
     """
 
-    __slots__ = ("now", "_queue", "_running", "_events_fired", "stop_requested")
+    __slots__ = (
+        "now", "_queue", "_running", "_events_fired", "stop_requested",
+        "metrics",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -35,6 +38,9 @@ class Simulator:
         self._running = False
         self._events_fired = 0
         self.stop_requested = False
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: each :meth:`run` call reports its event volume and span.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -80,6 +86,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self.stop_requested = False
+        started_at = self.now
         fired = 0
         try:
             while not self.stop_requested:
@@ -96,6 +103,15 @@ class Simulator:
             self._running = False
         if until is not None and self.now < until and not self.stop_requested:
             self.now = until
+        if self.metrics is not None:
+            self.metrics.counter("sim.events").inc(fired)
+            self.metrics.histogram("sim.events_per_run").observe(float(fired))
+            self.metrics.histogram("sim.run_span_seconds").observe(
+                self.now - started_at
+            )
+            self.metrics.gauge("sim.pending_events").set(
+                float(self.pending_events)
+            )
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
         """Run for ``duration`` seconds of simulated time."""

@@ -2,13 +2,18 @@
 
 The trace is the simulator's flight recorder: world switches, introspection
 rounds, prober detections, attack hide/restore transitions all leave records
-here.  Experiments and tests query it instead of scraping stdout.
+here.  Experiments and tests query it instead of scraping stdout, and the
+telemetry layer (:mod:`repro.obs.trace_export`) streams it to JSONL and
+Perfetto.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+#: A listener is detached after this many *consecutive* failures.
+MAX_LISTENER_FAILURES = 3
 
 
 class TraceRecord:
@@ -32,36 +37,97 @@ class TraceRecorder:
 
     ``maxlen`` bounds memory for long simulations; the default keeps the
     most recent million records which is ample for every experiment here.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    the ``trace.listener_errors`` counter when listener dispatch fails.
     """
 
-    def __init__(self, maxlen: int = 1_000_000, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        maxlen: int = 1_000_000,
+        enabled: bool = True,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.enabled = enabled
+        self.metrics = metrics
         self._records: Deque[TraceRecord] = deque(maxlen=maxlen)
         self._category_counts: Dict[str, int] = {}
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        self._listener_failures: Dict[int, int] = {}
         self._muted: set = set()
+        self._dropped: set = set()
+        self.listener_errors = 0
 
     # ------------------------------------------------------------------
     def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
-        """Record one entry (no-op when disabled or the category is muted)."""
-        if not self.enabled or category in self._muted:
+        """Record one entry (no-op when disabled or the category is dropped).
+
+        A *muted* category still accumulates its lifetime count — metrics
+        derived from :meth:`count` stay truthful — but retains no record
+        and fires no listeners.  A *dropped* category vanishes entirely.
+        """
+        if not self.enabled or category in self._dropped:
+            return
+        self._category_counts[category] = self._category_counts.get(category, 0) + 1
+        if category in self._muted:
             return
         record = TraceRecord(time, category, message, fields)
         self._records.append(record)
-        self._category_counts[category] = self._category_counts.get(category, 0) + 1
-        for listener in self._listeners:
-            listener(record)
+        self._dispatch(record)
+
+    def _dispatch(self, record: TraceRecord) -> None:
+        """Run listeners, absorbing their failures.
+
+        A listener raising must never kill the event loop mid-simulation:
+        the exception is swallowed, counted in ``trace.listener_errors``,
+        and the listener is detached after
+        :data:`MAX_LISTENER_FAILURES` consecutive failures.
+        """
+        if not self._listeners:
+            return
+        detach: List[Callable[[TraceRecord], None]] = []
+        for listener in list(self._listeners):
+            try:
+                listener(record)
+            except Exception:
+                self.listener_errors += 1
+                if self.metrics is not None:
+                    self.metrics.counter("trace.listener_errors").inc()
+                key = id(listener)
+                failures = self._listener_failures.get(key, 0) + 1
+                self._listener_failures[key] = failures
+                if failures >= MAX_LISTENER_FAILURES:
+                    detach.append(listener)
+            else:
+                self._listener_failures.pop(id(listener), None)
+        for listener in detach:
+            self.remove_listener(listener)
 
     def mute(self, category: str) -> None:
-        """Drop future records of ``category`` (counts stop accumulating)."""
+        """Stop retaining records of ``category``; counts keep accumulating."""
         self._muted.add(category)
 
     def unmute(self, category: str) -> None:
         self._muted.discard(category)
 
+    def drop(self, category: str) -> None:
+        """Discard ``category`` entirely: no records, no counts, no listeners."""
+        self._dropped.add(category)
+
+    def undrop(self, category: str) -> None:
+        self._dropped.discard(category)
+
     def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke ``listener`` synchronously for every future record."""
         self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Detach ``listener`` (no-op if it is not attached)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+        self._listener_failures.pop(id(listener), None)
 
     # ------------------------------------------------------------------
     def records(self, category: Optional[str] = None) -> Iterator[TraceRecord]:

@@ -1,0 +1,63 @@
+"""Progress meter: registry-backed counts and quiet/non-TTY output modes."""
+
+import io
+
+from repro.campaign.progress import CACHED, DONE, FAILED, RETRIES, ProgressMeter
+from repro.obs.metrics import MetricsRegistry
+
+
+def meter(total=4, **kwargs):
+    stream = io.StringIO()  # isatty() -> False: the non-TTY path
+    return ProgressMeter(total=total, stream=stream, interval=0.0, **kwargs), stream
+
+
+def test_counts_live_in_the_registry():
+    registry = MetricsRegistry()
+    m, _ = meter(registry=registry)
+    m.note_done()
+    m.note_done()
+    m.note_failed()
+    m.note_cached(3)
+    m.note_retry()
+    assert (m.done, m.failed, m.cached, m.retries) == (2, 1, 3, 1)
+    assert registry.counter(DONE).value == 2
+    assert registry.counter(FAILED).value == 1
+    assert registry.counter(CACHED).value == 3
+    assert registry.counter(RETRIES).value == 1
+
+
+def test_non_tty_emits_full_lines():
+    m, stream = meter(total=2)
+    m.note_done()
+    m.note_done()
+    m.finish()
+    lines = stream.getvalue().splitlines()
+    assert lines and all(line.startswith("[campaign]") for line in lines)
+    assert "2/2" in lines[-1]
+    assert "\r" not in stream.getvalue()
+
+
+def test_quiet_mode_prints_only_the_final_tally():
+    m, stream = meter(total=3, quiet=True)
+    m.note_done()
+    m.note_failed()
+    m.note_cached()
+    assert stream.getvalue() == ""  # nothing until finish()
+    m.finish()
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 1
+    assert "3/3" in lines[0] and "1 failed" in lines[0]
+
+
+def test_disabled_meter_is_silent_even_on_finish():
+    m, stream = meter(enabled=False)
+    m.note_done()
+    m.finish()
+    assert stream.getvalue() == ""
+
+
+def test_render_mentions_retries_only_when_present():
+    m, _ = meter(total=2)
+    assert "retried" not in m.render()
+    m.note_retry()
+    assert "1 retried" in m.render()

@@ -1,0 +1,69 @@
+"""Golden-file test: Perfetto export of a short E1-style run.
+
+Everything in the exported trace is a function of simulated time and the
+seeded RNG, so the JSON must be byte-stable across runs and platforms.
+The run mirrors experiment E1 (Table I): seeded stack, one hash scan and
+one snapshot scan through the secure monitor on each cluster's lead core.
+
+Regenerate after an intentional format change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_perfetto.py
+"""
+
+import json
+import os
+
+from repro.experiments.common import build_stack
+from repro.experiments.table1 import REGION_BYTES
+from repro.hw.platform import SECURE_SRAM_BASE
+from repro.obs.trace_export import machine_core_labels, perfetto_trace
+from repro.secure.introspect import scan_area
+from repro.secure.snapshot import SecureSnapshotBuffer
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "e1_short.perfetto.json")
+
+
+def short_e1_trace():
+    """One secure scan per (core, technique) cell — E1 with repetitions=1."""
+    stack = build_stack(seed=2019)
+    machine = stack.machine
+    buffer = SecureSnapshotBuffer(machine.memory, SECURE_SRAM_BASE, 2 * REGION_BYTES)
+    for core in (machine.little_core(), machine.big_core()):
+        for technique in ("hash", "snapshot"):
+
+            def payload(entered_core, _technique=technique):
+                yield from scan_area(
+                    stack.rich_os.image,
+                    entered_core,
+                    offset=0,
+                    length=REGION_BYTES,
+                    chunk_size=REGION_BYTES,
+                    snapshot_buffer=buffer if _technique == "snapshot" else None,
+                )
+
+            machine.monitor.request_secure_entry(core, payload)
+            machine.sim.run(max_events=10_000)
+    return perfetto_trace(machine.trace.records(), machine_core_labels(machine))
+
+
+def test_short_e1_export_matches_golden():
+    rendered = json.dumps(short_e1_trace(), sort_keys=True, indent=1) + "\n"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        with open(GOLDEN, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    with open(GOLDEN, "r", encoding="utf-8") as handle:
+        assert rendered == handle.read()
+
+
+def test_short_e1_export_has_expected_tracks():
+    trace = short_e1_trace()
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    # 4 secure entries => 4 secure-world residency spans on two cores.
+    assert [s["name"] for s in spans] == ["secure world"] * 4
+    assert len({s["pid"] for s in spans}) == 2
+    labels = {
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert any("A53" in label or "LITTLE" in label for label in labels)

@@ -1,0 +1,110 @@
+"""Campaign manifests: writing, discovery, parallel/serial byte identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.errors import ObservabilityError
+from repro.obs.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    find_manifest,
+    load_manifest,
+    render_histogram,
+    render_manifest,
+)
+
+
+def small_spec(tmp_path, jobs=0, seeds=(0, 1), **overrides):
+    params = dict(
+        experiment_id="E1",
+        seeds=list(seeds),
+        jobs=jobs,
+        cache_dir=str(tmp_path),
+    )
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+def test_run_campaign_writes_manifest(tmp_path):
+    result = run_campaign(small_spec(tmp_path), progress=False)
+    assert result.manifest_path is not None
+    assert os.path.basename(result.manifest_path) == MANIFEST_NAME
+    manifest = load_manifest(result.manifest_path)
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["experiment_id"] == "E1"
+    assert manifest["campaign_id"] == result.spec.campaign_id()
+    assert manifest["totals"]["trials"] == 2
+    assert manifest["totals"]["ran"] == 2
+    assert [t["status"] for t in manifest["trials"]] == ["ok", "ok"]
+    # Trials carry machine metrics; the supervisor carries wall-clock ones.
+    assert manifest["metrics"]["counters"]
+    assert "campaign.trial_wall_seconds" in manifest["supervisor"]["histograms"]
+
+
+def test_parallel_and_serial_manifest_metrics_byte_identical(tmp_path):
+    serial = run_campaign(small_spec(tmp_path / "s", jobs=0), progress=False)
+    parallel = run_campaign(small_spec(tmp_path / "p", jobs=2), progress=False)
+    serial_metrics = load_manifest(serial.manifest_path)["metrics"]
+    parallel_metrics = load_manifest(parallel.manifest_path)["metrics"]
+    assert json.dumps(serial_metrics, sort_keys=True) == json.dumps(
+        parallel_metrics, sort_keys=True
+    )
+
+
+def test_find_manifest_resolves_file_dir_and_cache_root(tmp_path):
+    result = run_campaign(small_spec(tmp_path), progress=False)
+    path = result.manifest_path
+    campaign_dir = os.path.dirname(path)
+    assert find_manifest(path) == path
+    assert find_manifest(campaign_dir) == path
+    assert find_manifest(str(tmp_path)) == path  # cache root scan
+
+
+def test_find_manifest_missing_raises(tmp_path):
+    with pytest.raises(ObservabilityError):
+        find_manifest(str(tmp_path))
+
+
+def test_load_manifest_rejects_non_manifest_json(tmp_path):
+    bogus = tmp_path / MANIFEST_NAME
+    bogus.write_text("[1, 2]\n")
+    with pytest.raises(ObservabilityError):
+        load_manifest(str(bogus))
+
+
+def test_render_manifest_rollup_sections(tmp_path):
+    result = run_campaign(small_spec(tmp_path), progress=False)
+    text = render_manifest(load_manifest(result.manifest_path))
+    assert "# campaign E1" in text
+    assert "merged counters:" in text
+    assert "merged histograms:" in text
+    assert "supervisor (wall-clock, not reproducible):" in text
+
+
+def test_render_histogram_empty_and_bars():
+    assert render_histogram("h", {"count": 0, "sum": 0.0, "buckets": {}}) == [
+        "h: n=0 sum=0 min=None max=None"
+    ]
+    lines = render_histogram(
+        "h", {"count": 3, "sum": 1.5, "min": 0.5, "max": 0.5, "buckets": {"34": 3}}
+    )
+    assert len(lines) == 2 and "#" in lines[1]
+
+
+def test_cli_metrics_renders_rollup(tmp_path, capsys):
+    from repro.cli import main
+
+    run_campaign(small_spec(tmp_path), progress=False)
+    assert main(["metrics", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "# campaign E1" in out and "merged counters:" in out
+
+
+def test_cli_metrics_missing_manifest(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["metrics", str(tmp_path)]) == 2
+    assert MANIFEST_NAME in capsys.readouterr().err

@@ -1,0 +1,212 @@
+"""Trace export: JSONL streaming, Perfetto span pairing, schema checks."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.trace_export import (
+    EVENTS_TID,
+    INTROSPECTION_TID,
+    MACHINE_PID,
+    WORLD_TID,
+    JsonlTraceWriter,
+    PerfettoExporter,
+    core_pid,
+    perfetto_trace,
+    record_to_json,
+    validate_trace_event_json,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.sim.tracing import TraceRecord, TraceRecorder
+
+
+def rec(time, category, message, **fields):
+    return TraceRecord(time, category, message, fields)
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def test_record_to_json_round_trip():
+    record = rec(1.5, "satin", "round begins", core=2, area=7)
+    data = record_to_json(record)
+    assert data == {
+        "time": 1.5,
+        "category": "satin",
+        "message": "round begins",
+        "fields": {"core": 2, "area": 7},
+    }
+    json.dumps(data)  # must be serialisable as-is
+
+
+def test_jsonl_writer_streams_as_listener():
+    recorder = TraceRecorder()
+    buffer = io.StringIO()
+    writer = JsonlTraceWriter(buffer)
+    recorder.add_listener(writer)
+    recorder.emit(1.0, "a", "one")
+    recorder.emit(2.0, "b", "two", core=3)
+    lines = buffer.getvalue().splitlines()
+    assert writer.written == 2
+    assert [json.loads(line)["message"] for line in lines] == ["one", "two"]
+
+
+def test_write_jsonl_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    count = write_jsonl([rec(0.0, "c", "x"), rec(1.0, "c", "y")], str(path))
+    assert count == 2
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[1]) == {
+        "time": 1.0, "category": "c", "message": "y", "fields": {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------------
+
+
+def test_secure_world_span_pairing():
+    trace = perfetto_trace([
+        rec(1.0, "monitor", "secure entry begins", core=2),
+        rec(1.25, "monitor", "normal world resumed", core=2),
+    ])
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["name"] == "secure world"
+    assert span["pid"] == core_pid(2) and span["tid"] == WORLD_TID
+    assert span["ts"] == pytest.approx(1.0e6)
+    assert span["dur"] == pytest.approx(0.25e6)
+
+
+def test_scan_span_pairing_names_the_area():
+    trace = perfetto_trace([
+        rec(2.0, "satin", "round begins", core=0, area=14),
+        rec(2.5, "satin", "round complete", core=0, area=14, mismatch=False),
+    ])
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["name"] == "scan area 14"
+    assert spans[0]["tid"] == INTROSPECTION_TID
+    assert spans[0]["args"]["mismatch"] is False
+
+
+def test_spans_on_different_cores_do_not_cross_pair():
+    trace = perfetto_trace([
+        rec(1.0, "monitor", "secure entry begins", core=0),
+        rec(1.1, "monitor", "secure entry begins", core=1),
+        rec(1.2, "monitor", "normal world resumed", core=1),
+        rec(1.5, "monitor", "normal world resumed", core=0),
+    ])
+    spans = sorted(
+        (e for e in trace["traceEvents"] if e["ph"] == "X"),
+        key=lambda e: e["pid"],
+    )
+    assert [s["pid"] for s in spans] == [core_pid(0), core_pid(1)]
+    assert spans[0]["dur"] == pytest.approx(0.5e6)
+    assert spans[1]["dur"] == pytest.approx(0.1e6)
+
+
+def test_dangling_span_closed_as_truncated():
+    exporter = PerfettoExporter()
+    exporter.feed(rec(1.0, "monitor", "secure entry begins", core=0))
+    exporter.feed(rec(3.0, "sched", "tick"))
+    trace = exporter.finish()
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["args"]["truncated"] is True
+    assert spans[0]["dur"] == pytest.approx(2.0e6)  # closed at last seen time
+
+
+def test_core_affine_instant_lands_on_core_events_track():
+    trace = perfetto_trace([rec(1.0, "gic", "sgi raised", core=3)])
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert instants[0]["pid"] == core_pid(3)
+    assert instants[0]["tid"] == EVENTS_TID
+
+
+def test_coreless_instant_lands_on_machine_category_track():
+    trace = perfetto_trace([
+        rec(1.0, "campaign", "started"),
+        rec(2.0, "alarm", "raised"),
+    ])
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert all(e["pid"] == MACHINE_PID for e in instants)
+    assert instants[0]["tid"] != instants[1]["tid"]  # one track per category
+
+
+def test_core_metadata_emitted_once_with_labels():
+    trace = perfetto_trace(
+        [
+            rec(1.0, "monitor", "secure entry begins", core=0),
+            rec(1.5, "monitor", "normal world resumed", core=0),
+        ],
+        core_labels={0: "core 0 (A57)"},
+    )
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    process_names = [e for e in meta if e["name"] == "process_name"]
+    assert [e["args"]["name"] for e in process_names] == ["core 0 (A57)"]
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert thread_names == {"world", "introspection", "events"}
+
+
+def test_write_perfetto_validates_and_writes(tmp_path):
+    path = tmp_path / "out.json"
+    trace = write_perfetto(
+        [
+            rec(1.0, "monitor", "secure entry begins", core=0),
+            rec(1.5, "monitor", "normal world resumed", core=0),
+        ],
+        str(path),
+    )
+    on_disk = json.loads(path.read_text())
+    assert on_disk == json.loads(json.dumps(trace))
+    assert on_disk["displayTimeUnit"] == "ms"
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def _valid_event(**overrides):
+    event = {"ph": "i", "s": "t", "pid": 1, "tid": 1, "name": "x",
+             "cat": "c", "ts": 0.0, "args": {}}
+    event.update(overrides)
+    return event
+
+
+def test_validate_accepts_exported_trace():
+    trace = perfetto_trace([
+        rec(1.0, "satin", "round begins", core=0, area=1),
+        rec(2.0, "satin", "round complete", core=0, area=1),
+        rec(3.0, "alarm", "raised"),
+    ])
+    assert validate_trace_event_json(trace) == len(trace["traceEvents"])
+
+
+@pytest.mark.parametrize(
+    "trace",
+    [
+        [],  # not an object
+        {},  # no traceEvents
+        {"traceEvents": {}},  # not a list
+        {"traceEvents": ["nope"]},  # event not an object
+        {"traceEvents": [_valid_event(ph="Z")]},  # unknown phase
+        {"traceEvents": [_valid_event(pid="0")]},  # non-int pid
+        {"traceEvents": [_valid_event(tid=None)]},  # missing tid
+        {"traceEvents": [_valid_event(ts=-1.0)]},  # negative ts
+        {"traceEvents": [_valid_event(ph="X")]},  # X without dur
+        {"traceEvents": [_valid_event(ph="X", dur=-5.0)]},  # negative dur
+        {"traceEvents": [{"ph": "M", "pid": 0, "name": "process_name"}]},  # M no args
+    ],
+)
+def test_validate_rejects_malformed(trace):
+    with pytest.raises(ObservabilityError):
+        validate_trace_event_json(trace)

@@ -1,6 +1,6 @@
 """Trace recorder tests."""
 
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import MAX_LISTENER_FAILURES, TraceRecorder
 
 
 def test_emit_and_count():
@@ -38,15 +38,37 @@ def test_disabled_recorder_drops_everything():
     assert len(trace) == 0
 
 
-def test_mute_unmute_category():
+def test_mute_keeps_counts_but_not_records():
     trace = TraceRecorder()
     trace.mute("noisy")
-    trace.emit(1.0, "noisy", "dropped")
+    trace.emit(1.0, "noisy", "counted, not retained")
     trace.emit(1.0, "keep", "kept")
-    assert trace.count("noisy") == 0 and trace.count("keep") == 1
+    assert trace.count("noisy") == 1 and trace.count("keep") == 1
+    assert [r.category for r in trace.records()] == ["keep"]
     trace.unmute("noisy")
     trace.emit(2.0, "noisy", "recorded")
-    assert trace.count("noisy") == 1
+    assert trace.count("noisy") == 2
+    assert trace.last("noisy").message == "recorded"
+
+
+def test_muted_category_fires_no_listeners():
+    trace = TraceRecorder()
+    seen = []
+    trace.add_listener(lambda r: seen.append(r.category))
+    trace.mute("noisy")
+    trace.emit(1.0, "noisy", "quiet")
+    trace.emit(2.0, "keep", "loud")
+    assert seen == ["keep"]
+
+
+def test_drop_discards_counts_and_records():
+    trace = TraceRecorder()
+    trace.drop("junk")
+    trace.emit(1.0, "junk", "gone")
+    assert trace.count("junk") == 0 and len(trace) == 0
+    trace.undrop("junk")
+    trace.emit(2.0, "junk", "back")
+    assert trace.count("junk") == 1
 
 
 def test_maxlen_bounds_retention_but_counts_continue():
@@ -64,6 +86,67 @@ def test_listener_invoked():
     trace.add_listener(lambda r: seen.append(r.message))
     trace.emit(1.0, "c", "hello")
     assert seen == ["hello"]
+
+
+def test_listener_exception_does_not_propagate():
+    trace = TraceRecorder()
+    seen = []
+
+    def bad(_record):
+        raise RuntimeError("boom")
+
+    trace.add_listener(bad)
+    trace.add_listener(lambda r: seen.append(r.message))
+    trace.emit(1.0, "c", "survives")
+    assert seen == ["survives"]
+    assert trace.count("c") == 1
+    assert trace.listener_errors == 1
+
+
+def test_listener_detached_after_consecutive_failures():
+    trace = TraceRecorder()
+    calls = []
+
+    def bad(_record):
+        calls.append(1)
+        raise RuntimeError("boom")
+
+    trace.add_listener(bad)
+    for i in range(MAX_LISTENER_FAILURES + 2):
+        trace.emit(float(i), "c", "x")
+    assert len(calls) == MAX_LISTENER_FAILURES  # detached, not re-invoked
+    assert trace.listener_errors == MAX_LISTENER_FAILURES
+
+
+def test_listener_failure_streak_resets_on_success():
+    trace = TraceRecorder()
+    state = {"calls": 0}
+
+    def flaky(record):
+        state["calls"] += 1
+        if record.message == "bad":
+            raise RuntimeError("boom")
+
+    trace.add_listener(flaky)
+    # Alternate failure/success: the streak never reaches the limit.
+    for i in range(2 * MAX_LISTENER_FAILURES):
+        trace.emit(float(i), "c", "bad" if i % 2 == 0 else "good")
+    assert state["calls"] == 2 * MAX_LISTENER_FAILURES
+    assert trace.listener_errors == MAX_LISTENER_FAILURES
+
+
+def test_listener_errors_counted_in_metrics_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    trace = TraceRecorder(metrics=registry)
+
+    def bad(_record):
+        raise RuntimeError("boom")
+
+    trace.add_listener(bad)
+    trace.emit(1.0, "c", "x")
+    assert registry.counter("trace.listener_errors").value == 1
 
 
 def test_clear_resets_everything():
