@@ -27,11 +27,19 @@ def scale():
     return full_scale()
 
 
-@pytest.fixture(scope="session", autouse=True)
-def _fresh_tables_file():
-    TABLES_PATH.write_text(
-        "# Regenerated paper tables/figures (latest benchmark run)\n\n"
-    )
+_tables_file_fresh = False
+
+
+def _fresh_tables_file() -> None:
+    # Truncate lazily, on the first appended table of the session, so a
+    # run that produces no tables (e.g. ``pytest benchmarks/perf``) does
+    # not wipe the previous run's regenerated tables.
+    global _tables_file_fresh
+    if not _tables_file_fresh:
+        TABLES_PATH.write_text(
+            "# Regenerated paper tables/figures (latest benchmark run)\n\n"
+        )
+        _tables_file_fresh = True
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -43,6 +51,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     rendered = getattr(result, "rendered", "")
     if rendered:
+        _fresh_tables_file()
         with TABLES_PATH.open("a", encoding="utf-8") as handle:
             handle.write(rendered)
             handle.write("\n\n")

@@ -1,0 +1,12 @@
+"""Make ``repro`` importable when the perf suite is run standalone.
+
+The tier-1 suite is invoked with ``PYTHONPATH=src``; this conftest lets
+``python -m pytest benchmarks/perf`` work without that incantation.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

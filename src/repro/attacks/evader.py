@@ -60,6 +60,9 @@ class TZEvader:
         self.state = EvaderState.IDLE
         controller.add_detect_listener(self._on_detect)
         controller.add_clear_listener(self._on_clear)
+        # An evader exists to race scans: its recovery writes land mid-scan
+        # by design, so scans must keep per-chunk events while one is built.
+        machine.register_interference(lambda: True)
         self._suspects: set = set()
         # --- statistics ---------------------------------------------------
         self.hide_attempts = 0

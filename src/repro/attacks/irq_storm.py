@@ -47,6 +47,8 @@ class IrqStormAttacker:
         )
         self.running = False
         self._event: Optional[Event] = None
+        # A storm's interrupt pressure interacts with scans in flight.
+        machine.register_interference(lambda: self.running)
         self.interrupts_fired = 0
         # An attacker-owned handler: does nothing (the damage is the
         # delivery path itself).

@@ -73,6 +73,8 @@ class KProberI:
         )
         self.keep_cores_busy = keep_cores_busy
         self.installed = False
+        # Armed probe hooks observe scan timing chunk by chunk.
+        machine.register_interference(lambda: self.installed)
         self._stop_spinners = False
         self.spinners: List[Task] = []
         self._uninstall_hook: Optional[Callable[[], None]] = None

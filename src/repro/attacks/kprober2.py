@@ -55,6 +55,8 @@ class KProberII:
         self.oracle = oracle
         self.priority = priority
         self.running = False
+        # Armed probe threads observe scan timing chunk by chunk.
+        machine.register_interference(lambda: self.running)
         self.threads: List[Task] = []
         self.iterations = 0
 
@@ -90,14 +92,20 @@ class KProberII:
         def body(task: Task) -> Generator[Any, Any, None]:
             cfg = self.config
             controller = self.controller
+            # The scheduler only reads a CpuRequest, so the two fixed-cost
+            # requests can be allocated once per thread, not per iteration.
+            report_req = cpu(cfg.report_cost)
+            compare_req = cpu(cfg.compare_cost)
+            jitter = cfg.wake_jitter
+            tsleep = cfg.tsleep
             while self.running:
-                yield cpu(cfg.report_cost)
+                yield report_req
                 controller.report(core_index)
                 if compares:
-                    yield cpu(cfg.compare_cost)
+                    yield compare_req
                     controller.compare(core_index)
                 self.iterations += 1
-                interval = cfg.tsleep + cfg.wake_jitter.sample(rng)
+                interval = tsleep + jitter.sample(rng)
                 if self.oracle is not None:
                     interval = self.oracle.adjust(interval)
                 yield sleep(interval)

@@ -87,6 +87,9 @@ class PersistentRootkit:
             )
         self.active = False
         self.installed = False
+        # While installed, hide()/replant() may rewrite kernel bytes at any
+        # simulated instant, so scans must not fuse their chunk events.
+        machine.register_interference(lambda: self.installed)
         self.timeline: List[StateTransition] = []
         self.captures = 0
         self.hide_count = 0

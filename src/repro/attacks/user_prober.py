@@ -61,6 +61,8 @@ class UserLevelProber:
         )
         self.oracle = oracle
         self.running = False
+        # Armed probe loops observe scan timing chunk by chunk.
+        machine.register_interference(lambda: self.running)
         self.threads: List[Task] = []
         self.iterations = 0
 

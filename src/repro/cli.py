@@ -185,6 +185,39 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import check_determinism, run_bench
+
+    results = run_bench(progress=lambda msg: print(msg, file=sys.stderr))
+    rendered = json.dumps(results, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"bench results written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    engine = results["event_engine"]
+    scans = results["scan_coalescing"]
+    print(
+        f"event engine: {engine['events_per_sec']:,} ev/s "
+        f"({engine['speedup']}x vs seed-style reference); "
+        f"fused scans: {scans['speedup']}x, timeline identical: "
+        f"{scans['timeline_identical']}",
+        file=sys.stderr,
+    )
+    if args.check:
+        problems = check_determinism(results, args.check)
+        if problems:
+            print("deterministic regression detected:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"determinism block matches {args.check}", file=sys.stderr)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import boot_rich_os, build_machine, install_satin, juno_r1_config
     from repro.hw.world import World
@@ -291,6 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="manifest.json, a campaign directory, or a "
                               "cache root (most recent campaign wins)")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance benchmark suite (BENCH_*.json trajectory)",
+    )
+    bench.add_argument("-o", "--out", metavar="FILE",
+                       help="write the full bench JSON here (e.g. BENCH_4.json)")
+    bench.add_argument("--check", metavar="FILE",
+                       help="compare the deterministic block against a pinned "
+                            "JSON file; non-zero exit on drift")
+
     demo = sub.add_parser("demo", help="narrated SATIN detection demo")
     demo.add_argument("--seed", type=int, default=42)
 
@@ -304,6 +347,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "bench": _cmd_bench,
     "demo": _cmd_demo,
 }
 

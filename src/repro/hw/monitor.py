@@ -27,8 +27,8 @@ from repro.errors import HardwareError, SimulationError
 from repro.hw.core import Core
 from repro.hw.gic import Gic
 from repro.hw.world import World
-from repro.sim.events import Event
-from repro.sim.process import CpuRequest, SimCoroutine, SleepRequest
+from repro.sim.events import Event, SpanEvent
+from repro.sim.process import CpuBatchRequest, CpuRequest, SimCoroutine, SleepRequest
 from repro.sim.simulator import Simulator
 from repro.sim.tracing import TraceRecorder
 
@@ -76,6 +76,14 @@ class SecureExecution:
             self._request_started = sim.now
             self._request_remaining = seconds
             self._event = sim.schedule(seconds, self._request_done)
+        elif isinstance(request, CpuBatchRequest):
+            # A fused scan: one span event covers the whole chunk run.  Only
+            # issued when NS interrupts are blocked, so it can never need the
+            # mid-request pause path (pause() refuses span events anyway).
+            times = request.chunk_times
+            self._request_started = sim.now
+            self._request_remaining = times[-1] - sim.now
+            self._event = sim.schedule_span(times, self._request_done)
         else:
             raise SimulationError(
                 f"secure payload may only yield cpu()/sleep(), got {request!r}"
@@ -92,6 +100,9 @@ class SecureExecution:
     def pause(self) -> bool:
         """Suspend the current request; returns False if not pausable."""
         if self.finished or self._paused or self._event is None:
+            return False
+        if isinstance(self._event, SpanEvent):
+            # Fused chunk runs are indivisible; the GIC pends the interrupt.
             return False
         elapsed = self.monitor.sim.now - self._request_started
         self._request_remaining = max(self._request_remaining - elapsed, 0.0)

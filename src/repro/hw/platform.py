@@ -8,7 +8,7 @@ into.  ``build_machine(juno_r1_config())`` reproduces the paper's platform.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.config import MachineConfig, juno_r1_config
 from repro.errors import ConfigurationError
@@ -72,6 +72,12 @@ class Machine:
                 index += 1
             self.clusters.append(Cluster(cluster_cfg.name, cluster_cores))
 
+        #: Probes registered by components that may mutate or observe kernel
+        #: memory concurrently with a scan (rootkits, evaders, probers).
+        #: While any probe reports True, secure-world scans must keep their
+        #: one-event-per-chunk timeline so races resolve chunk by chunk.
+        self._interference_probes: List[Callable[[], bool]] = []
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -112,9 +118,12 @@ class Machine:
     # ------------------------------------------------------------------
     def secure_world_active(self) -> bool:
         """True if any core is in (or moving to/from) the secure world."""
-        return any(
-            core.world is World.SECURE or core.transitioning for core in self.cores
-        )
+        # Plain loop: this is polled by every accelerated probe iteration,
+        # and a generator expression costs a frame per poll.
+        for core in self.cores:
+            if core.world is World.SECURE or core.transitioning:
+                return True
+        return False
 
     def next_secure_timer_fire(self) -> Optional[float]:
         """Earliest armed secure-timer fire time across all cores.
@@ -122,11 +131,28 @@ class Machine:
         This is simulator-internal ground truth used only by the
         acceleration oracle and by tests; attack components never see it.
         """
-        times = [
-            t for t in (core.secure_timer.next_fire_time() for core in self.cores)
-            if t is not None
-        ]
-        return min(times) if times else None
+        earliest: Optional[float] = None
+        for core in self.cores:
+            fire = core.secure_timer.next_fire_time()
+            if fire is not None and (earliest is None or fire < earliest):
+                earliest = fire
+        return earliest
+
+    def register_interference(self, probe: Callable[[], bool]) -> None:
+        """Register a predicate that is True while scans may be raced.
+
+        Attack and probe components call this at install time; the
+        introspection engine consults :meth:`scan_interference` before
+        fusing a scan's chunk events into one span.
+        """
+        self._interference_probes.append(probe)
+
+    def scan_interference(self) -> bool:
+        """True while any registered component could interleave with a scan."""
+        for probe in self._interference_probes:
+            if probe():
+                return True
+        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Advance the simulation (delegates to the simulator)."""

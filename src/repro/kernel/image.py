@@ -10,12 +10,43 @@ detection experiment.
 
 from __future__ import annotations
 
+import os
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.config import KernelConfig
 from repro.hw.memory import PhysicalMemory
 from repro.hw.world import World
 from repro.kernel.systemmap import Section, SystemMap
+
+#: Process-scoped cache of generated image content keyed by what fully
+#: determines it: ``(image_seed, size)``.  The bytes are a pure function of
+#: the key (a private PCG64 stream, no machine RNG involved), so campaign
+#: workers churning through seeds skip the ~12 MB regeneration per trial.
+_CONTENT_CACHE: Dict[Tuple[int, int], bytes] = {}
+
+#: Bound the cache so a long-lived worker sweeping image seeds cannot hold
+#: an unbounded number of ~12 MB payloads alive.
+_CONTENT_CACHE_MAX = 4
+
+
+def _cache_enabled() -> bool:
+    return not os.environ.get("REPRO_NO_BOOT_CACHE")
+
+
+def image_content(image_seed: int, size: int) -> bytes:
+    """Deterministic pseudo-random image bytes for ``(image_seed, size)``."""
+    key = (image_seed, size)
+    content = _CONTENT_CACHE.get(key)
+    if content is None:
+        rng = np.random.Generator(np.random.PCG64(image_seed))
+        content = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        if _cache_enabled():
+            if len(_CONTENT_CACHE) >= _CONTENT_CACHE_MAX:
+                _CONTENT_CACHE.pop(next(iter(_CONTENT_CACHE)))
+            _CONTENT_CACHE[key] = content
+    return content
 
 
 class KernelImage:
@@ -38,11 +69,20 @@ class KernelImage:
 
     def _populate(self) -> None:
         """Fill the image with deterministic pseudo-random content."""
-        rng = np.random.Generator(np.random.PCG64(self.config.image_seed))
-        content = rng.integers(0, 256, size=self.size, dtype=np.uint8).tobytes()
+        content = image_content(self.config.image_seed, self.size)
         # The boot loader owns memory before the OS runs; write as SECURE
         # (trusted boot stage) so this works regardless of region attributes.
         self.memory.write(self.base, content, World.SECURE)
+
+    @property
+    def write_count(self) -> int:
+        """Writes ever made to the backing region (a cheap mutation epoch).
+
+        A fused scan samples this before and after its span to prove no
+        write interleaved while its chunks were being hashed up front.
+        """
+        region = self.memory.region_at(self.base)
+        return region.write_count if region is not None else 0
 
     # ------------------------------------------------------------------
     # Address arithmetic

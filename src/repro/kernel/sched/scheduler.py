@@ -42,6 +42,9 @@ class RichScheduler:
         kcfg = machine.config.kernel
         self.cfs_slice = kcfg.cfs_slice
         self.run_queues = [CoreRunQueue(core.index) for core in machine.cores]
+        #: core objects indexed by core_index — dispatch-path shortcut for
+        #: ``machine.cores[...]``.
+        self._core_of = list(machine.cores)
         self._busy_listeners: List[BusyListener] = []
         self.tasks: List[Task] = []
         for core in machine.cores:
@@ -139,6 +142,11 @@ class RichScheduler:
     # Placement
     # ------------------------------------------------------------------
     def _choose_queue(self, task: Task) -> CoreRunQueue:
+        affinity = task.affinity
+        if affinity is not None and len(affinity) == 1:
+            # Pinned task (every prober thread): its sole queue, no scan.
+            for index in affinity:
+                return self.run_queues[index]
         allowed = [
             rq for rq in self.run_queues if task.allowed_on(rq.core_index)
         ]
@@ -161,7 +169,7 @@ class RichScheduler:
 
     def _after_enqueue(self, rq: CoreRunQueue, task: Task) -> None:
         self._report_busy(rq)
-        core = self.machine.cores[rq.core_index]
+        core = self._core_of[rq.core_index]
         if not core.available_to_normal_world:
             return
         current = rq.current
@@ -178,7 +186,7 @@ class RichScheduler:
     # Dispatch / quantum machinery
     # ------------------------------------------------------------------
     def _dispatch(self, rq: CoreRunQueue) -> None:
-        core = self.machine.cores[rq.core_index]
+        core = self._core_of[rq.core_index]
         if rq.current is not None or not core.available_to_normal_world:
             return
         while True:
@@ -241,7 +249,7 @@ class RichScheduler:
         return True
 
     def _begin_quantum(self, rq: CoreRunQueue, task: Task, new_dispatch: bool) -> None:
-        core = self.machine.cores[rq.core_index]
+        core = self._core_of[rq.core_index]
         delay = 0.0
         if new_dispatch:
             delay += core.perf.dispatch()

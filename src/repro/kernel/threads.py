@@ -48,6 +48,7 @@ class Task:
 
     __slots__ = (
         "tid", "name", "body", "policy", "priority", "weight", "affinity",
+        "is_fifo",
         "state", "core_index", "gen",
         "vruntime", "cpu_remaining", "has_cpu_request", "pending_send",
         "penalty_pending",
@@ -68,6 +69,9 @@ class Task:
         self.name = name
         self.body = body
         self.policy = policy
+        #: scheduling class never changes after construction; a plain bool
+        #: keeps the dispatcher's hottest branch off the property protocol.
+        self.is_fifo = policy is SchedPolicy.FIFO
         self.priority = priority
         self.weight = weight
         #: allowed cores; None means any core (sched_setaffinity semantics).
@@ -101,10 +105,6 @@ class Task:
 
     def allowed_on(self, core_index: int) -> bool:
         return self.affinity is None or core_index in self.affinity
-
-    @property
-    def is_fifo(self) -> bool:
-        return self.policy is SchedPolicy.FIFO
 
     @property
     def alive(self) -> bool:

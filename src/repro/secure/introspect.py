@@ -14,13 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from repro.errors import SimulationError
 from repro.hw.core import Core
 from repro.hw.world import World
 from repro.kernel.image import KernelImage
 from repro.secure.boot import AuthorizedHashStore
 from repro.secure.hashes import Djb2
 from repro.secure.snapshot import SecureSnapshotBuffer
-from repro.sim.process import cpu
+from repro.sim.process import cpu, cpu_batch
 
 
 @dataclass
@@ -56,12 +57,22 @@ def scan_area(
     length: int,
     chunk_size: int = 4096,
     snapshot_buffer: Optional[SecureSnapshotBuffer] = None,
+    coalesce: bool = False,
 ) -> Generator[Any, Any, int]:
     """Hash ``image[offset:offset+length]`` from the secure world.
 
     Yields cpu requests sized by the core's Table-I per-byte cost; returns
     the djb2 digest.  When ``snapshot_buffer`` is given the slower
     snapshot-then-hash variant is used instead of direct hashing.
+
+    ``coalesce=True`` asserts that *nothing can interleave with this scan*
+    (NS interrupts blocked, no armed attacker or prober): all chunks are
+    hashed up front and a single batch request stands in for the per-chunk
+    events.  The per-chunk cost draws, their order, and the resulting chunk
+    completion times are replayed exactly, so the timeline and every digest
+    are bit-identical to the unfused scan — the only difference is heap
+    traffic.  A write to the image while the span is in flight falsifies
+    the caller's no-interleaving claim and raises ``SimulationError``.
     """
     if snapshot_buffer is not None:
         digest, _copy = yield from snapshot_buffer.take_and_hash(
@@ -69,6 +80,31 @@ def scan_area(
         )
         return digest
     hasher = Djb2()
+    if coalesce and length > chunk_size:
+        hash_byte = core.perf.hash_byte
+        view = image.view
+        update = hasher.update
+        writes_before = image.write_count
+        # Replay the unfused timeline: iterative accumulation keeps every
+        # intermediate float bit-identical to `now + d0 + d1 + ...`.
+        time = core.sim.now
+        chunk_times = []
+        append = chunk_times.append
+        scanned = 0
+        while scanned < length:
+            step = min(chunk_size, length - scanned)
+            update(view(offset + scanned, step, World.SECURE))
+            time = time + step * hash_byte()
+            append(time)
+            scanned += step
+        yield cpu_batch(chunk_times)
+        if image.write_count != writes_before:
+            raise SimulationError(
+                "memory write interleaved a coalesced scan: "
+                f"image[{offset:#x}:+{length:#x}] was fused on the claim "
+                "that no writer could run"
+            )
+        return hasher.digest()
     scanned = 0
     while scanned < length:
         step = min(chunk_size, length - scanned)
@@ -89,11 +125,12 @@ def check_area(
     length: int,
     chunk_size: int = 4096,
     snapshot_buffer: Optional[SecureSnapshotBuffer] = None,
+    coalesce: bool = False,
 ) -> Generator[Any, Any, ScanResult]:
     """Scan one area and compare against its authorized digest."""
     start = core.sim.now
     digest = yield from scan_area(
-        image, core, offset, length, chunk_size, snapshot_buffer
+        image, core, offset, length, chunk_size, snapshot_buffer, coalesce
     )
     expected = store.expected_digest((offset, length))
     return ScanResult(

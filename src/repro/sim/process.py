@@ -72,9 +72,36 @@ class WaitRequest:
         return f"wait({self.signal!r})"
 
 
+class CpuBatchRequest:
+    """Ask to consume CPU through a pre-computed run of chunk completions.
+
+    ``chunk_times`` are absolute simulated times, non-decreasing, produced
+    by replaying the exact per-chunk cost draws a sequence of ``cpu()``
+    requests would have made.  Drivers that own their core outright (the
+    secure world with NS interrupts blocked) may satisfy the whole run with
+    a single :class:`~repro.sim.events.SpanEvent`; contended drivers reject
+    it because a batch is only meaningful when nothing can interleave.
+    """
+
+    __slots__ = ("chunk_times",)
+
+    def __init__(self, chunk_times) -> None:
+        if not chunk_times:
+            raise SimulationError("empty cpu batch request")
+        self.chunk_times = chunk_times
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"cpu_batch({len(self.chunk_times)} chunks -> {self.chunk_times[-1]!r})"
+
+
 def cpu(seconds: float) -> CpuRequest:
     """Request ``seconds`` of CPU time (preemptible under a scheduler)."""
     return CpuRequest(seconds)
+
+
+def cpu_batch(chunk_times) -> CpuBatchRequest:
+    """Request an uncontended run of CPU chunks ending at ``chunk_times[-1]``."""
+    return CpuBatchRequest(chunk_times)
 
 
 def sleep(seconds: float) -> SleepRequest:
@@ -163,6 +190,11 @@ class CoroutineDriver:
             self._pending_event = self.sim.schedule(request.seconds, self._advance, None)
         elif isinstance(request, WaitRequest):
             request.signal.add_waiter(self._advance)
+        elif isinstance(request, CpuBatchRequest):
+            # Uncontended by construction: one span event covers the run.
+            self._pending_event = self.sim.schedule_span(
+                request.chunk_times, self._advance, None
+            )
         else:
             raise SimulationError(f"coroutine yielded unknown request: {request!r}")
 

@@ -4,14 +4,26 @@ A :class:`Simulator` owns the clock and the event queue.  Everything else in
 this library — cores, timers, schedulers, the secure monitor — expresses its
 behaviour as callbacks scheduled here.  Time is a float in *seconds* of
 simulated wall-clock time; the clock only moves when events fire.
+
+The run loop is the hottest code in the repository: every scheduler quantum,
+timer tick, probe read and scan chunk passes through it.  It therefore pops
+the heap exactly once per event (no separate peek), keeps the queue methods
+in locals, and resolves metric handles once when a registry is attached
+instead of by name on every ``run()``.
+
+Event accounting understands :class:`~repro.sim.events.SpanEvent`: a fused
+secure-world scan schedules one heap entry for many chunks, and the chunks
+are charged to whichever ``run()`` window their recorded times land in — so
+``events_fired`` and the ``sim.*`` metrics stay bit-identical to the
+one-event-per-chunk engine even when a window boundary slices a scan.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue, SpanEvent
 
 
 class Simulator:
@@ -29,7 +41,8 @@ class Simulator:
 
     __slots__ = (
         "now", "_queue", "_running", "_events_fired", "stop_requested",
-        "metrics",
+        "_metrics", "_inflight_spans",
+        "_m_events", "_m_events_per_run", "_m_run_span", "_m_pending",
     )
 
     def __init__(self) -> None:
@@ -38,9 +51,32 @@ class Simulator:
         self._running = False
         self._events_fired = 0
         self.stop_requested = False
-        #: optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
-        #: each :meth:`run` call reports its event volume and span.
-        self.metrics = None
+        self._metrics = None
+        self._m_events = None
+        self._m_events_per_run = None
+        self._m_run_span = None
+        self._m_pending = None
+        #: SpanEvents scheduled but not yet fired; their chunk accounting is
+        #: settled incrementally at run-window boundaries.
+        self._inflight_spans: List[SpanEvent] = []
+
+    # ------------------------------------------------------------------
+    # Metrics attachment
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        each :meth:`run` call reports its event volume and span."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        if registry is not None:
+            self._m_events = registry.counter("sim.events")
+            self._m_events_per_run = registry.histogram("sim.events_per_run")
+            self._m_run_span = registry.histogram("sim.run_span_seconds")
+            self._m_pending = registry.gauge("sim.pending_events")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -59,6 +95,46 @@ class Simulator:
             )
         return self._queue.push(time, callback, args)
 
+    def schedule_batch(
+        self,
+        items: Iterable[Tuple[float, Callable[..., Any], Tuple[Any, ...]]],
+    ) -> List[Event]:
+        """Schedule many ``(delay, callback, args)`` entries in one call.
+
+        One fused validate/create/insert pass in
+        :meth:`EventQueue.push_batch` (with an O(n) heapify fast path for
+        large batches) keeps per-event overhead well below a ``schedule()``
+        loop; returned events are in input order.
+        """
+        return self._queue.push_batch(items, base=self.now)
+
+    def schedule_span(
+        self,
+        chunk_times: Sequence[float],
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> SpanEvent:
+        """Schedule one event covering a run of chunk completions.
+
+        ``chunk_times`` are absolute, non-decreasing times; the callback
+        fires once at ``chunk_times[-1]`` but every chunk is charged to the
+        run window its time lands in, exactly as if each had been its own
+        event.
+        """
+        if not chunk_times:
+            raise SimulationError("schedule_span needs at least one chunk time")
+        previous = self.now
+        for time in chunk_times:
+            if time < previous:
+                raise SimulationError(
+                    f"span chunk times must be non-decreasing from now "
+                    f"(got {time} after {previous})"
+                )
+            previous = time
+        event = self._queue.push_span(chunk_times, callback, args)
+        self._inflight_spans.append(event)
+        return event
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -71,7 +147,13 @@ class Simulator:
             raise SimulationError("event queue produced an out-of-order event")
         self.now = event.time
         event.fired = True
-        self._events_fired += 1
+        spans = self._inflight_spans
+        if spans and isinstance(event, SpanEvent):
+            spans.remove(event)
+            self._events_fired += event.remaining_weight
+            event.accounted = len(event.chunk_times)
+        else:
+            self._events_fired += 1
         event.callback(*event.args)
         return True
 
@@ -88,30 +170,58 @@ class Simulator:
         self.stop_requested = False
         started_at = self.now
         fired = 0
+        pop_next = self._queue.pop_next
+        spans = self._inflight_spans
+        # Chunk-accounting limit for spans still pending when the loop
+        # exits: events up to `until` would have fired at a window boundary,
+        # but only events up to `now` had fired at a stop()/max_events exit.
+        exit_limit = until
         try:
-            while not self.stop_requested:
+            while True:
+                if self.stop_requested:
+                    exit_limit = self.now
+                    break
                 if max_events is not None and fired >= max_events:
+                    exit_limit = self.now
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event = pop_next(until)
+                if event is None:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-                fired += 1
+                time = event.time
+                if time < self.now:
+                    raise SimulationError("event queue produced an out-of-order event")
+                self.now = time
+                event.fired = True
+                if spans and isinstance(event, SpanEvent):
+                    spans.remove(event)
+                    weight = event.remaining_weight
+                    event.accounted = len(event.chunk_times)
+                    fired += weight
+                    self._events_fired += weight
+                else:
+                    fired += 1
+                    self._events_fired += 1
+                event.callback(*event.args)
         finally:
             self._running = False
+        if spans and exit_limit is not None:
+            kept: List[SpanEvent] = []
+            for span in spans:
+                if span.cancelled:
+                    continue
+                charged = span.account_until(exit_limit)
+                if charged:
+                    fired += charged
+                    self._events_fired += charged
+                kept.append(span)
+            spans[:] = kept
         if until is not None and self.now < until and not self.stop_requested:
             self.now = until
-        if self.metrics is not None:
-            self.metrics.counter("sim.events").inc(fired)
-            self.metrics.histogram("sim.events_per_run").observe(float(fired))
-            self.metrics.histogram("sim.run_span_seconds").observe(
-                self.now - started_at
-            )
-            self.metrics.gauge("sim.pending_events").set(
-                float(self.pending_events)
-            )
+        if self._metrics is not None:
+            self._m_events.inc(fired)
+            self._m_events_per_run.observe(float(fired))
+            self._m_run_span.observe(self.now - started_at)
+            self._m_pending.set(float(len(self._queue)))
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
         """Run for ``duration`` seconds of simulated time."""
@@ -126,7 +236,12 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def events_fired(self) -> int:
-        """Total number of events executed since construction."""
+        """Total number of events executed since construction.
+
+        Chunks folded into a fired or window-straddling
+        :class:`~repro.sim.events.SpanEvent` count individually, so this
+        matches the one-event-per-chunk engine.
+        """
         return self._events_fired
 
     @property

@@ -1,0 +1,51 @@
+"""Golden determinism: the overhauled engine fires the seed's event order.
+
+The tuple-heap engine, the fused run loop and ``schedule_batch`` are pure
+re-plumbings of the calendar queue: the fired ``(time, seq)`` sequence must
+be bit-identical to the seed-style reference engine (Event objects in the
+heap, Python ``__lt__``, separate peek+pop) that ships inside
+:mod:`repro.bench` for exactly this comparison.
+"""
+
+import hashlib
+
+from repro.bench import ReferenceSimulator, engine_equivalence
+from repro.sim.simulator import Simulator
+
+
+def test_fired_sequence_checksum_matches_seed_reference():
+    result = engine_equivalence(n_events=8_000)
+    assert result["optimized_checksum"] == result["reference_checksum"]
+
+
+def _trace(sim, schedule):
+    """Run a mixed rescheduling/cancelling workload; hash every firing."""
+    trace = hashlib.sha256()
+    state = {"i": 0}
+    victims = []
+
+    def tick():
+        trace.update(sim.now.hex().encode())
+        i = state["i"] = state["i"] + 1
+        if i >= 400:
+            return
+        schedule(sim, ((i * 37) % 101 + 1) * 1e-6, tick)
+        if i % 5 == 0:
+            victims.append(sim.schedule(((i * 53) % 89 + 2) * 1e-6, tick))
+            if len(victims) > 3:
+                victims.pop(0).cancel()
+
+    schedule(sim, 1e-6, tick)
+    sim.run()
+    return trace.hexdigest()
+
+
+def test_schedule_batch_preserves_event_order():
+    def via_schedule(sim, delay, callback):
+        sim.schedule(delay, callback)
+
+    def via_batch(sim, delay, callback):
+        sim.schedule_batch([(delay, callback, ())])
+
+    assert _trace(Simulator(), via_schedule) == _trace(Simulator(), via_batch)
+    assert _trace(Simulator(), via_schedule) == _trace(ReferenceSimulator(), via_schedule)

@@ -96,6 +96,105 @@ def test_event_comparison_uses_time_then_seq():
     assert early < tie
 
 
+def test_push_batch_interleaves_with_push_by_time_then_seq():
+    q = EventQueue()
+    order = []
+    first = q.push(1.5, order.append, ("push",))
+    batch = q.push_batch(
+        [(1.0, order.append, ("b0",)), (1.5, order.append, ("b1",)), (0.5, order.append, ("b2",))]
+    )
+    assert [e.seq for e in batch] == [first.seq + 1, first.seq + 2, first.seq + 3]
+    while True:
+        event = q.pop()
+        if event is None:
+            break
+        event.callback(*event.args)
+    # ties at t=1.5 resolve by schedule order: push() before its batch peer
+    assert order == ["b2", "b0", "push", "b1"]
+
+
+def test_push_batch_relative_base_validates_delays():
+    q = EventQueue()
+    events = q.push_batch([(0.25, lambda: None, ())], base=1.0)
+    assert events[0].time == 1.25
+    with pytest.raises(SimulationError):
+        q.push_batch([(-0.1, lambda: None, ())], base=1.0)
+    with pytest.raises(SimulationError):
+        q.push_batch([(float("nan"), lambda: None, ())], base=1.0)
+    with pytest.raises(SimulationError):
+        q.push_batch([(float("nan"), lambda: None, ())])
+
+
+def test_push_batch_events_are_live_cancellable_tokens():
+    q = EventQueue()
+    events = q.push_batch([(float(i), lambda: None, ()) for i in range(10)])
+    assert len(q) == 10
+    events[3].cancel()
+    events[3].cancel()  # idempotent
+    assert len(q) == 9
+    popped = [q.pop() for _ in range(9)]
+    assert events[3] not in popped
+    assert q.pop() is None
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "batch", "cancel", "cancel_done", "pop", "peek"]),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=120,
+)
+
+
+@given(_OPS)
+def test_len_is_exact_under_any_interleaving(ops):
+    """Satellite invariant: ``len(queue)`` never drifts from the true live
+    count, no matter how push/cancel/pop/peek interleave — including
+    cancels of already-popped events, which must be no-ops."""
+    q = EventQueue()
+    live = set()
+    done = []
+    for op, t, idx in ops:
+        if op == "push":
+            live.add(q.push(t, lambda: None))
+        elif op == "batch":
+            live.update(q.push_batch([(t + k, lambda: None, ()) for k in range(idx + 1)]))
+        elif op == "cancel" and live:
+            victim = sorted(live, key=lambda e: e.seq)[idx % len(live)]
+            victim.cancel()
+            live.discard(victim)
+        elif op == "cancel_done" and done:
+            done[idx % len(done)].cancel()
+        elif op == "pop":
+            event = q.pop()
+            if event is None:
+                assert not live
+            else:
+                assert event in live
+                live.discard(event)
+                done.append(event)
+        elif op == "peek":
+            peeked = q.peek_time()
+            if live:
+                assert peeked == min(e.time for e in live)
+            else:
+                assert peeked is None
+        assert len(q) == len(live)
+        assert bool(q) == bool(live)
+    # drain: exactly the live events come out, in (time, seq) order
+    drained = []
+    while True:
+        event = q.pop()
+        if event is None:
+            break
+        drained.append(event)
+    assert set(drained) == live
+    keys = [(e.time, e.seq) for e in drained]
+    assert keys == sorted(keys)
+    assert len(q) == 0
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
 def test_pop_order_is_always_nondecreasing(times):
     q = EventQueue()
