@@ -51,7 +51,23 @@ from repro.core import (
     s_bound,
     unprotected_fraction,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    AttackError,
+    CampaignError,
+    ConfigurationError,
+    FaultError,
+    FaultInjectionError,
+    FaultPlanError,
+    HardwareError,
+    IntrospectionError,
+    KernelError,
+    MemoryAccessError,
+    ObservabilityError,
+    ReproError,
+    SchedulingError,
+    SecureAccessError,
+    SimulationError,
+)
 from repro.experiments import (
     build_stack,
     run_ablations,
@@ -77,8 +93,22 @@ from repro.attacks import IrqStormAttacker, KnoxBypassAttack
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttackError",
+    "CampaignError",
     "CampaignResult",
     "CampaignSpec",
+    "ConfigurationError",
+    "FaultError",
+    "FaultInjectionError",
+    "FaultPlanError",
+    "HardwareError",
+    "IntrospectionError",
+    "KernelError",
+    "MemoryAccessError",
+    "ObservabilityError",
+    "SchedulingError",
+    "SecureAccessError",
+    "SimulationError",
     "KProberI",
     "KProberII",
     "Machine",

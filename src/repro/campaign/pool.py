@@ -28,6 +28,7 @@ import queue as queue_module
 import time
 import traceback
 from dataclasses import dataclass, field
+from hashlib import sha256
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import CampaignError
@@ -37,6 +38,26 @@ DEFAULT_MAX_ATTEMPTS = 2
 
 #: How long the supervisor blocks on the result queue per loop iteration.
 _POLL_INTERVAL = 0.05
+
+#: Respawn backoff: first cooldown after a kill, and the exponential cap.
+#: A worker dying repeatedly (OOM storm, broken native dep) must not be
+#: respawned in a tight loop — each consecutive crash doubles the cooldown.
+DEFAULT_RESPAWN_BACKOFF_BASE = 0.25
+DEFAULT_RESPAWN_BACKOFF_CAP = 10.0
+
+
+def _respawn_backoff(key: str, crash_count: int, base: float, cap: float) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The jitter (up to +25%) is derived from ``sha256(key:crash_count)``
+    rather than a live RNG, so a re-run of the same failing campaign
+    produces the same cooldown schedule — wall-clock behaviour stays as
+    reproducible as the trial results themselves.
+    """
+    delay = min(cap, base * (2.0 ** max(0, crash_count - 1)))
+    digest = sha256(f"{key}:{crash_count}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return min(cap, delay * (1.0 + 0.25 * fraction))
 
 
 def resolve_function(path: str) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
@@ -108,6 +129,10 @@ class _WorkerSlot:
         self.task_queue = context.Queue()
         self.current: Optional[Dict[str, Any]] = None
         self.started_at = 0.0
+        #: consecutive kills of this slot's process; reset by any clean
+        #: result, drives the respawn cooldown.
+        self.crash_count = 0
+        self.cooldown_until = 0.0
         self.process = context.Process(
             target=_worker_main,
             args=(fn_path, self.task_queue, result_queue),
@@ -169,6 +194,8 @@ def run_tasks(
     on_final: Optional[Callable[[Dict[str, Any], TrialOutcome], None]] = None,
     on_retry: Optional[Callable[[Dict[str, Any], str], None]] = None,
     metrics: Optional[Any] = None,
+    respawn_backoff_base: float = DEFAULT_RESPAWN_BACKOFF_BASE,
+    respawn_backoff_cap: float = DEFAULT_RESPAWN_BACKOFF_CAP,
 ) -> Dict[str, TrialOutcome]:
     """Run every task through the pool; returns ``key -> TrialOutcome``.
 
@@ -178,7 +205,10 @@ def run_tasks(
     task has a final outcome — a hung or crashed worker never wedges the
     campaign.  ``metrics`` (a supervisor-side
     :class:`~repro.obs.metrics.MetricsRegistry`) receives dispatch,
-    timeout-kill and respawn counters.
+    timeout-kill, respawn and backoff counters.  A slot whose process had
+    to be killed cools down for a capped-exponential, deterministically
+    jittered backoff (see :func:`_respawn_backoff`) before it is handed
+    new work.
     """
     keys = [t["key"] for t in tasks]
     if len(set(keys)) != len(keys):
@@ -240,6 +270,7 @@ def run_tasks(
             return  # stale result from a worker we already gave up on
         task = slot.current
         slot.current = None
+        slot.crash_count = 0  # any message proves the process is healthy
         elapsed_total[key] += message.get("elapsed", 0.0)
         if message["ok"]:
             finalize(
@@ -256,11 +287,23 @@ def run_tasks(
         else:
             record_failure(task, "error", message.get("error", "unknown worker error"))
 
+    def cool_down(slot: _WorkerSlot, key: str) -> None:
+        """Apply the post-kill respawn backoff to a slot."""
+        slot.crash_count += 1
+        delay = _respawn_backoff(
+            key, slot.crash_count, respawn_backoff_base, respawn_backoff_cap
+        )
+        slot.cooldown_until = time.monotonic() + delay
+        count("campaign.respawn_backoffs")
+        if metrics is not None:
+            metrics.histogram("campaign.respawn_backoff_seconds").observe(delay)
+
     try:
         while len(outcomes) < len(tasks):
-            # Dispatch work to idle slots.
+            # Dispatch work to idle slots (cooling slots sit this round out).
+            now = time.monotonic()
             for slot in slots:
-                if pending and not slot.busy:
+                if pending and not slot.busy and now >= slot.cooldown_until:
                     task = pending.pop(0)
                     attempts[task["key"]] += 1
                     count("campaign.pool_dispatches")
@@ -285,12 +328,14 @@ def run_tasks(
                     elapsed_total[key] += now - slot.started_at
                     count("campaign.worker_respawns")
                     slot.respawn()
+                    cool_down(slot, key)
                     record_failure(task, "timeout", f"trial exceeded {timeout:g}s; worker killed")
                 elif not slot.process.is_alive():
                     exitcode = slot.process.exitcode
                     elapsed_total[key] += now - slot.started_at
                     count("campaign.worker_respawns")
                     slot.respawn()
+                    cool_down(slot, key)
                     record_failure(
                         task, "crashed", f"worker died mid-trial (exitcode {exitcode})"
                     )

@@ -261,6 +261,10 @@ def run_campaign(
             pending.append(task)
 
     supervisor = MetricsRegistry()
+    if store.corrupt_lines_skipped:
+        supervisor.counter("campaign.store_corrupt_lines").inc(
+            store.corrupt_lines_skipped
+        )
     meter = ProgressMeter(
         total=len(tasks),
         registry=supervisor,

@@ -15,13 +15,16 @@ exercise in tests.
 Only the campaign supervisor writes (workers hand results back over a
 queue), so appends need no cross-process locking; each line is flushed as
 it is written, which makes the cache crash-consistent at line granularity.
-Corrupt trailing lines (a run killed mid-write) are skipped on load.
+Corrupt trailing lines (a run killed mid-write) are skipped on load with a
+warning; the skip count is kept on :attr:`ResultStore.corrupt_lines_skipped`
+so the supervisor can surface cache decay in the manifest.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, Iterator, List, Optional
 
 #: Shard fan-out: one shard per first hex digit of the key.
@@ -40,6 +43,11 @@ class ResultStore:
         os.makedirs(self.directory, exist_ok=True)
         self._index: Dict[str, Dict[str, Any]] = {}
         self._loaded = False
+        #: Torn/truncated JSONL lines skipped on the last :meth:`load`
+        #: (a run killed mid-append leaves at most one per shard).  The
+        #: supervisor surfaces this in the manifest so silent cache decay
+        #: is visible on ``--resume``.
+        self.corrupt_lines_skipped = 0
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -61,23 +69,32 @@ class ResultStore:
             if n.startswith("shard-") and n.endswith(".jsonl")
         ]
 
-    @staticmethod
-    def _iter_records(path: str) -> Iterator[Dict[str, Any]]:
+    def _iter_records(self, path: str) -> Iterator[Dict[str, Any]]:
         try:
-            handle = open(path, "r", encoding="utf-8")
+            # errors="replace": a torn multi-byte sequence at the tail must
+            # not abort the whole shard.
+            handle = open(path, "r", encoding="utf-8", errors="replace")
         except FileNotFoundError:
             return
         with handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except ValueError:
-                    continue  # torn write from a killed run
+                    record = None  # torn write from a killed run
                 if isinstance(record, dict) and "key" in record:
                     yield record
+                else:
+                    self.corrupt_lines_skipped += 1
+                    warnings.warn(
+                        f"skipping corrupt record at {path}:{number} "
+                        "(truncated write from an interrupted run?)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     # ------------------------------------------------------------------
     # Public API
@@ -89,6 +106,7 @@ class ResultStore:
         Later lines win, so a re-run record supersedes an older one.
         """
         self._index = {}
+        self.corrupt_lines_skipped = 0
         for path in self.shard_paths():
             for record in self._iter_records(path):
                 self._index[record["key"]] = record
@@ -133,6 +151,8 @@ class ResultStore:
         """
         with open(self.quarantine_path(), "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def quarantined(self) -> List[Dict[str, Any]]:
         return list(self._iter_records(self.quarantine_path()))

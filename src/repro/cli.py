@@ -11,6 +11,10 @@ Commands
 ``report``
     Run the whole suite and print/write the assembled report
     (``--full`` runs are fanned out across the campaign worker pool).
+``chaos <scenario>``
+    Fault-injection sweep: run a scenario under a fault plan across many
+    seeds and print the survival/detection matrix (non-zero exit on any
+    missed fault).
 ``trace <scenario>``
     Run a trace scenario and export Perfetto ``trace_event`` JSON
     (open in ui.perfetto.dev) and/or JSONL.
@@ -95,6 +99,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         print(result.rendered)
     return 0 if result.records else 3
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.faults.chaos import ChaosSpec, run_chaos
+
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    try:
+        spec = ChaosSpec(
+            scenario=args.scenario,
+            seeds=seeds,
+            plan_name=args.faults,
+            fault_seed_base=args.fault_seed_base,
+            preset=args.preset,
+            duration=args.duration,
+            jobs=args.jobs,
+            timeout=args.timeout if args.timeout > 0 else None,
+            max_attempts=args.retries + 1,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+        if args.no_progress:
+            progress = False
+        elif args.quiet:
+            progress = "quiet"
+        else:
+            progress = True
+        result = run_chaos(spec, progress=progress)
+    except ReproError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    if result.manifest_path:
+        print(f"manifest written to {result.manifest_path}", file=sys.stderr)
+    if args.matrix:
+        with open(args.matrix, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "scenario": spec.scenario,
+                    "plan": spec.plan.name,
+                    "seeds": len(seeds),
+                    "classes": result.survival,
+                    "totals": result.totals,
+                },
+                handle, indent=1, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"survival matrix written to {args.matrix}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.rendered + "\n")
+        print(f"chaos summary written to {args.output}", file=sys.stderr)
+    else:
+        print(result.rendered)
+    if not result.records:
+        return 3
+    return 4 if result.missed else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -286,6 +348,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("-o", "--output",
                           help="write the campaign summary to a file")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: survival/detection matrix across seeds",
+    )
+    chaos.add_argument("scenario",
+                       help="trace scenario to stress (figure4, baseline)")
+    chaos.add_argument("--faults", default="smoke", metavar="PLAN",
+                       help="fault plan name (default smoke; see "
+                            "repro.faults.plan)")
+    chaos.add_argument("--seeds", type=int, default=8, metavar="N",
+                       help="number of machine seeds (default 8)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first machine seed; trials use base..base+N-1")
+    chaos.add_argument("--fault-seed-base", type=int, default=0,
+                       help="offset added to each machine seed to derive its "
+                            "fault seed (default 0)")
+    chaos.add_argument("--preset", default="juno_r1",
+                       help="platform preset (default juno_r1)")
+    chaos.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="injection horizon in simulated seconds "
+                            "(default: the plan's duration)")
+    chaos.add_argument("--jobs", type=int,
+                       default=max(os.cpu_count() or 1, 1), metavar="N",
+                       help="worker processes (0 = serial in-process)")
+    chaos.add_argument("--resume", action="store_true",
+                       help="serve completed trials from the result cache")
+    chaos.add_argument("--timeout", type=float, default=600.0,
+                       help="per-trial timeout in seconds (0 disables)")
+    chaos.add_argument("--retries", type=int, default=1,
+                       help="retries per failing trial before quarantine")
+    chaos.add_argument("--cache-dir", default=".repro-cache",
+                       help="result store root (default .repro-cache)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="progress meter prints only the final tally")
+    chaos.add_argument("--no-progress", action="store_true",
+                       help="suppress the stderr progress meter entirely")
+    chaos.add_argument("--matrix", metavar="FILE",
+                       help="write the survival matrix as JSON (CI artifact)")
+    chaos.add_argument("-o", "--output",
+                       help="write the chaos summary to a file")
+
     report = sub.add_parser("report", help="run the whole suite")
     report.add_argument("--seed", type=int, default=2019)
     report.add_argument("--full", action="store_true")
@@ -344,6 +447,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

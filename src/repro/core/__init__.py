@@ -1,7 +1,14 @@
 """SATIN — the paper's primary contribution."""
 
 from repro.core.activation import SelfActivationModule, WakeUpTimeQueue
-from repro.core.alarms import AlarmRecord, AlarmSink
+from repro.core.alarms import (
+    SEVERITY_DEGRADED,
+    SEVERITY_INTEGRITY,
+    SEVERITY_LIVENESS,
+    AlarmRecord,
+    AlarmSink,
+    DegradedRound,
+)
 from repro.core.area_set import KernelAreaSet
 from repro.core.areas import (
     Area,
@@ -23,12 +30,18 @@ from repro.core.race import (
     unprotected_fraction,
 )
 from repro.core.satin import Satin, install_satin
+from repro.core.watchdog import RoundWatchdog
 
 __all__ = [
     "AlarmRecord",
     "AlarmSink",
     "Area",
+    "DegradedRound",
     "DerivedPolicy",
+    "RoundWatchdog",
+    "SEVERITY_DEGRADED",
+    "SEVERITY_INTEGRITY",
+    "SEVERITY_LIVENESS",
     "IntegrityCheckingModule",
     "KernelAreaSet",
     "RaceParameters",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 import struct
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import IntrospectionError
 from repro.hw.core import Core
@@ -57,8 +57,16 @@ class WakeUpTimeQueue:
         self._rng = rng
         self._available_slots: List[int] = []
         self._next_base = start_time
+        self._last_refresh_base = start_time
         self.refresh_count = 0
         self.takes = 0
+        #: Entries rejected by plausibility validation (fault tolerance:
+        #: a corrupted or stale secure-SRAM slot must never arm a timer).
+        self.invalid_entries = 0
+        #: Fresh draws substituted for rejected entries.
+        self.fallback_draws = 0
+        #: Called with ``(slot, raw_value, now)`` for each rejected entry.
+        self.invalid_listeners: List[Callable[[int, float, float], None]] = []
 
     # ------------------------------------------------------------------
     def _write_slot(self, slot: int, value_seconds: float) -> None:
@@ -80,17 +88,49 @@ class WakeUpTimeQueue:
             wake_at = base + (i + 1) * self.tp + deviation
             self._write_slot(i, max(wake_at, now))
         self._next_base = base + self.slot_count * self.tp
+        self._last_refresh_base = base
         self._available_slots = list(range(self.slot_count))
         self._rng.shuffle(self._available_slots)
 
     # ------------------------------------------------------------------
+    def plausible(self, value_seconds: float) -> bool:
+        """Can this slot value have been written by :meth:`_refresh`?
+
+        Legitimate entries of the current generation lie in
+        ``[base + tp - td, base + slot_count*tp + td]`` (clamped to the
+        refresh instant), with ``td <= tp``.  One full period of slack on
+        each side keeps every honest entry inside the window while any
+        corrupted 64-bit pattern (decoding to ~1.8e13 s) or genuinely
+        stale value from generations ago falls outside.
+        """
+        base = self._last_refresh_base
+        lo = base - self.tp
+        hi = base + (self.slot_count + 2) * self.tp
+        return lo <= value_seconds <= hi
+
     def take(self, now: float) -> float:
-        """Extract the next randomly assigned wake time (>= now)."""
+        """Extract the next randomly assigned wake time (>= now).
+
+        Slot values live in secure SRAM but SATIN does not trust them
+        blindly: a value a fault (or an SRAM disturbance) pushed outside
+        the plausible window is rejected and replaced with a fresh draw,
+        so a corrupted entry can never park a core's timer in the far
+        future (a silent liveness loss) or burn it on immediate wakes.
+        """
         if not self._available_slots:
             self._refresh(now)
         slot = self._available_slots.pop()
         self.takes += 1
-        return max(self._read_slot(slot), now + _MIN_ARM_DELAY)
+        value = self._read_slot(slot)
+        if not self.plausible(value):
+            self.invalid_entries += 1
+            for listener in self.invalid_listeners:
+                listener(slot, value, now)
+            td = self.tp * self.deviation_fraction
+            deviation = self._rng.uniform(-td, td) if td > 0 else 0.0
+            value = now + self.tp + deviation
+            self.fallback_draws += 1
+        return max(value, now + _MIN_ARM_DELAY)
 
     @property
     def slots_remaining(self) -> int:
@@ -112,6 +152,10 @@ class SelfActivationModule:
         self.random_core = random_core
         self.fixed_core_index = fixed_core_index
         self.arm_count = 0
+        #: Observers called with ``(core, wake_at)`` on every arm — the
+        #: round watchdog tracks expected wakes here, the fault injector
+        #: audits that no corrupted value ever reached the hardware.
+        self.arm_listeners: List[Callable[[Core, float], None]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -137,6 +181,8 @@ class SelfActivationModule:
             self.machine.sim.now, "satin", "wake-up armed",
             core=core.index, wake_at=wake_at,
         )
+        for listener in self.arm_listeners:
+            listener(core, wake_at)
 
     def disarm_all(self) -> None:
         for core in self.machine.cores:

@@ -1,14 +1,36 @@
-"""Integrity alarms raised by the checking module."""
+"""Integrity alarms raised by the checking module.
+
+Alarms carry a *severity* so server-side policy can triage them:
+
+``integrity``
+    A scanned area's digest did not match its authorized hash — the
+    classic SATIN detection (kind ``mismatch``).
+``liveness``
+    The engine itself degraded: a scheduled round never ran and the
+    bounded re-arm retries were exhausted (a :class:`DegradedRound`).
+``degraded``
+    The engine survived a suspected platform fault by falling back —
+    e.g. an implausible wake-up-queue entry replaced by a fresh draw, or
+    a snapshot mismatch that a direct re-scan proved spurious.  The
+    round's answer is still correct; the fault is recorded, not hidden.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, Dict, List
+
+#: Alarm severity levels, mildest last.
+SEVERITY_INTEGRITY = "integrity"
+SEVERITY_LIVENESS = "liveness"
+SEVERITY_DEGRADED = "degraded"
+
+SEVERITIES = (SEVERITY_INTEGRITY, SEVERITY_LIVENESS, SEVERITY_DEGRADED)
 
 
 @dataclass(frozen=True)
 class AlarmRecord:
-    """One detected integrity violation."""
+    """One detected integrity violation (or degradation event)."""
 
     time: float
     area_index: int
@@ -18,12 +40,40 @@ class AlarmRecord:
     round_index: int
     digest: int
     expected: int
+    #: triage level; the pre-existing mismatch path stays ``integrity``.
+    severity: str = SEVERITY_INTEGRITY
+    #: what kind of event raised the alarm (``mismatch``,
+    #: ``missed_round``, ``wakeup_entry``, ``snapshot_suspected``, ...).
+    kind: str = "mismatch"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ALARM t={self.time:.6f}s area={self.area_index} "
             f"[{self.offset:#x}+{self.length:#x}] core={self.core_index} "
             f"round={self.round_index}"
+        )
+
+
+@dataclass(frozen=True)
+class DegradedRound(AlarmRecord):
+    """A scheduled round never ran; re-arm retries were exhausted.
+
+    Raised by the :class:`~repro.core.watchdog.RoundWatchdog` with
+    severity ``liveness``.  ``area_index``/``digest`` fields are -1/0 —
+    no scan happened, which is exactly the problem.
+    """
+
+    severity: str = SEVERITY_LIVENESS
+    kind: str = "missed_round"
+    #: why the round was declared lost.
+    reason: str = "wake never serviced"
+    #: re-arm attempts spent before alarming.
+    retries: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DEGRADED t={self.time:.6f}s core={self.core_index} "
+            f"({self.reason}, {self.retries} retries)"
         )
 
 
@@ -44,6 +94,15 @@ class AlarmSink:
 
     def alarms_for_area(self, area_index: int) -> List[AlarmRecord]:
         return [a for a in self.alarms if a.area_index == area_index]
+
+    def by_severity(self, severity: str) -> List[AlarmRecord]:
+        return [a for a in self.alarms if a.severity == severity]
+
+    def severity_counts(self) -> Dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for alarm in self.alarms:
+            counts[alarm.severity] = counts.get(alarm.severity, 0) + 1
+        return counts
 
     def __len__(self) -> int:
         return len(self.alarms)

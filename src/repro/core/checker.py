@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional
 
 from repro.config import SatinConfig
-from repro.core.alarms import AlarmRecord, AlarmSink
+from repro.core.alarms import SEVERITY_DEGRADED, AlarmRecord, AlarmSink
 from repro.core.area_set import KernelAreaSet
 from repro.core.areas import Area
 from repro.hw.core import Core
@@ -54,6 +54,16 @@ class IntegrityCheckingModule:
         #: armed attacker/prober registered on the machine).  Not part of
         #: SatinConfig: it changes simulation *cost*, never its outcome.
         self.coalesce_scans = True
+        #: Graceful degradation (enabled by ``Satin.harden()``): a snapshot
+        #: mismatch is re-verified with a direct scan before alarming — a
+        #: corrupted snapshot *buffer* then degrades the round instead of
+        #: faking a kernel compromise.
+        self.verify_snapshot_mismatch = False
+        self.snapshot_reverifies = 0
+        self.snapshot_suspected = 0
+        #: Rounds that fell back from a fused span to per-chunk scanning
+        #: because the installed fault injector reported interference.
+        self.chunked_fallbacks = 0
         metrics = machine.metrics
         self._rounds_counter = metrics.counter("satin.rounds")
         self._round_duration = metrics.histogram("satin.round_duration_seconds")
@@ -77,12 +87,20 @@ class IntegrityCheckingModule:
             # Fuse the round's chunk events only when nothing can observe or
             # mutate kernel memory mid-scan; any armed evader/prober keeps
             # the per-chunk timeline so race semantics are untouched.
-            coalesce = (
+            fusable = (
                 self.coalesce_scans
                 and blocked
                 and self.snapshot_buffer is None
-                and not self.machine.scan_interference()
             )
+            coalesce = fusable and not self.machine.scan_interference()
+            if fusable and not coalesce:
+                injector = self.machine.fault_injector
+                if injector is not None and injector.interferes_with_scans():
+                    # Suspected fault interference forced the per-chunk
+                    # timeline; metered only here so baseline snapshots
+                    # never grow a new counter.
+                    self.chunked_fallbacks += 1
+                    self.machine.metrics.counter("satin.chunked_fallbacks").inc()
             result = yield from check_area(
                 self.image,
                 self.store,
@@ -93,6 +111,49 @@ class IntegrityCheckingModule:
                 snapshot_buffer=self.snapshot_buffer,
                 coalesce=coalesce,
             )
+            if (
+                not result.match
+                and self.snapshot_buffer is not None
+                and self.verify_snapshot_mismatch
+            ):
+                # The snapshot copy disagreed with the authorized digest.
+                # Before accusing the kernel, re-scan the live memory
+                # directly: if it verifies clean, the fault was in the
+                # snapshot path and the round degrades instead of alarming
+                # at integrity severity.
+                self.snapshot_reverifies += 1
+                self.machine.metrics.counter("satin.snapshot_reverifies").inc()
+                direct = yield from check_area(
+                    self.image,
+                    self.store,
+                    core,
+                    area.offset,
+                    area.length,
+                    chunk_size=self.config.chunk_size,
+                    snapshot_buffer=None,
+                    coalesce=False,
+                )
+                if direct.match:
+                    self.snapshot_suspected += 1
+                    self.machine.metrics.counter("satin.snapshot_suspected").inc()
+                    direct.degraded = True
+                    direct.extra["snapshot_suspected"] = True
+                    direct.extra["snapshot_digest"] = result.digest
+                    self.alarms.raise_alarm(
+                        AlarmRecord(
+                            time=self.machine.sim.now,
+                            area_index=area.index,
+                            offset=area.offset,
+                            length=area.length,
+                            core_index=core.index,
+                            round_index=round_index,
+                            digest=result.digest,
+                            expected=result.expected,
+                            severity=SEVERITY_DEGRADED,
+                            kind="snapshot_suspected",
+                        )
+                    )
+                result = direct
             result.area_index = area.index
             result.round_index = round_index
             self.results.append(result)

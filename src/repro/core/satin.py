@@ -24,7 +24,7 @@ from typing import Any, Generator, List, Optional
 
 from repro.config import SatinConfig
 from repro.core.activation import SelfActivationModule, WakeUpTimeQueue
-from repro.core.alarms import AlarmSink
+from repro.core.alarms import SEVERITY_DEGRADED, AlarmRecord, AlarmSink
 from repro.core.area_set import KernelAreaSet
 from repro.core.areas import Area, build_partition, validate_partition
 from repro.core.checker import IntegrityCheckingModule
@@ -125,6 +125,8 @@ class Satin:
         self._auxiliary_checks: List = []
         self.auxiliary_runs = 0
         self.installed = False
+        #: the :class:`~repro.core.watchdog.RoundWatchdog` once hardened.
+        self.watchdog = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -149,6 +151,51 @@ class Satin:
             random_core=self.config.random_core,
         )
         return self
+
+    def harden(
+        self,
+        grace: Optional[float] = None,
+        max_retries: int = 3,
+        retry_delay: Optional[float] = None,
+    ):
+        """Enable graceful degradation against platform faults.
+
+        Installs the :class:`~repro.core.watchdog.RoundWatchdog` (missed
+        wakes are re-armed up to ``max_retries`` times, then alarmed at
+        ``liveness`` severity), turns on snapshot-mismatch re-verification
+        in the checker, and meters/alarms wake-up-queue entries rejected
+        by validation at ``degraded`` severity.  Separate from install()
+        and off by default: hardening changes the event timeline (watchdog
+        checks), so baseline reproductions never pay for it.  Returns the
+        watchdog.
+        """
+        from repro.core.watchdog import RoundWatchdog
+
+        if self.watchdog is not None:
+            raise IntrospectionError("SATIN is already hardened")
+        self.watchdog = RoundWatchdog(
+            self, grace=grace, max_retries=max_retries, retry_delay=retry_delay
+        )
+        self.checker.verify_snapshot_mismatch = True
+        self.wakeup_queue.invalid_listeners.append(self._on_invalid_wakeup_entry)
+        return self.watchdog
+
+    def _on_invalid_wakeup_entry(self, slot: int, value: float, now: float) -> None:
+        self.machine.metrics.counter("satin.wakeup_invalid_entries").inc()
+        self.alarms.raise_alarm(
+            AlarmRecord(
+                time=now,
+                area_index=-1,
+                offset=slot,
+                length=WakeUpTimeQueue.ENTRY_SIZE,
+                core_index=-1,
+                round_index=-1,
+                digest=int(value * 1e6),
+                expected=0,
+                severity=SEVERITY_DEGRADED,
+                kind="wakeup_entry",
+            )
+        )
 
     def uninstall(self) -> None:
         """Disarm timers and release the secure timer service."""

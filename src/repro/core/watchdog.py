@@ -1,0 +1,143 @@
+"""Missed-round detection: the liveness half of graceful degradation.
+
+SATIN's security argument assumes every armed wake actually happens.  On a
+faulty platform that assumption breaks — a secure timer expiry can be
+dropped, delivered late, or swallowed by a stalled core — and without a
+watchdog the engine would simply stop scanning, silently.
+
+:class:`RoundWatchdog` closes the gap.  It observes every arm through the
+activation module's listener list, then checks ``grace`` seconds after the
+programmed wake whether the wake was serviced (evidence: the TSP's
+per-core entry count advanced, or a newer arm superseded this one).  A
+missed wake is re-armed directly through the secure timer, up to
+``max_retries`` times; after that a :class:`~repro.core.alarms.
+DegradedRound` alarm (severity ``liveness``) is raised and the retry
+budget resets so the engine keeps fighting for liveness instead of giving
+up.  The watchdog draws no randomness and is installed only by
+``Satin.harden()``, so baseline timelines are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.alarms import DegradedRound
+from repro.hw.core import Core
+
+#: Default grace window as a fraction of the base period tp: generous next
+#: to a round's length (milliseconds) yet small enough that the full retry
+#: budget fits well inside one period.
+DEFAULT_GRACE_FRACTION = 0.05
+
+
+class RoundWatchdog:
+    """Detects and recovers wakes that never reached the secure world."""
+
+    def __init__(
+        self,
+        satin,
+        grace: Optional[float] = None,
+        max_retries: int = 3,
+        retry_delay: Optional[float] = None,
+    ) -> None:
+        self.satin = satin
+        self.machine = satin.machine
+        tp = satin.policy.tp
+        self.grace = grace if grace is not None else tp * DEFAULT_GRACE_FRACTION
+        self.retry_delay = retry_delay if retry_delay is not None else self.grace
+        self.max_retries = max_retries
+        #: per-core arm generation: a check only acts if no later arm
+        #: superseded the one it guards.
+        self._generation: Dict[int, int] = {}
+        self._retries: Dict[int, int] = {}
+        self._retry_arm_in_progress = False
+        # --- statistics ---------------------------------------------------
+        self.checks = 0
+        self.missed_wakes = 0
+        self.rearms = 0
+        self.late_rounds = 0
+        self.degraded_rounds = 0
+        #: ``(time, core_index)`` log of every missed wake, in detection
+        #: order — the fault injector matches injected drops against it.
+        self.missed_events: List[Tuple[float, int]] = []
+        metrics = self.machine.metrics
+        self._m_checks = metrics.counter("satin.watchdog.checks")
+        self._m_missed = metrics.counter("satin.watchdog.missed_wakes")
+        self._m_rearms = metrics.counter("satin.watchdog.rearms")
+        self._m_degraded = metrics.counter("satin.degraded_rounds")
+        satin.activation.arm_listeners.append(self._on_arm)
+        # Hardening usually happens after install(): the boot-time arms
+        # already sit in the timer hardware and never pass through the
+        # listener.  Guard them retroactively, or a fault on a core's
+        # first wake would go unwatched and silence the core for good.
+        for core in satin.activation.participating_cores:
+            pending = core.secure_timer.next_fire_time()
+            if pending is not None:
+                self._guard(core, pending)
+
+    # ------------------------------------------------------------------
+    def _on_arm(self, core: Core, wake_at: float) -> None:
+        self._guard(core, wake_at)
+
+    def _guard(self, core: Core, wake_at: float) -> None:
+        generation = self._generation.get(core.index, 0) + 1
+        self._generation[core.index] = generation
+        if not self._retry_arm_in_progress:
+            # A normal (re)arm means the engine made progress on this core;
+            # the retry budget is per lost wake, not per run.
+            self._retries[core.index] = 0
+        serviced = self.satin.tsp.timer_entries_per_core.get(core.index, 0)
+        self.machine.sim.schedule_at(
+            wake_at + self.grace, self._check, core, generation, wake_at, serviced
+        )
+
+    def _check(
+        self, core: Core, generation: int, wake_at: float, serviced_at_arm: int
+    ) -> None:
+        self.checks += 1
+        self._m_checks.inc()
+        if self._generation.get(core.index) != generation:
+            return  # a later arm owns this core's liveness now
+        serviced = self.satin.tsp.timer_entries_per_core.get(core.index, 0)
+        if serviced > serviced_at_arm:
+            # The wake reached S-EL1 (possibly late); its round is still
+            # running and will re-arm on completion.
+            self.late_rounds += 1
+            return
+        now = self.machine.sim.now
+        self.missed_wakes += 1
+        self._m_missed.inc()
+        self.missed_events.append((now, core.index))
+        self.machine.trace.emit(
+            now, "satin", "wake missed",
+            core=core.index, wake_at=wake_at,
+            retries=self._retries.get(core.index, 0),
+        )
+        retries = self._retries.get(core.index, 0)
+        if retries >= self.max_retries:
+            self.degraded_rounds += 1
+            self._m_degraded.inc()
+            self.satin.alarms.raise_alarm(
+                DegradedRound(
+                    time=now,
+                    area_index=-1,
+                    offset=0,
+                    length=0,
+                    core_index=core.index,
+                    round_index=-1,
+                    digest=0,
+                    expected=0,
+                    reason=f"wake at t={wake_at:.6f}s never serviced",
+                    retries=retries,
+                )
+            )
+            self._retries[core.index] = 0  # keep fighting for liveness
+        else:
+            self._retries[core.index] = retries + 1
+        self.rearms += 1
+        self._m_rearms.inc()
+        self._retry_arm_in_progress = True
+        try:
+            self.satin.activation._arm(core, now + self.retry_delay)
+        finally:
+            self._retry_arm_in_progress = False

@@ -57,3 +57,15 @@ class CampaignError(ReproError):
 
 class ObservabilityError(ReproError):
     """The telemetry subsystem (metrics / trace export) was misused."""
+
+
+class FaultError(ReproError):
+    """Base class for the fault-injection subsystem (:mod:`repro.faults`)."""
+
+
+class FaultPlanError(FaultError):
+    """A fault plan was unknown, malformed, or carried bad parameters."""
+
+
+class FaultInjectionError(FaultError):
+    """The fault injector was wired or driven inconsistently."""

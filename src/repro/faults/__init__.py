@@ -1,0 +1,37 @@
+"""Deterministic fault injection and the chaos sweep harness.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — declarative fault plans: which fault
+  classes strike, at what rate, with what parameters;
+* :mod:`repro.faults.injector` — the seed-driven injector that wires a
+  plan into a live machine/SATIN stack through dedicated hardware hooks
+  (its RNG streams are derived from ``(config_digest, fault_seed)``, so
+  baseline draws are never perturbed);
+* :mod:`repro.faults.chaos` — the campaign-pool sweep behind
+  ``python -m repro chaos`` and its survival/detection matrix.
+"""
+
+from repro.faults.chaos import ChaosResult, ChaosSpec, run_chaos, run_chaos_trial
+from repro.faults.injector import FaultInjector, Injection
+from repro.faults.plan import (
+    FAULT_CLASSES,
+    FaultPlan,
+    FaultSpec,
+    plan_by_name,
+    plan_names,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "ChaosResult",
+    "ChaosSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "Injection",
+    "plan_by_name",
+    "plan_names",
+    "run_chaos",
+    "run_chaos_trial",
+]

@@ -1,0 +1,482 @@
+"""Chaos sweeps: fault plans x seeds through the campaign pool.
+
+``python -m repro chaos <scenario> --faults <plan> --seeds N --jobs N``
+runs one hardened SATIN stack per ``(seed, fault_seed)`` pair with the
+plan's faults injected, classifies every injection (detected /
+degraded-but-correct / missed), and merges the per-trial results into a
+**survival matrix** that lands in the rendered report, the campaign
+manifest (``survival`` section, picked up by ``repro metrics``), and an
+optional JSON artifact for CI.
+
+Determinism: each trial's event timeline is digested through the
+simulator's fire hook into an ``event_checksum``; the same
+``(config_digest, fault_seed)`` pair yields the identical checksum and
+alarm stream at any ``--jobs`` level, which the golden determinism test
+pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.analysis.tables import render_table
+from repro.campaign.digest import CODE_VERSION, stable_digest
+from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome, run_tasks
+from repro.campaign.progress import ProgressMeter
+from repro.campaign.runner import DEFAULT_CACHE_DIR, make_record
+from repro.campaign.store import ResultStore
+from repro.campaign.trials import DEFAULT_PRESET
+from repro.config import preset_config
+from repro.errors import CampaignError, FaultInjectionError
+from repro.faults.injector import OUTCOMES, FaultInjector
+from repro.faults.plan import FaultPlan, plan_by_name
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+
+#: Import path of the worker-side chaos trial function.
+CHAOS_TRIAL_FN = "repro.faults.chaos:run_chaos_trial"
+
+
+@dataclass
+class ChaosSpec:
+    """Everything that defines a chaos sweep.
+
+    Duck-types the :class:`~repro.campaign.runner.CampaignSpec` surface
+    (``trial_tasks``/``campaign_id``/``experiment_id``/``presets``/...)
+    that :func:`repro.obs.manifest.build_manifest` consumes, so chaos runs
+    write first-class campaign manifests.
+    """
+
+    scenario: str
+    seeds: Sequence[int]
+    plan_name: str = "smoke"
+    fault_seed_base: int = 0
+    preset: str = DEFAULT_PRESET
+    duration: Optional[float] = None
+    jobs: int = 1
+    timeout: Optional[float] = None
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    cache_dir: str = DEFAULT_CACHE_DIR
+    resume: bool = False
+    full: bool = False  # manifest-surface compatibility; chaos has one scale
+
+    def __post_init__(self) -> None:
+        from repro.obs.scenarios import scenario_by_name
+
+        if not self.seeds:
+            raise CampaignError("chaos sweep needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise CampaignError("chaos sweep seeds must be unique")
+        self.plan: FaultPlan = plan_by_name(self.plan_name)
+        # Fail fast on a scenario the trial function would reject anyway:
+        # without SATIN there is no degradation machinery to audit.
+        scenario = scenario_by_name(self.scenario)
+        if not scenario.with_satin:
+            raise FaultInjectionError(
+                f"scenario {scenario.name!r} runs without SATIN; chaos needs "
+                "the engine whose degradation is under test"
+            )
+
+    # --- CampaignSpec-compatible surface -------------------------------
+    @property
+    def experiment_id(self) -> str:
+        return f"CHAOS-{self.scenario.upper()}"
+
+    @property
+    def presets(self) -> Sequence[str]:
+        return (self.preset,)
+
+    def effective_duration(self) -> float:
+        return self.duration if self.duration is not None else self.plan.duration
+
+    def campaign_id(self) -> str:
+        digest = stable_digest(
+            {
+                "experiment_id": self.experiment_id,
+                "plan": self.plan.digest(),
+                "preset": self.preset,
+                "duration": self.effective_duration(),
+                "code": CODE_VERSION,
+            },
+            length=12,
+        )
+        return f"{self.experiment_id}-{digest}"
+
+    def fault_seed_for(self, seed: int) -> int:
+        return self.fault_seed_base + int(seed)
+
+    def trial_tasks(self) -> List[Dict[str, Any]]:
+        tasks: List[Dict[str, Any]] = []
+        duration = self.effective_duration()
+        for seed in self.seeds:
+            config = preset_config(self.preset, seed=int(seed))
+            fault_seed = self.fault_seed_for(int(seed))
+            tasks.append(
+                {
+                    "key": stable_digest(
+                        {
+                            "experiment_id": self.experiment_id,
+                            "seed": int(seed),
+                            "fault_seed": fault_seed,
+                            "plan": self.plan.digest(),
+                            "config": config.config_digest(),
+                            "duration": duration,
+                            "code": CODE_VERSION,
+                        }
+                    ),
+                    "experiment_id": self.experiment_id,
+                    "scenario": self.scenario,
+                    "seed": int(seed),
+                    "fault_seed": fault_seed,
+                    "plan": self.plan.name,
+                    "preset": self.preset,
+                    "duration": duration,
+                    "full": False,
+                }
+            )
+        return tasks
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos sweep (CampaignResult-compatible surface)."""
+
+    spec: ChaosSpec
+    total: int
+    records: List[Dict[str, Any]]
+    cached: int
+    ran: int
+    quarantined: List[Dict[str, Any]]
+    rendered: str
+    #: aggregated survival matrix: ``{class: {injected, detected, ...}}``.
+    survival: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    totals: Dict[str, int] = field(default_factory=dict)
+    manifest_path: Optional[str] = None
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+    @property
+    def missed(self) -> int:
+        return self.totals.get("missed", 0)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def run_chaos_trial(task: Dict[str, Any]) -> Dict[str, Any]:
+    """One seeded scenario run with fault injection; returns the record.
+
+    Builds the scenario's stack under a scoped metrics registry, hardens
+    SATIN, installs the injector, digests the event timeline through the
+    simulator fire hook, runs the plan's horizon plus a drain window (so
+    every consumed fault's watchdog check and alarm can land), and
+    classifies the injections into the survival matrix.
+    """
+    from repro.experiments.common import build_stack
+    from repro.obs.metrics import use_registry
+    from repro.obs.scenarios import scenario_by_name
+
+    plan = plan_by_name(task["plan"])
+    duration = float(task.get("duration") or plan.duration)
+    scenario = scenario_by_name(task["scenario"])
+    if not scenario.with_satin:
+        raise FaultInjectionError(
+            f"scenario {scenario.name!r} runs without SATIN; chaos needs the "
+            "engine whose degradation is under test"
+        )
+
+    with use_registry() as registry:
+        config = preset_config(task["preset"], seed=int(task["seed"]))
+        if plan.needs_snapshot and not config.satin.use_snapshot:
+            config.satin = replace(config.satin, use_snapshot=True)
+        stack = build_stack(
+            machine_config=config,
+            with_satin=True,
+            with_evader=scenario.with_evader,
+        )
+        satin = stack.satin
+        watchdog = satin.harden()
+        injector = FaultInjector(
+            stack.machine, satin, plan, fault_seed=int(task["fault_seed"]),
+            horizon=duration,
+        ).install()
+
+        checksum = hashlib.sha256()
+
+        def fire_hook(now: float, seq: int) -> None:
+            checksum.update(f"{now.hex()}|{seq};".encode("ascii"))
+
+        stack.machine.sim.set_fire_hook(fire_hook)
+        stack.machine.run(until=duration)
+        injector.deactivate()
+        max_delay = 0.0
+        for spec in plan.specs:
+            if spec.fault_class == "timer_late":
+                max_delay = spec.param("max_delay", 1.0)
+        drain = (
+            watchdog.grace * (watchdog.max_retries + 2) + max_delay + 2.0
+        )
+        stack.machine.run(until=duration + drain)
+        stack.machine.sim.set_fire_hook(None)
+
+        survival = injector.classify()
+        alarm_digest = hashlib.sha256()
+        for alarm in satin.alarms.alarms:
+            alarm_digest.update(
+                f"{alarm.time.hex()}|{alarm.kind}|{alarm.severity}|"
+                f"{alarm.core_index}|{alarm.area_index};".encode("ascii")
+            )
+
+        return {
+            "scenario": scenario.name,
+            "seed": int(task["seed"]),
+            "fault_seed": int(task["fault_seed"]),
+            "plan": plan.name,
+            "plan_digest": plan.digest(),
+            "duration": duration,
+            "drain": drain,
+            "survival": survival["classes"],
+            "totals": survival["totals"],
+            "injections": survival["injections"],
+            "event_checksum": checksum.hexdigest(),
+            "alarm_checksum": alarm_digest.hexdigest(),
+            "alarm_severities": satin.alarms.severity_counts(),
+            "rounds": satin.round_count,
+            "watchdog": {
+                "checks": watchdog.checks,
+                "missed_wakes": watchdog.missed_wakes,
+                "rearms": watchdog.rearms,
+                "late_rounds": watchdog.late_rounds,
+                "degraded_rounds": watchdog.degraded_rounds,
+            },
+            "queue": {
+                "invalid_entries": satin.wakeup_queue.invalid_entries,
+                "fallback_draws": satin.wakeup_queue.fallback_draws,
+            },
+            "checker": {
+                "snapshot_reverifies": satin.checker.snapshot_reverifies,
+                "snapshot_suspected": satin.checker.snapshot_suspected,
+                "chunked_fallbacks": satin.checker.chunked_fallbacks,
+            },
+            "injector": injector.counters(),
+            "metrics": registry.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+
+def empty_matrix(plan: FaultPlan) -> Dict[str, Dict[str, int]]:
+    return {
+        cls: {"injected": 0, "detected": 0, "degraded": 0, "missed": 0}
+        for cls in plan.fault_classes
+    }
+
+
+def merge_survival(
+    matrix: Dict[str, Dict[str, int]], trial_matrix: Dict[str, Dict[str, Any]]
+) -> None:
+    """Fold one trial's survival classes into the aggregate (in place)."""
+    for cls, row in trial_matrix.items():
+        agg = matrix.setdefault(
+            cls, {"injected": 0, "detected": 0, "degraded": 0, "missed": 0}
+        )
+        for key in agg:
+            agg[key] += int(row.get(key, 0))
+
+
+def render_survival(
+    matrix: Dict[str, Dict[str, int]], title: str
+) -> str:
+    rows = []
+    totals = {key: 0 for key in ("injected",) + OUTCOMES}
+    for cls, row in matrix.items():
+        rows.append(
+            [cls]
+            + [str(row[key]) for key in ("injected",) + OUTCOMES]
+        )
+        for key in totals:
+            totals[key] += row[key]
+    rows.append(
+        ["TOTAL"] + [str(totals[key]) for key in ("injected",) + OUTCOMES]
+    )
+    return render_table(
+        ("fault class", "injected", "detected", "degraded", "missed"),
+        rows,
+        title=title,
+    )
+
+
+def render_chaos(spec: ChaosSpec, result_matrix, totals, records, cached, ran,
+                 quarantined) -> str:
+    lines = [
+        f"# chaos {spec.experiment_id} — plan {spec.plan.name!r}, "
+        f"{len(spec.seeds)} seed(s), horizon {spec.effective_duration():g}s",
+        f"trials: {len(spec.seeds)} total, {ran} ran, {cached} cached, "
+        f"{len(quarantined)} quarantined",
+        "",
+        render_survival(
+            result_matrix,
+            f"survival matrix — {totals.get('injected', 0)} faults injected",
+        ),
+    ]
+    missed = totals.get("missed", 0)
+    if missed:
+        lines.append("")
+        lines.append(f"!! {missed} fault(s) MISSED — silent divergence")
+        for record in records:
+            for injection in record["payload"].get("injections", []):
+                if injection.get("outcome") == "missed":
+                    lines.append(
+                        f"  - seed={record['seed']} t={injection['time']:.6f}s "
+                        f"{injection['class']}: {injection['note']}"
+                    )
+    else:
+        lines.append("")
+        lines.append(
+            "all faults accounted for: detected or degraded-but-correct"
+        )
+    if quarantined:
+        lines.append("")
+        lines.append("quarantined trials (failed every attempt):")
+        for item in quarantined:
+            failures = "+".join(item.get("failures", []) + [item["status"]])
+            lines.append(
+                f"  - seed={item['seed']} [{failures}] "
+                f"after {item['attempts']} attempt(s)"
+            )
+    return "\n".join(lines)
+
+
+def run_chaos(
+    spec: ChaosSpec,
+    stream: Optional[TextIO] = None,
+    progress: Union[bool, str] = True,
+    trial_fn: str = CHAOS_TRIAL_FN,
+) -> ChaosResult:
+    """Execute a chaos sweep end-to-end through the campaign pool."""
+    started_wall = time.monotonic()
+    tasks = spec.trial_tasks()
+    store = ResultStore(spec.cache_dir, spec.campaign_id())
+    store.load()
+
+    cached_records: Dict[str, Dict[str, Any]] = {}
+    pending: List[Dict[str, Any]] = []
+    for task in tasks:
+        record = store.get(task["key"]) if spec.resume else None
+        if record is not None and record.get("status") == "ok" and "payload" in record:
+            cached_records[task["key"]] = record
+        else:
+            pending.append(task)
+
+    supervisor = MetricsRegistry()
+    if store.corrupt_lines_skipped:
+        supervisor.counter("campaign.store_corrupt_lines").inc(
+            store.corrupt_lines_skipped
+        )
+    meter = ProgressMeter(
+        total=len(tasks),
+        registry=supervisor,
+        stream=stream,
+        enabled=progress is not False,
+        quiet=progress == "quiet",
+    )
+    if cached_records:
+        meter.note_cached(len(cached_records))
+
+    quarantined: List[Dict[str, Any]] = []
+
+    def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+        supervisor.histogram("campaign.trial_wall_seconds").observe(outcome.elapsed)
+        supervisor.histogram("campaign.trial_attempts").observe(float(outcome.attempts))
+        if outcome.ok:
+            store.put(make_record(task, outcome))
+            meter.note_done()
+        else:
+            entry = {
+                "key": task["key"],
+                "status": outcome.status,
+                "seed": task["seed"],
+                "preset": task["preset"],
+                "attempts": outcome.attempts,
+                "failures": outcome.failures,
+                "error": outcome.error,
+            }
+            store.quarantine(entry)
+            quarantined.append(entry)
+            meter.note_failed()
+
+    def on_retry(_task: Dict[str, Any], _kind: str) -> None:
+        meter.note_retry()
+
+    outcomes = run_tasks(
+        pending,
+        trial_fn,
+        jobs=spec.jobs,
+        timeout=spec.timeout,
+        max_attempts=spec.max_attempts,
+        on_final=on_final,
+        on_retry=on_retry,
+        metrics=supervisor,
+    )
+    meter.finish()
+
+    records: List[Dict[str, Any]] = []
+    for task in tasks:  # task order => deterministic aggregation
+        if task["key"] in cached_records:
+            records.append(cached_records[task["key"]])
+        else:
+            outcome = outcomes.get(task["key"])
+            if outcome is not None and outcome.ok:
+                records.append(make_record(task, outcome))
+
+    matrix = empty_matrix(spec.plan)
+    totals = {key: 0 for key in ("injected",) + OUTCOMES}
+    for record in records:
+        merge_survival(matrix, record["payload"].get("survival", {}))
+    for row in matrix.values():
+        for key in totals:
+            totals[key] += row[key]
+
+    rendered = render_chaos(
+        spec, matrix, totals, records,
+        cached=len(cached_records), ran=len(pending), quarantined=quarantined,
+    )
+    result = ChaosResult(
+        spec=spec,
+        total=len(tasks),
+        records=records,
+        cached=len(cached_records),
+        ran=len(pending),
+        quarantined=quarantined,
+        rendered=rendered,
+        survival=matrix,
+        totals=totals,
+    )
+    manifest = build_manifest(
+        spec,
+        result,
+        wall_seconds=time.monotonic() - started_wall,
+        supervisor_snapshot=supervisor.snapshot(),
+    )
+    manifest["survival"] = {
+        "scenario": spec.scenario,
+        "plan": spec.plan.name,
+        "plan_digest": spec.plan.digest(),
+        "horizon": spec.effective_duration(),
+        "classes": matrix,
+        "totals": totals,
+        "event_checksums": {
+            str(record["seed"]): record["payload"].get("event_checksum")
+            for record in records
+        },
+    }
+    result.manifest_path = write_manifest(store.directory, manifest)
+    return result

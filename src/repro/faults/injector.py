@@ -1,0 +1,687 @@
+"""The deterministic fault injector.
+
+Combines a :class:`~repro.faults.plan.FaultPlan` with a fault seed into a
+concrete injection schedule and wires it into a live machine/SATIN stack
+through the dedicated hardware hooks (timer fault filter, monitor switch
+fault, snapshot fault hook, wake-up queue slots, core stall windows,
+kernel-image bit flips).
+
+Determinism contract: every draw comes from a private
+:class:`~repro.sim.rng.RngRegistry` seeded with
+``derive_seed(fault_seed, f"faults:{config_digest}")`` — the machine's own
+streams are never touched, so enabling injection perturbs the baseline
+*only* through the faults themselves, and the same
+``(config_digest, fault_seed)`` pair replays bit-identically.  All
+class-specific parameters are pre-drawn at install time in schedule order,
+so no simulation interleaving can reorder RNG consumption.
+
+After the run, :meth:`FaultInjector.classify` folds the injection log and
+the system's observable responses (watchdog missed-wake log, alarm stream,
+scan results, queue validation events) into the survival matrix: per fault
+class, how many injections were *detected*, how many the engine *degraded*
+through while staying correct, and how many were *missed*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.areas import area_containing
+from repro.errors import FaultInjectionError
+from repro.faults.plan import MAX_INJECTIONS_PER_SPEC, FaultPlan, FaultSpec
+from repro.hw.world import World
+from repro.sim.rng import RngRegistry, derive_seed
+
+#: Slack added to float comparisons between scheduled and observed times.
+_TIME_TOL = 1e-6
+
+#: Fixed-point roundtrip tolerance for wake-up queue slot values (the queue
+#: stores microsecond-resolution 64-bit fixed point).
+_SLOT_TOL = 1e-5
+
+#: Outcome labels of the survival matrix.
+OUTCOMES = ("detected", "degraded", "missed")
+
+
+@dataclass
+class Injection:
+    """One scheduled fault occurrence and its eventual classification."""
+
+    index: int
+    fault_class: str
+    time: float
+    core_index: int = -1
+    details: Dict[str, Any] = field(default_factory=dict)
+    #: the fault actually took effect (a timer fired into a drop, a spike
+    #: landed on a switch, ...); unconsumed faults were absorbed unseen.
+    consumed: bool = False
+    consumed_at: Optional[float] = None
+    outcome: Optional[str] = None
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "class": self.fault_class,
+            "time": self.time,
+            "core": self.core_index,
+            "consumed": self.consumed,
+            "consumed_at": self.consumed_at,
+            "outcome": self.outcome,
+            "note": self.note,
+            "details": {
+                k: v for k, v in self.details.items() if not k.startswith("_")
+            },
+        }
+
+
+class FaultInjector:
+    """Injects one plan's faults into a machine and audits the response."""
+
+    def __init__(
+        self,
+        machine,
+        satin,
+        plan: FaultPlan,
+        fault_seed: int,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.machine = machine
+        self.satin = satin
+        self.plan = plan
+        self.fault_seed = fault_seed
+        self.horizon = horizon if horizon is not None else plan.duration
+        if not self.horizon > 0.0:
+            raise FaultInjectionError("injection horizon must be positive")
+        self.rng = RngRegistry(
+            derive_seed(fault_seed, f"faults:{machine.config.config_digest()}")
+        )
+        self.injections: List[Injection] = []
+        self.installed = False
+        #: injections take effect only while active; deactivate() stops the
+        #: world at the horizon so classification windows stay bounded.
+        self.active = False
+        self.start_time = 0.0
+        # --- pending one-shot decisions, armed by schedule events ---------
+        self._drop_pending: Dict[int, List[Injection]] = {}
+        self._delay_pending: Dict[int, List[Tuple[float, Injection]]] = {}
+        self._spike_pending: List[Tuple[float, Injection]] = []
+        self._snapshot_pending: List[Injection] = []
+        self._stall_windows: Dict[int, List[Tuple[float, float, Injection]]] = {}
+        self._has_bitflips = any(
+            s.fault_class == "bitflip" for s in plan.specs
+        )
+        self._bitflip_guard_until = float("-inf")
+        # --- statistics ---------------------------------------------------
+        self.timer_drops = 0
+        self.timer_delays = 0
+        self.stall_deferrals = 0
+        self.smc_spikes = 0
+        self.bitflips = 0
+        self.bitflip_reverts = 0
+        self.wakeup_corruptions = 0
+        self.core_stalls = 0
+        self.snapshot_corruptions = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Draw the full injection schedule and wire every hook."""
+        if self.installed:
+            raise FaultInjectionError("fault injector is already installed")
+        if self.machine.fault_injector is not None:
+            raise FaultInjectionError(
+                "machine already has a fault injector attached"
+            )
+        sim = self.machine.sim
+        self.start_time = sim.now
+        end = self.start_time + self.horizon
+        index = 0
+        for spec in self.plan.specs:
+            stream = self.rng.stream(f"faults.{spec.fault_class}")
+            t = self.start_time
+            scheduled = 0
+            while scheduled < MAX_INJECTIONS_PER_SPEC:
+                t += stream.expovariate(spec.rate)
+                if t >= end:
+                    break
+                injection = Injection(index=index, fault_class=spec.fault_class,
+                                      time=t)
+                self._draw_details(injection, spec, stream)
+                self.injections.append(injection)
+                sim.schedule_at(t, self._inject, injection)
+                index += 1
+                scheduled += 1
+        if self._has_bitflips and self.injections:
+            revert_after = self.plan.spec_for("bitflip").param("revert_after", 6.0)
+            flips = [i for i in self.injections if i.fault_class == "bitflip"]
+            if flips:
+                self._bitflip_guard_until = (
+                    max(i.time for i in flips) + revert_after + 1e-9
+                )
+        # --- hooks --------------------------------------------------------
+        classes = set(self.plan.fault_classes)
+        for core in self.machine.cores:
+            if core.secure_timer.fault_filter is not None:
+                raise FaultInjectionError(
+                    f"core {core.index} secure timer already has a fault filter"
+                )
+            core.secure_timer.fault_filter = self._timer_filter
+        if "smc_spike" in classes:
+            self.machine.monitor.switch_fault = self._switch_fault
+        if "snapshot_corrupt" in classes:
+            self.satin.snapshot_buffer.fault_hook = self._snapshot_hook
+        if "wakeup_corrupt" in classes:
+            self.satin.wakeup_queue.invalid_listeners.append(self._on_invalid_entry)
+            self.satin.activation.arm_listeners.append(self._on_arm)
+        self.machine.attach_fault_injector(self)
+        metrics = self.machine.metrics
+        self._m_injected = metrics.counter("faults.injected")
+        self._m_by_class = {
+            cls: metrics.counter(f"faults.injected.{cls}") for cls in classes
+        }
+        self.installed = True
+        self.active = True
+        self.machine.trace.emit(
+            sim.now, "faults", "injector installed",
+            plan=self.plan.name, seed=self.fault_seed,
+            scheduled=len(self.injections), horizon=self.horizon,
+        )
+        return self
+
+    def _draw_details(self, injection: Injection, spec: FaultSpec, stream) -> None:
+        """Pre-draw all class-specific parameters (schedule-order RNG)."""
+        cls = injection.fault_class
+        d = injection.details
+        ncores = len(self.machine.cores)
+        if cls == "timer_drop":
+            injection.core_index = stream.randrange(ncores)
+        elif cls == "timer_late":
+            injection.core_index = stream.randrange(ncores)
+            d["delay"] = stream.uniform(
+                spec.param("min_delay", 0.05), spec.param("max_delay", 1.0)
+            )
+        elif cls == "smc_spike":
+            d["extra"] = stream.uniform(
+                spec.param("min_extra", 2e-5), spec.param("max_extra", 2e-4)
+            )
+        elif cls == "bitflip":
+            d["offset"] = stream.randrange(self.satin.rich_os.image.size)
+            d["bit"] = stream.randrange(8)
+            d["revert_after"] = spec.param("revert_after", 6.0)
+        elif cls == "wakeup_corrupt":
+            d["slot"] = stream.randrange(self.satin.wakeup_queue.slot_count)
+            d["stale"] = stream.random() < spec.param("stale_fraction", 0.5)
+            d["garbage"] = stream.uniform(1e9, 9e9)
+        elif cls == "core_stall":
+            injection.core_index = stream.randrange(ncores)
+            d["window"] = stream.uniform(
+                spec.param("min_window", 0.5), spec.param("max_window", 2.0)
+            )
+        elif cls == "snapshot_corrupt":
+            d["pos"] = stream.randrange(4096)
+            d["bit"] = stream.randrange(8)
+
+    # ------------------------------------------------------------------
+    # Injection events
+    # ------------------------------------------------------------------
+    def _inject(self, injection: Injection) -> None:
+        if not self.active:
+            injection.note = "injector inactive at arrival"
+            return
+        now = self.machine.sim.now
+        self._m_injected.inc()
+        self._m_by_class[injection.fault_class].inc()
+        self.machine.trace.emit(
+            now, "faults", "inject",
+            kind=injection.fault_class, core=injection.core_index,
+        )
+        cls = injection.fault_class
+        if cls == "timer_drop":
+            self._drop_pending.setdefault(injection.core_index, []).append(injection)
+        elif cls == "timer_late":
+            self._delay_pending.setdefault(injection.core_index, []).append(
+                (injection.details["delay"], injection)
+            )
+        elif cls == "smc_spike":
+            self._spike_pending.append((injection.details["extra"], injection))
+        elif cls == "bitflip":
+            self._inject_bitflip(injection)
+        elif cls == "wakeup_corrupt":
+            self._inject_wakeup_corrupt(injection)
+        elif cls == "core_stall":
+            self._inject_core_stall(injection)
+        elif cls == "snapshot_corrupt":
+            self._snapshot_pending.append(injection)
+
+    def _inject_bitflip(self, injection: Injection) -> None:
+        image = self.satin.rich_os.image
+        now = self.machine.sim.now
+        d = injection.details
+        offset, bit = d["offset"], d["bit"]
+        original = image.read(offset, 1, World.SECURE)[0]
+        flipped = original ^ (1 << bit)
+        image.write(offset, bytes([flipped]), World.NORMAL)
+        d["original"] = original
+        d["area_index"] = area_containing(self.satin.areas, offset).index
+        d["revert_at"] = now + d["revert_after"]
+        injection.consumed = True
+        injection.consumed_at = now
+        self.bitflips += 1
+        self.machine.metrics.counter("faults.bitflips").inc()
+        self.machine.sim.schedule_at(
+            d["revert_at"], self._revert_bitflip, injection
+        )
+
+    def _revert_bitflip(self, injection: Injection) -> None:
+        image = self.satin.rich_os.image
+        d = injection.details
+        current = image.read(d["offset"], 1, World.SECURE)[0]
+        expected = d["original"] ^ (1 << d["bit"])
+        if current == expected:
+            image.write(d["offset"], bytes([d["original"]]), World.NORMAL)
+            d["reverted"] = True
+            self.bitflip_reverts += 1
+            self.machine.metrics.counter("faults.bitflip_reverts").inc()
+        else:
+            # Someone else wrote the byte meanwhile (attacker or another
+            # flip); restoring would destroy their state, so leave it.
+            d["reverted"] = False
+            d["revert_skipped"] = True
+
+    def _inject_wakeup_corrupt(self, injection: Injection) -> None:
+        queue = self.satin.wakeup_queue
+        d = injection.details
+        if d["stale"]:
+            value = queue._last_refresh_base - 2.0 * queue.tp
+            if value < 0.0:
+                # Too early in the run for a stale generation to exist;
+                # fall through to the garbage pattern.
+                value = d["garbage"]
+                d["stale"] = False
+        else:
+            value = d["garbage"]
+        queue._write_slot(d["slot"], value)
+        d["value"] = value
+        d["refresh_generation"] = queue.refresh_count
+        injection.consumed = True
+        injection.consumed_at = self.machine.sim.now
+        self.wakeup_corruptions += 1
+        self.machine.metrics.counter("faults.wakeup_corruptions").inc()
+
+    def _inject_core_stall(self, injection: Injection) -> None:
+        core = self.machine.cores[injection.core_index]
+        now = self.machine.sim.now
+        window = injection.details["window"]
+        end = core.stall_for(window)
+        injection.details["stall_end"] = end
+        injection.consumed = True
+        injection.consumed_at = now
+        self._stall_windows.setdefault(core.index, []).append(
+            (now, end, injection)
+        )
+        self.core_stalls += 1
+        self.machine.metrics.counter("faults.core_stalls").inc()
+
+    # ------------------------------------------------------------------
+    # Hardware hooks
+    # ------------------------------------------------------------------
+    def _timer_filter(self, core_index: int):
+        """Secure-timer expiry hook: drop, delay, or defer-through-stall."""
+        core = self.machine.cores[core_index]
+        now = self.machine.sim.now
+        if core.stalled:
+            # A stalled core cannot take the interrupt; the hardware pends
+            # it and delivery happens when the stall window ends.  Stalls
+            # are physical state, so this path stays live past the horizon.
+            self.stall_deferrals += 1
+            self.machine.metrics.counter("faults.stall_deferrals").inc()
+            for start, end_, inj in self._stall_windows.get(core_index, ()):
+                if start - _TIME_TOL <= now <= end_ + _TIME_TOL:
+                    inj.details["deferrals"] = inj.details.get("deferrals", 0) + 1
+                    break
+            return (core.stalled_until - now) + 1e-6
+        if not self.active:
+            return None
+        pend = self._drop_pending.get(core_index)
+        if pend:
+            injection = pend.pop(0)
+            injection.consumed = True
+            injection.consumed_at = now
+            injection.details["serviced_at_consume"] = (
+                self.satin.tsp.timer_entries_per_core.get(core_index, 0)
+            )
+            self.timer_drops += 1
+            self.machine.metrics.counter("faults.timer_drops").inc()
+            self.machine.trace.emit(
+                now, "faults", "timer expiry dropped", core=core_index
+            )
+            return "drop"
+        delayed = self._delay_pending.get(core_index)
+        if delayed:
+            delay, injection = delayed.pop(0)
+            injection.consumed = True
+            injection.consumed_at = now
+            injection.details["serviced_at_consume"] = (
+                self.satin.tsp.timer_entries_per_core.get(core_index, 0)
+            )
+            self.timer_delays += 1
+            self.machine.metrics.counter("faults.timer_delays").inc()
+            self.machine.trace.emit(
+                now, "faults", "timer expiry delayed",
+                core=core_index, delay=delay,
+            )
+            return float(delay)
+        return None
+
+    def _switch_fault(self, core) -> float:
+        """World-switch latency hook on the EL3 monitor."""
+        if not self.active or not self._spike_pending:
+            return 0.0
+        extra, injection = self._spike_pending.pop(0)
+        injection.consumed = True
+        injection.consumed_at = self.machine.sim.now
+        injection.core_index = core.index
+        self.smc_spikes += 1
+        self.machine.metrics.counter("faults.smc_spikes").inc()
+        self.machine.metrics.histogram("faults.smc_spike_seconds").observe(extra)
+        return extra
+
+    def _snapshot_hook(self, chunk_offset: int, chunk: bytes) -> bytes:
+        """Corrupt the next snapshot chunk copied into secure SRAM."""
+        if not self.active or not self._snapshot_pending:
+            return chunk
+        injection = self._snapshot_pending.pop(0)
+        d = injection.details
+        pos = min(d["pos"], len(chunk) - 1)
+        mutated = bytearray(chunk)
+        mutated[pos] ^= 1 << d["bit"]
+        d["chunk_offset"] = chunk_offset
+        injection.consumed = True
+        injection.consumed_at = self.machine.sim.now
+        self.snapshot_corruptions += 1
+        self.machine.metrics.counter("faults.snapshot_corruptions").inc()
+        return bytes(mutated)
+
+    def _on_invalid_entry(self, slot: int, value: float, now: float) -> None:
+        """Queue validation rejected a slot: match it to our corruption."""
+        for injection in self.injections:
+            if injection.fault_class != "wakeup_corrupt":
+                continue
+            d = injection.details
+            if (
+                injection.consumed
+                and "detected_at" not in d
+                and d["slot"] == slot
+                and abs(d.get("value", float("nan")) - value) < _SLOT_TOL
+            ):
+                d["detected_at"] = now
+                break
+
+    def _on_arm(self, core, wake_at: float) -> None:
+        """Audit: did a corrupted slot value ever reach the timer hardware?"""
+        for injection in self.injections:
+            if injection.fault_class != "wakeup_corrupt":
+                continue
+            d = injection.details
+            if (
+                injection.consumed
+                and "detected_at" not in d
+                and abs(d.get("value", float("nan")) - wake_at) < _SLOT_TOL
+            ):
+                d["armed_missed"] = True
+
+    def interferes_with_scans(self) -> bool:
+        """True while a memory-corrupting fault could strike mid-scan.
+
+        Conservative on purpose: while any bit flip (or its revert write)
+        may still land, fused-span scans must fall back to the per-chunk
+        timeline — a write during a fused span would falsify its
+        no-interleaving claim and abort the simulation.
+        """
+        return self._has_bitflips and self.machine.sim.now <= self._bitflip_guard_until
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def deactivate(self) -> None:
+        """Stop injecting (end of horizon); pending decisions are voided.
+
+        Physical state already inflicted — stall windows, un-reverted bit
+        flips, corrupted queue slots — stays, as it would on real hardware.
+        """
+        self.active = False
+        for pend in self._drop_pending.values():
+            for injection in pend:
+                injection.note = "armed but no expiry before horizon"
+        self._drop_pending.clear()
+        for delayed in self._delay_pending.values():
+            for _, injection in delayed:
+                injection.note = "armed but no expiry before horizon"
+        self._delay_pending.clear()
+        for _, injection in self._spike_pending:
+            injection.note = "armed but no world switch before horizon"
+        self._spike_pending.clear()
+        for injection in self._snapshot_pending:
+            injection.note = "armed but no snapshot before horizon"
+        self._snapshot_pending.clear()
+
+    # ------------------------------------------------------------------
+    # Classification: the survival matrix
+    # ------------------------------------------------------------------
+    def classify(self) -> Dict[str, Any]:
+        """Fold injections and system responses into the survival matrix."""
+        watchdog = self.satin.watchdog
+        missed_events: List[Tuple[float, int]] = (
+            list(watchdog.missed_events) if watchdog is not None else []
+        )
+        used = [False] * len(missed_events)
+        grace = watchdog.grace if watchdog is not None else 0.0
+
+        def claim_missed_event(core_index: int, not_before: float) -> bool:
+            for i, (t, c) in enumerate(missed_events):
+                if not used[i] and c == core_index and t >= not_before - _TIME_TOL:
+                    used[i] = True
+                    return True
+            return False
+
+        # Liveness claims must be matched in chronological order of the
+        # expected missed-wake check, or a later claim could steal an
+        # earlier claim's event.
+        liveness: List[Tuple[float, Injection]] = []
+        for injection in self.injections:
+            if injection.fault_class == "timer_drop" and injection.consumed:
+                liveness.append((injection.consumed_at, injection))
+            elif injection.fault_class == "timer_late" and injection.consumed:
+                if injection.details["delay"] > grace + _TIME_TOL:
+                    liveness.append((injection.consumed_at + grace, injection))
+        for expected_at, injection in sorted(liveness, key=lambda x: x[0]):
+            injection.details["_watchdog_matched"] = claim_missed_event(
+                injection.core_index
+                if injection.core_index >= 0
+                else -1,
+                injection.consumed_at,
+            )
+
+        for injection in self.injections:
+            handler = getattr(self, f"_classify_{injection.fault_class}")
+            handler(injection, missed_events, used, grace)
+
+        matrix: Dict[str, Dict[str, int]] = {}
+        for cls in self.plan.fault_classes:
+            matrix[cls] = {"injected": 0, "detected": 0, "degraded": 0, "missed": 0}
+        for injection in self.injections:
+            row = matrix[injection.fault_class]
+            row["injected"] += 1
+            row[injection.outcome] += 1
+        totals = {key: 0 for key in ("injected",) + OUTCOMES}
+        for row in matrix.values():
+            for key in totals:
+                totals[key] += row[key]
+        return {
+            "classes": matrix,
+            "totals": totals,
+            "injections": [i.as_dict() for i in self.injections],
+        }
+
+    def _core_recovered(self, injection) -> bool:
+        """Did the injected core keep servicing wakes after consumption?
+
+        A wake that is genuinely lost with no working watchdog leaves its
+        core silent forever (nothing ever re-arms the timer), so forward
+        progress after the fault proves *some* mechanism — a deferred
+        delivery, a watchdog re-arm whose record another fault claimed —
+        recovered the round.
+        """
+        serviced_now = self.satin.tsp.timer_entries_per_core.get(
+            injection.core_index, 0
+        )
+        return serviced_now > injection.details.get("serviced_at_consume", 0)
+
+    # --- per-class classifiers -----------------------------------------
+    def _classify_timer_drop(self, injection, missed_events, used, grace) -> None:
+        if not injection.consumed:
+            injection.outcome = "degraded"
+            injection.note = injection.note or "absorbed: no expiry to drop"
+        elif injection.details.get("_watchdog_matched"):
+            injection.outcome = "detected"
+            injection.note = "watchdog logged the missed wake and re-armed"
+        elif self._core_recovered(injection):
+            # Overlapping faults on one core can make a drop harmless (it
+            # ate a retry fire for a wake a late delivery had already or
+            # concurrently serviced); the core demonstrably kept going.
+            injection.outcome = "degraded"
+            injection.note = "dropped a redundant fire; core kept servicing wakes"
+        else:
+            injection.outcome = "missed"
+            injection.note = "dropped expiry never surfaced and the core went silent"
+
+    def _classify_timer_late(self, injection, missed_events, used, grace) -> None:
+        if not injection.consumed:
+            injection.outcome = "degraded"
+            injection.note = injection.note or "absorbed: no expiry to delay"
+        elif injection.details.get("_watchdog_matched"):
+            injection.outcome = "detected"
+            injection.note = "watchdog saw the wake miss its grace window"
+        elif injection.details["delay"] <= grace + _TIME_TOL:
+            injection.outcome = "degraded"
+            injection.note = "delivered late but inside the grace window"
+        elif self._core_recovered(injection):
+            injection.outcome = "degraded"
+            injection.note = "late delivery landed; core kept servicing wakes"
+        else:
+            injection.outcome = "missed"
+            injection.note = "late beyond grace, no record, and the core went silent"
+
+    def _classify_smc_spike(self, injection, missed_events, used, grace) -> None:
+        injection.outcome = "degraded"
+        if injection.consumed:
+            injection.note = "absorbed by the switch path; round still completed"
+        else:
+            injection.note = injection.note or "no world switch consumed it"
+
+    def _classify_bitflip(self, injection, missed_events, used, grace) -> None:
+        d = injection.details
+        flip_at = injection.consumed_at
+        revert_at = d["revert_at"] if d.get("reverted", False) else float("inf")
+        window_end = (revert_at if revert_at != float("inf") else
+                      self.machine.sim.now) + 1.0
+        for alarm in self.satin.alarms.alarms:
+            if (
+                alarm.kind == "mismatch"
+                and alarm.area_index == d["area_index"]
+                and flip_at - _TIME_TOL <= alarm.time <= window_end
+            ):
+                injection.outcome = "detected"
+                injection.note = "integrity alarm on the flipped area"
+                return
+        # No alarm.  A clean scan whose whole window sat inside the flip's
+        # lifetime provably read the flipped byte region while it was
+        # corrupt — that would be a genuine miss.
+        for result in self.satin.checker.results:
+            if (
+                result.area_index == d["area_index"]
+                and result.match
+                and result.start_time >= flip_at - _TIME_TOL
+                and result.end_time <= revert_at + _TIME_TOL
+            ):
+                injection.outcome = "missed"
+                injection.note = "a scan verified the area clean while flipped"
+                return
+        injection.outcome = "degraded"
+        injection.note = "transient flip reverted before any scan observed it"
+
+    def _classify_wakeup_corrupt(self, injection, missed_events, used, grace) -> None:
+        d = injection.details
+        if not injection.consumed:
+            injection.outcome = "degraded"
+            injection.note = injection.note or "not injected"
+        elif "detected_at" in d:
+            injection.outcome = "detected"
+            injection.note = "queue validation rejected the slot and redrew"
+        elif d.get("armed_missed"):
+            injection.outcome = "missed"
+            injection.note = "corrupted value was armed into the timer"
+        elif self.satin.wakeup_queue.refresh_count > d["refresh_generation"]:
+            injection.outcome = "degraded"
+            injection.note = "slot refreshed before the corrupt value was read"
+        else:
+            injection.outcome = "degraded"
+            injection.note = "corrupt slot still unread at end of run"
+
+    def _classify_core_stall(self, injection, missed_events, used, grace) -> None:
+        d = injection.details
+        if d.get("deferrals", 0) == 0:
+            injection.outcome = "degraded"
+            injection.note = "no expiry fell inside the stall window"
+            return
+        # The stall deferred at least one wake; if the deferral outlived the
+        # watchdog's grace there should be a missed-wake record for it.
+        start = injection.consumed_at
+        end = d["stall_end"] + grace + _TIME_TOL
+        for i, (t, c) in enumerate(missed_events):
+            if not used[i] and c == injection.core_index and start <= t <= end:
+                used[i] = True
+                injection.outcome = "detected"
+                injection.note = "watchdog logged the stalled wake"
+                return
+        injection.outcome = "degraded"
+        injection.note = "deferred delivery landed inside the grace window"
+
+    def _classify_snapshot_corrupt(self, injection, missed_events, used, grace) -> None:
+        if not injection.consumed:
+            injection.outcome = "degraded"
+            injection.note = injection.note or "no snapshot consumed it"
+            return
+        window_end = injection.consumed_at + 2.0
+        for alarm in self.satin.alarms.alarms:
+            if (
+                alarm.kind in ("snapshot_suspected", "mismatch")
+                and injection.consumed_at - _TIME_TOL <= alarm.time <= window_end
+            ):
+                injection.outcome = "detected"
+                injection.note = (
+                    "re-verified and degraded"
+                    if alarm.kind == "snapshot_suspected"
+                    else "surfaced as an integrity mismatch"
+                )
+                return
+        injection.outcome = "missed"
+        injection.note = "corrupted snapshot produced no alarm"
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Injector-side effect counters (consumed faults by mechanism)."""
+        return {
+            "timer_drops": self.timer_drops,
+            "timer_delays": self.timer_delays,
+            "stall_deferrals": self.stall_deferrals,
+            "smc_spikes": self.smc_spikes,
+            "bitflips": self.bitflips,
+            "bitflip_reverts": self.bitflip_reverts,
+            "wakeup_corruptions": self.wakeup_corruptions,
+            "core_stalls": self.core_stalls,
+            "snapshot_corruptions": self.snapshot_corruptions,
+        }

@@ -1,0 +1,225 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` says *what* can go wrong and *how often*; it carries no
+randomness of its own.  The injector combines a plan with a fault seed to
+produce the concrete, fully deterministic injection schedule, so the same
+``(plan, config_digest, fault_seed)`` triple always yields bit-identical
+timelines.
+
+Fault classes model the platform failures SATIN's hardened mode is designed
+to survive (ISSUE 5):
+
+``timer_drop``
+    A secure timer expiry is silently lost (flaky timer IP / missed compare).
+``timer_late``
+    A secure timer expiry is delivered late by a bounded extra delay.
+``smc_spike``
+    One world switch costs extra latency (SMC path contention).
+``bitflip``
+    A transient single-bit flip in a kernel image page, reverted after a
+    hold time (DRAM disturbance that ECC scrubs later).
+``wakeup_corrupt``
+    A wake-up-time-queue slot in secure SRAM is overwritten with garbage or
+    a stale value from generations ago.
+``core_stall``
+    A core stops making forward progress for a window (power glitch /
+    firmware hog); its timer expiries are deferred until the window ends.
+``snapshot_corrupt``
+    The snapshot buffer copy of a scanned chunk is corrupted in flight
+    (secure SRAM disturbance on the copy path, not on the kernel itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Dict, Tuple
+
+from repro.errors import FaultPlanError
+
+#: Every fault class the injector understands, in canonical order.
+FAULT_CLASSES: Tuple[str, ...] = (
+    "timer_drop",
+    "timer_late",
+    "smc_spike",
+    "bitflip",
+    "wakeup_corrupt",
+    "core_stall",
+    "snapshot_corrupt",
+)
+
+#: Hard cap on scheduled injections per spec — a mis-typed rate must not
+#: turn a smoke run into a melt-down.
+MAX_INJECTIONS_PER_SPEC = 256
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class with its arrival rate and parameters.
+
+    ``rate`` is a Poisson arrival rate in faults per simulated second;
+    ``params`` is a sorted tuple of ``(key, value)`` pairs (kept hashable so
+    plans can be frozen and digested).
+    """
+
+    fault_class: str
+    rate: float
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fault_class not in FAULT_CLASSES:
+            raise FaultPlanError(
+                f"unknown fault class {self.fault_class!r}; "
+                f"known: {', '.join(FAULT_CLASSES)}"
+            )
+        if not self.rate > 0.0:
+            raise FaultPlanError(
+                f"fault class {self.fault_class!r} needs a positive rate, "
+                f"got {self.rate!r}"
+            )
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, key: str, default: float) -> float:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named set of fault specs active for ``duration`` simulated seconds."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...]
+    duration: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise FaultPlanError(f"fault plan {self.name!r} has no specs")
+        if not self.duration > 0.0:
+            raise FaultPlanError(
+                f"fault plan {self.name!r} needs a positive duration"
+            )
+        seen = set()
+        for spec in self.specs:
+            if spec.fault_class in seen:
+                raise FaultPlanError(
+                    f"fault plan {self.name!r} lists {spec.fault_class!r} twice"
+                )
+            seen.add(spec.fault_class)
+
+    @property
+    def fault_classes(self) -> Tuple[str, ...]:
+        return tuple(s.fault_class for s in self.specs)
+
+    def spec_for(self, fault_class: str) -> FaultSpec:
+        for spec in self.specs:
+            if spec.fault_class == fault_class:
+                return spec
+        raise FaultPlanError(
+            f"fault plan {self.name!r} has no {fault_class!r} spec"
+        )
+
+    @property
+    def needs_snapshot(self) -> bool:
+        """True if the plan only makes sense with the snapshot scan path."""
+        return any(s.fault_class == "snapshot_corrupt" for s in self.specs)
+
+    def digest(self) -> str:
+        """Stable short hash naming this exact plan (cache/campaign keys)."""
+        h = sha256()
+        h.update(f"{self.name}|{self.duration!r}".encode("utf-8"))
+        for spec in self.specs:
+            h.update(f"|{spec.fault_class}|{spec.rate!r}".encode("utf-8"))
+            for key, value in spec.params:
+                h.update(f"|{key}={value!r}".encode("utf-8"))
+        return h.hexdigest()[:16]
+
+    def describe(self) -> str:
+        lines = [f"fault plan {self.name!r} ({self.duration:g}s horizon)"]
+        for spec in self.specs:
+            expected = spec.rate * self.duration
+            params = ", ".join(f"{k}={v:g}" for k, v in spec.params)
+            suffix = f" [{params}]" if params else ""
+            lines.append(
+                f"  {spec.fault_class:<17} rate={spec.rate:g}/s "
+                f"(~{expected:.1f} expected){suffix}"
+            )
+        return "\n".join(lines)
+
+
+def _plan(name: str, duration: float, description: str, *specs: FaultSpec) -> FaultPlan:
+    return FaultPlan(name=name, specs=tuple(specs), duration=duration,
+                     description=description)
+
+
+#: Built-in plans.  ``smoke`` covers every fault class with enough expected
+#: arrivals (rate * duration >= 2 per class) to make a zero-missed assertion
+#: meaningful while staying CI-fast.
+_PLANS: Dict[str, FaultPlan] = {}
+
+
+def _register(plan: FaultPlan) -> FaultPlan:
+    _PLANS[plan.name] = plan
+    return plan
+
+
+SMOKE_PLAN = _register(_plan(
+    "smoke", 80.0,
+    "every fault class at low rate; the CI chaos gate",
+    FaultSpec("timer_drop", 0.05),
+    FaultSpec("timer_late", 0.05, (("min_delay", 0.05), ("max_delay", 1.0))),
+    FaultSpec("smc_spike", 0.15, (("min_extra", 2e-5), ("max_extra", 2e-4))),
+    FaultSpec("bitflip", 0.04, (("revert_after", 6.0),)),
+    FaultSpec("wakeup_corrupt", 0.05, (("stale_fraction", 0.5),)),
+    FaultSpec("core_stall", 0.03, (("min_window", 0.5), ("max_window", 2.0))),
+    FaultSpec("snapshot_corrupt", 0.05),
+))
+
+_register(_plan(
+    "timers", 120.0,
+    "liveness pressure: dropped/late expiries and stalled cores",
+    FaultSpec("timer_drop", 0.08),
+    FaultSpec("timer_late", 0.08, (("min_delay", 0.1), ("max_delay", 2.0))),
+    FaultSpec("core_stall", 0.04, (("min_window", 1.0), ("max_window", 4.0))),
+))
+
+_register(_plan(
+    "memory", 120.0,
+    "integrity pressure: transient kernel bit-flips and snapshot corruption",
+    FaultSpec("bitflip", 0.06, (("revert_after", 8.0),)),
+    FaultSpec("snapshot_corrupt", 0.08),
+))
+
+_register(_plan(
+    "queue", 120.0,
+    "secure-SRAM pressure on the wake-up time queue",
+    FaultSpec("wakeup_corrupt", 0.1, (("stale_fraction", 0.5),)),
+))
+
+_register(_plan(
+    "full", 160.0,
+    "every fault class at elevated rates; the soak configuration",
+    FaultSpec("timer_drop", 0.1),
+    FaultSpec("timer_late", 0.1, (("min_delay", 0.05), ("max_delay", 2.0))),
+    FaultSpec("smc_spike", 0.3, (("min_extra", 2e-5), ("max_extra", 5e-4))),
+    FaultSpec("bitflip", 0.08, (("revert_after", 8.0),)),
+    FaultSpec("wakeup_corrupt", 0.1, (("stale_fraction", 0.5),)),
+    FaultSpec("core_stall", 0.05, (("min_window", 0.5), ("max_window", 3.0))),
+    FaultSpec("snapshot_corrupt", 0.1),
+))
+
+
+def plan_names() -> Tuple[str, ...]:
+    return tuple(sorted(_PLANS))
+
+
+def plan_by_name(name: str) -> FaultPlan:
+    try:
+        return _PLANS[name]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown fault plan {name!r}; available: {', '.join(plan_names())}"
+        ) from None

@@ -46,6 +46,10 @@ class Core:
         #: hooks fired the instant the normal world loses / regains the core.
         self.on_enter_secure: List[Callable[["Core"], None]] = []
         self.on_exit_secure: List[Callable[["Core"], None]] = []
+        #: Fault-model state: while ``sim.now < stalled_until`` the core is
+        #: stalled/offline — interrupt delivery to it is deferred by the
+        #: fault injector.  0.0 (the default) means never stalled.
+        self.stalled_until: float = 0.0
         # --- statistics -------------------------------------------------
         self.secure_entries = 0
         self.secure_time_total = 0.0
@@ -56,6 +60,16 @@ class Core:
     def available_to_normal_world(self) -> bool:
         """Can the rich OS dispatch a task here right now?"""
         return self.world is World.NORMAL and not self.transitioning
+
+    @property
+    def stalled(self) -> bool:
+        """True while a fault-injected stall/offline window is active."""
+        return self.sim.now < self.stalled_until
+
+    def stall_for(self, duration: float) -> float:
+        """Open (or extend) a stall window; returns its end time."""
+        self.stalled_until = max(self.stalled_until, self.sim.now + duration)
+        return self.stalled_until
 
     def notify_enter_secure(self) -> None:
         """Called by the monitor at the instant the world switch begins."""

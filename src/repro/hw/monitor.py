@@ -139,6 +139,10 @@ class SecureMonitor:
         self._executions: Dict[int, SecureExecution] = {}
         self._entry_started: Dict[int, float] = {}
         gic.attach_monitor(self)
+        #: Optional fault hook: extra seconds added to each world-switch
+        #: (SMC entry/exit latency spikes).  Installed only by
+        #: :mod:`repro.faults`; ``None`` keeps the baseline cost model.
+        self.switch_fault: Optional[Callable[[Core], float]] = None
         # --- statistics -------------------------------------------------
         self.switches_to_secure = 0
         self.preemptions = 0
@@ -177,6 +181,8 @@ class SecureMonitor:
         core.transitioning = True
         core.notify_enter_secure()  # the normal world loses the core NOW
         switch_cost = core.perf.world_switch()
+        if self.switch_fault is not None:
+            switch_cost += self.switch_fault(core)
         self._entry_started[core.index] = self.sim.now
         if self.metrics is not None:
             self.metrics.counter("monitor.world_switches").inc()
@@ -197,6 +203,8 @@ class SecureMonitor:
         core.transitioning = True
         core.world = World.SECURE  # still secure during the return switch
         switch_cost = core.perf.world_switch()
+        if self.switch_fault is not None:
+            switch_cost += self.switch_fault(core)
         if self.metrics is not None:
             self.metrics.counter("monitor.world_switches").inc()
             self.metrics.histogram("monitor.switch_cost_seconds").observe(switch_cost)

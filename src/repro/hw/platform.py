@@ -77,6 +77,10 @@ class Machine:
         #: While any probe reports True, secure-world scans must keep their
         #: one-event-per-chunk timeline so races resolve chunk by chunk.
         self._interference_probes: List[Callable[[], bool]] = []
+        #: The installed :class:`repro.faults.injector.FaultInjector`, if
+        #: any.  Baseline runs never set this; the checker consults it to
+        #: meter fused-scan fallbacks attributable to injected faults.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -146,6 +150,18 @@ class Machine:
         fusing a scan's chunk events into one span.
         """
         self._interference_probes.append(probe)
+
+    def attach_fault_injector(self, injector) -> None:
+        """Register an installed fault injector with the platform.
+
+        Besides exposing it via :attr:`fault_injector`, the injector's
+        memory-corrupting classes register as an interference probe so
+        fused-span scans automatically fall back to per-chunk scanning
+        while such faults may strike (write-during-span would otherwise
+        falsify the span's no-interleaving claim).
+        """
+        self.fault_injector = injector
+        self.register_interference(injector.interferes_with_scans)
 
     def scan_interference(self) -> bool:
         """True while any registered component could interleave with a scan."""

@@ -67,7 +67,10 @@ class SecureTimer:
     — wired by the platform to the GIC's secure-interrupt path.
     """
 
-    __slots__ = ("sim", "counter", "registers", "core_index", "interrupt_sink", "_event", "fire_count")
+    __slots__ = (
+        "sim", "counter", "registers", "core_index", "interrupt_sink",
+        "_event", "fire_count", "fault_filter", "dropped_fires", "deferred_fires",
+    )
 
     def __init__(
         self,
@@ -83,6 +86,13 @@ class SecureTimer:
         self.interrupt_sink: Optional[Callable[[int], None]] = None
         self._event: Optional[Event] = None
         self.fire_count = 0
+        #: Optional fault-injection hook consulted at each hardware expiry.
+        #: Returns ``None`` (deliver normally), ``"drop"`` (the expiry is
+        #: lost), or a float (deliver after that many extra seconds).  Only
+        #: :mod:`repro.faults` installs one; the baseline never pays for it.
+        self.fault_filter: Optional[Callable[[int], object]] = None
+        self.dropped_fires = 0
+        self.deferred_fires = 0
         registers.on_write("CNTPS_CTL_EL1", self._rearm)
         registers.on_write("CNTPS_CVAL_EL1", self._rearm)
 
@@ -127,6 +137,21 @@ class SecureTimer:
     def _fire(self) -> None:
         self._event = None
         # Condition still holds? (CTL may have been cleared since arming.)
+        if not self.registers.peek("CNTPS_CTL_EL1") & 1:
+            return
+        if self.fault_filter is not None:
+            action = self.fault_filter(self.core_index)
+            if action == "drop":
+                self.dropped_fires += 1
+                return
+            if isinstance(action, float) and action > 0.0:
+                self.deferred_fires += 1
+                self.sim.schedule(action, self._deliver)
+                return
+        self._deliver()
+
+    def _deliver(self) -> None:
+        # Deferred deliveries re-check CTL: a stop() in the meantime wins.
         if not self.registers.peek("CNTPS_CTL_EL1") & 1:
             return
         self.fire_count += 1

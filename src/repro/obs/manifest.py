@@ -235,6 +235,29 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         for name, histogram in histograms.items():
             lines.extend("  " + line for line in render_histogram(name, histogram))
         lines.append("")
+    survival = manifest.get("survival")
+    if survival:
+        s_totals = survival.get("totals", {})
+        lines.append(
+            f"survival (plan {survival.get('plan')!r}, "
+            f"horizon {survival.get('horizon')}s): "
+            f"{s_totals.get('injected', 0)} injected, "
+            f"{s_totals.get('detected', 0)} detected, "
+            f"{s_totals.get('degraded', 0)} degraded, "
+            f"{s_totals.get('missed', 0)} missed"
+        )
+        classes = survival.get("classes", {})
+        if classes:
+            width = max(len(name) for name in classes)
+            for name in sorted(classes):
+                row = classes[name]
+                lines.append(
+                    f"  {name.ljust(width)}  injected={row.get('injected', 0)} "
+                    f"detected={row.get('detected', 0)} "
+                    f"degraded={row.get('degraded', 0)} "
+                    f"missed={row.get('missed', 0)}"
+                )
+        lines.append("")
     supervisor = manifest.get("supervisor", {})
     sup_hists = supervisor.get("histograms", {})
     if sup_hists:

@@ -39,6 +39,9 @@ class ScanResult:
     area_index: int = -1
     #: running round counter assigned by the engine.
     round_index: int = -1
+    #: True when the round survived a suspected platform fault by falling
+    #: back (e.g. a snapshot mismatch that a direct re-scan cleared).
+    degraded: bool = False
     extra: dict = field(default_factory=dict)
 
     @property

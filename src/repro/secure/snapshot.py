@@ -10,7 +10,7 @@ snapshot variant: a region of secure SRAM receives the copy, and the copy
 
 from __future__ import annotations
 
-from typing import Any, Generator, Tuple
+from typing import Any, Callable, Generator, Optional, Tuple
 
 from repro.errors import IntrospectionError
 from repro.hw.core import Core
@@ -33,6 +33,12 @@ class SecureSnapshotBuffer:
         self.base = base
         self.capacity = capacity
         self.snapshots_taken = 0
+        #: Fault hook: ``(chunk_offset, chunk) -> chunk`` applied to each
+        #: chunk as it lands in the buffer — models the copy (not live
+        #: kernel memory) being corrupted in flight.  The returned bytes
+        #: are both stored and hashed, so a corrupted copy mismatches its
+        #: authorized digest while a direct re-scan still verifies clean.
+        self.fault_hook: Optional[Callable[[int, bytes], bytes]] = None
 
     def take_and_hash(
         self,
@@ -61,6 +67,8 @@ class SecureSnapshotBuffer:
         while offset < length:
             step = min(chunk_size, length - offset)
             chunk = self.memory.read(source_addr + offset, step, World.SECURE)
+            if self.fault_hook is not None:
+                chunk = self.fault_hook(offset, chunk)
             self.memory.write(self.base + offset, chunk, World.SECURE)
             copied += chunk
             hasher.update(chunk)

@@ -9,7 +9,7 @@ engine, or a measurement stub).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import IntrospectionError
 from repro.hw.core import Core
@@ -32,6 +32,9 @@ class TestSecurePayload:
         self.machine = machine
         self._service: Optional[TimerService] = None
         self.timer_entries = 0
+        #: Per-core wake service counts — the round watchdog's evidence
+        #: that a programmed wake actually reached S-EL1 on that core.
+        self.timer_entries_per_core: Dict[int, int] = {}
         machine.monitor.register_secure_handler(SECURE_TIMER_INTID, self._payload)
 
     def set_timer_service(self, service: Optional[TimerService]) -> None:
@@ -42,6 +45,9 @@ class TestSecurePayload:
 
     def _payload(self, core: Core) -> SimCoroutine:
         self.timer_entries += 1
+        self.timer_entries_per_core[core.index] = (
+            self.timer_entries_per_core.get(core.index, 0) + 1
+        )
         if self._service is None:
             # Spurious wake-up: acknowledge and return to the normal world.
             yield cpu(1e-7)

@@ -41,7 +41,7 @@ class Simulator:
 
     __slots__ = (
         "now", "_queue", "_running", "_events_fired", "stop_requested",
-        "_metrics", "_inflight_spans",
+        "_metrics", "_inflight_spans", "_fire_hook",
         "_m_events", "_m_events_per_run", "_m_run_span", "_m_pending",
     )
 
@@ -52,6 +52,7 @@ class Simulator:
         self._events_fired = 0
         self.stop_requested = False
         self._metrics = None
+        self._fire_hook = None
         self._m_events = None
         self._m_events_per_run = None
         self._m_run_span = None
@@ -77,6 +78,20 @@ class Simulator:
             self._m_events_per_run = registry.histogram("sim.events_per_run")
             self._m_run_span = registry.histogram("sim.run_span_seconds")
             self._m_pending = registry.gauge("sim.pending_events")
+
+    def set_fire_hook(
+        self, hook: Optional[Callable[[float, int], None]]
+    ) -> None:
+        """Install a per-event observer called ``hook(time, seq)``.
+
+        ``seq`` is the cumulative :attr:`events_fired` value after the
+        event (span chunks charge their full weight), so the ``(time,
+        seq)`` stream is a bit-exact witness of the executed timeline —
+        the chaos harness folds it into a determinism checksum.  One
+        attribute test per event when installed; ``None`` (the default)
+        restores the zero-cost baseline path.
+        """
+        self._fire_hook = hook
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -154,6 +169,8 @@ class Simulator:
             event.accounted = len(event.chunk_times)
         else:
             self._events_fired += 1
+        if self._fire_hook is not None:
+            self._fire_hook(self.now, self._events_fired)
         event.callback(*event.args)
         return True
 
@@ -201,6 +218,8 @@ class Simulator:
                 else:
                     fired += 1
                     self._events_fired += 1
+                if self._fire_hook is not None:
+                    self._fire_hook(time, self._events_fired)
                 event.callback(*event.args)
         finally:
             self._running = False

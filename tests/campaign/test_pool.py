@@ -129,3 +129,63 @@ def test_invalid_arguments():
 def test_outcome_ok_property():
     assert TrialOutcome(key="k", status="ok").ok
     assert not TrialOutcome(key="k", status="timeout").ok
+
+
+# ---------------------------------------------------------------------------
+# Respawn backoff
+# ---------------------------------------------------------------------------
+
+def test_respawn_backoff_is_deterministic_and_capped():
+    from repro.campaign.pool import _respawn_backoff
+
+    a = _respawn_backoff("key1", 1, base=0.25, cap=10.0)
+    b = _respawn_backoff("key1", 1, base=0.25, cap=10.0)
+    assert a == b  # jitter is derived, not drawn
+    assert _respawn_backoff("key2", 1, base=0.25, cap=10.0) != a
+    # Exponential growth until the cap.
+    delays = [
+        _respawn_backoff("key1", n, base=0.25, cap=10.0) for n in range(1, 12)
+    ]
+    assert delays[0] >= 0.25
+    assert all(d <= 10.0 for d in delays)
+    assert delays[-1] == 10.0  # saturated
+    raw = [min(10.0, 0.25 * 2 ** (n - 1)) for n in range(1, 12)]
+    for delay, base_delay in zip(delays, raw):
+        assert base_delay <= delay <= min(10.0, base_delay * 1.25)
+
+
+def test_crashes_apply_backoff_counters():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    tasks = [
+        {"key": "boom", "seed": 0, "crash": True},
+        {"key": "fine", "seed": 1},
+    ]
+    outcomes = run_tasks(
+        tasks, f"{HELPERS}:exit_on_flag", jobs=2, timeout=30,
+        metrics=metrics, respawn_backoff_base=0.05, respawn_backoff_cap=0.2,
+    )
+    assert outcomes["boom"].status == "crashed"
+    assert outcomes["fine"].ok
+    snapshot = metrics.snapshot()
+    # One backoff per kill: first attempt + one retry.
+    assert snapshot["counters"]["campaign.respawn_backoffs"] == 2
+    assert snapshot["counters"]["campaign.worker_respawns"] == 2
+    hist = snapshot["histograms"]["campaign.respawn_backoff_seconds"]
+    assert hist["count"] == 2
+    assert hist["max"] <= 0.2
+
+
+def test_cooling_slot_does_not_wedge_the_run():
+    """With one worker and a crash, the cooldown delays but never blocks."""
+    tasks = [
+        {"key": "boom", "seed": 0, "crash": True},
+        {"key": "fine", "seed": 1},
+    ]
+    outcomes = run_tasks(
+        tasks, f"{HELPERS}:exit_on_flag", jobs=1, timeout=30,
+        respawn_backoff_base=0.05, respawn_backoff_cap=0.1,
+    )
+    assert outcomes["boom"].status == "crashed"
+    assert outcomes["fine"].ok

@@ -70,3 +70,61 @@ def test_shard_lines_are_valid_json(tmp_path):
     with open(store.shard_path("c9"), encoding="utf-8") as handle:
         lines = [json.loads(line) for line in handle if line.strip()]
     assert lines == [{"key": "c9", "status": "ok", "payload": {"pi": 3.14}}]
+
+
+def test_corrupt_lines_are_counted_and_warned(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a1", "status": "ok", "payload": {"v": 1}})
+    store.put({"key": "b7", "status": "ok", "payload": {"v": 2}})
+    with open(store.shard_path("a1"), "a", encoding="utf-8") as handle:
+        handle.write('{"key": "a2", "status": "o')  # torn tail
+    with open(store.shard_path("b7"), "a", encoding="utf-8") as handle:
+        handle.write('[1, 2, 3]\n')  # valid JSON, not a record
+
+    import pytest
+
+    reopened = make_store(tmp_path)
+    with pytest.warns(RuntimeWarning, match="corrupt record"):
+        assert reopened.load() == 2
+    assert reopened.corrupt_lines_skipped == 2
+    # A clean reload resets the count.
+    for path in reopened.shard_paths():
+        lines = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    lines.append(line)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+    assert reopened.load() == 2
+    assert reopened.corrupt_lines_skipped == 0
+
+
+def test_corrupt_quarantine_lines_are_tolerated(tmp_path):
+    store = make_store(tmp_path)
+    store.quarantine({"key": "bad1", "status": "timeout", "seed": 9})
+    with open(store.quarantine_path(), "a", encoding="utf-8") as handle:
+        handle.write('{"key": "bad2", "stat')
+
+    import pytest
+
+    with pytest.warns(RuntimeWarning, match="corrupt record"):
+        assert [q["key"] for q in store.quarantined()] == ["bad1"]
+
+
+def test_undecodable_bytes_do_not_abort_the_shard(tmp_path):
+    store = make_store(tmp_path)
+    store.put({"key": "a1", "status": "ok", "payload": {"v": 1}})
+    with open(store.shard_path("a1"), "ab") as handle:
+        handle.write(b'{"key": "a2"\xff\xfe')  # torn multi-byte tail
+
+    import pytest
+
+    reopened = make_store(tmp_path)
+    with pytest.warns(RuntimeWarning, match="corrupt record"):
+        assert reopened.load() == 1
+    assert reopened.corrupt_lines_skipped == 1

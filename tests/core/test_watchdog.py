@@ -1,0 +1,123 @@
+"""RoundWatchdog tests: missed-wake detection, retries, liveness alarms."""
+
+from repro.core.alarms import SEVERITY_LIVENESS
+from repro.core.satin import install_satin
+from repro.core.watchdog import RoundWatchdog
+from repro.hw.platform import build_machine
+from repro.kernel.os import boot_rich_os
+
+from tests.conftest import small_config
+
+
+def _hardened(seed=1234, **harden_kwargs):
+    machine = build_machine(small_config(seed))
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    watchdog = satin.harden(**harden_kwargs)
+    return machine, satin, watchdog
+
+
+def test_clean_run_misses_nothing():
+    machine, satin, watchdog = _hardened()
+    machine.run(until=satin.policy.tp * 10)
+    assert watchdog.checks > 0
+    assert watchdog.missed_wakes == 0
+    assert watchdog.degraded_rounds == 0
+    assert satin.alarms.by_severity(SEVERITY_LIVENESS) == []
+
+
+def test_boot_time_arms_are_guarded():
+    # harden() runs after install(), so the initial per-core arms never
+    # pass through the arm listener — the constructor must guard them
+    # retroactively or a fault on a core's very first wake goes unwatched.
+    machine, satin, watchdog = _hardened()
+    participating = len(satin.activation.participating_cores)
+    assert len(watchdog._generation) == participating
+    # One pending check per core before any round has run.
+    assert all(gen >= 1 for gen in watchdog._generation.values())
+
+
+def test_dropped_wake_is_detected_and_rearmed():
+    machine, satin, watchdog = _hardened()
+    core = satin.activation.participating_cores[0]
+    dropped = []
+
+    def drop_first(core_index):
+        if core_index == core.index and not dropped:
+            dropped.append(machine.sim.now)
+            return "drop"
+        return None
+
+    core.secure_timer.fault_filter = drop_first
+    machine.run(until=satin.policy.tp * 6)
+    assert dropped, "the filter never saw an expiry"
+    assert watchdog.missed_wakes >= 1
+    assert watchdog.rearms >= 1
+    assert any(c == core.index for _, c in watchdog.missed_events)
+    # The re-arm recovered the core: it kept servicing wakes afterwards.
+    assert satin.tsp.timer_entries_per_core.get(core.index, 0) > 0
+
+
+def test_persistent_drop_raises_liveness_alarm():
+    machine, satin, watchdog = _hardened(max_retries=2)
+    core = satin.activation.participating_cores[0]
+    core.secure_timer.fault_filter = (
+        lambda core_index: "drop" if core_index == core.index else None
+    )
+    machine.run(until=satin.policy.tp * 8)
+    assert watchdog.degraded_rounds >= 1
+    liveness = satin.alarms.by_severity(SEVERITY_LIVENESS)
+    assert liveness
+    assert all(a.kind == "missed_round" for a in liveness)
+    assert all(a.core_index == core.index for a in liveness)
+    # The retry budget resets after each alarm: the watchdog keeps
+    # fighting instead of giving up, so rearms keep accumulating.
+    assert watchdog.rearms > watchdog.max_retries
+
+
+def test_late_wake_within_grace_is_not_a_miss():
+    machine, satin, watchdog = _hardened()
+    grace = watchdog.grace
+    core = satin.activation.participating_cores[0]
+    delayed = []
+
+    def delay_first(core_index):
+        if core_index == core.index and not delayed:
+            delayed.append(machine.sim.now)
+            return grace * 0.5
+        return None
+
+    core.secure_timer.fault_filter = delay_first
+    machine.run(until=satin.policy.tp * 6)
+    assert delayed
+    assert watchdog.missed_wakes == 0
+
+
+def test_superseded_generation_check_is_a_noop():
+    machine, satin, watchdog = _hardened()
+    core = satin.activation.participating_cores[0]
+    machine.run(until=satin.policy.tp * 2)
+    checks_before = watchdog.checks
+    missed_before = watchdog.missed_wakes
+    # A stale check (older generation) must not record a miss.
+    watchdog._check(core, generation=-1, wake_at=machine.sim.now,
+                    serviced_at_arm=0)
+    assert watchdog.checks == checks_before + 1
+    assert watchdog.missed_wakes == missed_before
+
+
+def test_default_grace_is_a_fraction_of_tp():
+    machine, satin, watchdog = _hardened()
+    assert watchdog.grace == satin.policy.tp * 0.05
+    assert watchdog.retry_delay == watchdog.grace
+
+
+def test_cannot_harden_twice():
+    import pytest
+
+    from repro.errors import IntrospectionError
+
+    machine, satin, watchdog = _hardened()
+    assert isinstance(watchdog, RoundWatchdog)
+    with pytest.raises(IntrospectionError, match="already hardened"):
+        satin.harden()

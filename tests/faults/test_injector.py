@@ -1,0 +1,162 @@
+"""Fault injector unit tests on the small fast machine."""
+
+import pytest
+
+from repro.core.satin import install_satin
+from repro.errors import FaultInjectionError
+from repro.faults.injector import FaultInjector, OUTCOMES
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hw.platform import build_machine
+from repro.hw.world import World
+from repro.kernel.os import boot_rich_os
+
+from tests.conftest import small_config
+
+
+def _plan(*specs, duration=10.0):
+    return FaultPlan(name="test", specs=tuple(specs), duration=duration)
+
+
+def _hardened_stack(seed=1234, **satin_kwargs):
+    machine = build_machine(small_config(seed, **satin_kwargs))
+    rich_os = boot_rich_os(machine)
+    satin = install_satin(machine, rich_os)
+    satin.harden()
+    return machine, satin
+
+
+def test_schedule_is_deterministic():
+    plan = _plan(FaultSpec("timer_drop", 0.5), FaultSpec("bitflip", 0.3))
+    schedules = []
+    for _ in range(2):
+        machine, satin = _hardened_stack()
+        injector = FaultInjector(machine, satin, plan, fault_seed=7).install()
+        schedules.append(
+            [(i.fault_class, i.time, i.core_index, dict(i.details))
+             for i in injector.injections]
+        )
+    assert schedules[0] == schedules[1]
+    assert schedules[0]  # the plan actually scheduled something
+
+
+def test_different_fault_seed_different_schedule():
+    plan = _plan(FaultSpec("timer_drop", 0.5))
+    machine_a, satin_a = _hardened_stack()
+    machine_b, satin_b = _hardened_stack()
+    a = FaultInjector(machine_a, satin_a, plan, fault_seed=1).install()
+    b = FaultInjector(machine_b, satin_b, plan, fault_seed=2).install()
+    assert [i.time for i in a.injections] != [i.time for i in b.injections]
+
+
+def test_double_install_raises():
+    plan = _plan(FaultSpec("timer_drop", 0.5))
+    machine, satin = _hardened_stack()
+    injector = FaultInjector(machine, satin, plan, fault_seed=7).install()
+    with pytest.raises(FaultInjectionError, match="already installed"):
+        injector.install()
+    with pytest.raises(FaultInjectionError, match="already has a fault injector"):
+        FaultInjector(machine, satin, plan, fault_seed=8).install()
+
+
+def test_bad_horizon_raises():
+    plan = _plan(FaultSpec("timer_drop", 0.5))
+    machine, satin = _hardened_stack()
+    with pytest.raises(FaultInjectionError, match="horizon"):
+        FaultInjector(machine, satin, plan, fault_seed=7, horizon=0.0)
+
+
+def test_timer_drops_are_recovered_by_watchdog():
+    plan = _plan(FaultSpec("timer_drop", 0.8), duration=8.0)
+    machine, satin = _hardened_stack()
+    injector = FaultInjector(machine, satin, plan, fault_seed=3).install()
+    machine.run(until=plan.duration)
+    injector.deactivate()
+    machine.run(until=plan.duration + 2.0)
+    assert injector.timer_drops > 0
+    assert satin.watchdog.missed_wakes > 0
+    result = injector.classify()
+    assert result["classes"]["timer_drop"]["missed"] == 0
+    # The engine kept scanning through the drops.
+    assert satin.round_count > 0
+
+
+def test_bitflips_revert_and_leave_kernel_clean():
+    plan = _plan(
+        FaultSpec("bitflip", 0.6, (("revert_after", 1.0),)), duration=6.0
+    )
+    machine, satin = _hardened_stack()
+    image = satin.rich_os.image
+    before = bytes(image.read(0, image.size, World.SECURE))
+    injector = FaultInjector(machine, satin, plan, fault_seed=5).install()
+    machine.run(until=plan.duration + 2.0)
+    assert injector.bitflips > 0
+    assert injector.bitflip_reverts == injector.bitflips
+    after = bytes(image.read(0, image.size, World.SECURE))
+    assert after == before
+
+
+def test_wakeup_corruption_is_validated_or_refreshed():
+    plan = _plan(
+        FaultSpec("wakeup_corrupt", 0.8, (("stale_fraction", 0.5),)),
+        duration=8.0,
+    )
+    machine, satin = _hardened_stack()
+    injector = FaultInjector(machine, satin, plan, fault_seed=11).install()
+    machine.run(until=plan.duration)
+    injector.deactivate()
+    machine.run(until=plan.duration + 2.0)
+    assert injector.wakeup_corruptions > 0
+    result = injector.classify()
+    row = result["classes"]["wakeup_corrupt"]
+    assert row["missed"] == 0
+    assert row["detected"] + row["degraded"] == row["injected"]
+
+
+def test_deactivate_voids_pending_decisions():
+    plan = _plan(FaultSpec("smc_spike", 5.0), duration=4.0)
+    machine, satin = _hardened_stack()
+    injector = FaultInjector(machine, satin, plan, fault_seed=13).install()
+    machine.run(until=plan.duration)
+    injector.deactivate()
+    pending_notes = [
+        i.note for i in injector.injections
+        if not i.consumed and i.note
+    ]
+    # Every unconsumed-but-armed spike got an explanatory note.
+    armed = [i for i in injector.injections
+             if not i.consumed and i.time <= machine.sim.now]
+    assert len(pending_notes) >= len(armed) - len(
+        [i for i in armed if i.note == "injector inactive at arrival"]
+    )
+
+
+def test_classify_accounts_for_every_injection():
+    plan = _plan(
+        FaultSpec("timer_drop", 0.4),
+        FaultSpec("timer_late", 0.4, (("min_delay", 0.05), ("max_delay", 0.5))),
+        FaultSpec("smc_spike", 1.0),
+        FaultSpec("core_stall", 0.2, (("min_window", 0.2), ("max_window", 1.0))),
+        duration=8.0,
+    )
+    machine, satin = _hardened_stack()
+    injector = FaultInjector(machine, satin, plan, fault_seed=17).install()
+    machine.run(until=plan.duration)
+    injector.deactivate()
+    machine.run(until=plan.duration + 2.0)
+    result = injector.classify()
+    assert result["totals"]["injected"] == len(injector.injections)
+    assert result["totals"]["injected"] == sum(
+        result["totals"][key] for key in OUTCOMES
+    )
+    for injection in result["injections"]:
+        assert injection["outcome"] in OUTCOMES
+
+
+def test_injected_metrics_are_registered():
+    plan = _plan(FaultSpec("timer_drop", 0.5), duration=6.0)
+    machine, satin = _hardened_stack()
+    FaultInjector(machine, satin, plan, fault_seed=19).install()
+    machine.run(until=plan.duration)
+    snapshot = machine.metrics.snapshot()
+    assert "faults.injected" in snapshot["counters"]
+    assert "faults.injected.timer_drop" in snapshot["counters"]

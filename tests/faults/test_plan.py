@@ -1,0 +1,86 @@
+"""Fault plan registry and validation tests."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    FAULT_CLASSES,
+    FaultPlan,
+    FaultSpec,
+    SMOKE_PLAN,
+    plan_by_name,
+    plan_names,
+)
+
+
+def test_builtin_plans_registered():
+    names = plan_names()
+    for expected in ("smoke", "timers", "memory", "queue", "full"):
+        assert expected in names
+    assert names == tuple(sorted(names))
+
+
+def test_unknown_plan_raises():
+    with pytest.raises(FaultPlanError, match="unknown fault plan"):
+        plan_by_name("does-not-exist")
+
+
+def test_unknown_fault_class_raises():
+    with pytest.raises(FaultPlanError, match="unknown fault class"):
+        FaultSpec("cosmic_ray", 0.1)
+
+
+def test_nonpositive_rate_raises():
+    with pytest.raises(FaultPlanError, match="positive rate"):
+        FaultSpec("timer_drop", 0.0)
+    with pytest.raises(FaultPlanError, match="positive rate"):
+        FaultSpec("timer_drop", -1.0)
+
+
+def test_spec_params_sorted_and_defaulted():
+    spec = FaultSpec("timer_late", 1.0, (("max_delay", 2.0), ("min_delay", 0.1)))
+    assert spec.params == (("max_delay", 2.0), ("min_delay", 0.1))
+    assert spec.param("min_delay", 99.0) == 0.1
+    assert spec.param("not_there", 42.0) == 42.0
+
+
+def test_plan_validation():
+    drop = FaultSpec("timer_drop", 0.1)
+    with pytest.raises(FaultPlanError, match="no specs"):
+        FaultPlan(name="empty", specs=(), duration=10.0)
+    with pytest.raises(FaultPlanError, match="positive duration"):
+        FaultPlan(name="flat", specs=(drop,), duration=0.0)
+    with pytest.raises(FaultPlanError, match="twice"):
+        FaultPlan(name="dup", specs=(drop, FaultSpec("timer_drop", 0.2)),
+                  duration=10.0)
+
+
+def test_plan_digest_is_stable_and_sensitive():
+    drop = FaultSpec("timer_drop", 0.1)
+    a = FaultPlan(name="p", specs=(drop,), duration=10.0)
+    b = FaultPlan(name="p", specs=(FaultSpec("timer_drop", 0.1),), duration=10.0)
+    c = FaultPlan(name="p", specs=(FaultSpec("timer_drop", 0.2),), duration=10.0)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+    assert a.digest() != FaultPlan(name="p", specs=(drop,), duration=11.0).digest()
+
+
+def test_smoke_plan_covers_every_class_with_meaningful_rates():
+    assert SMOKE_PLAN.fault_classes == FAULT_CLASSES
+    for spec in SMOKE_PLAN.specs:
+        assert spec.rate * SMOKE_PLAN.duration >= 2.0, spec.fault_class
+
+
+def test_needs_snapshot():
+    assert SMOKE_PLAN.needs_snapshot
+    assert not plan_by_name("timers").needs_snapshot
+
+
+def test_spec_for_and_describe():
+    spec = SMOKE_PLAN.spec_for("bitflip")
+    assert spec.fault_class == "bitflip"
+    with pytest.raises(FaultPlanError, match="no 'timer_drop'"):
+        plan_by_name("memory").spec_for("timer_drop")
+    text = SMOKE_PLAN.describe()
+    for cls in FAULT_CLASSES:
+        assert cls in text

@@ -1,0 +1,103 @@
+"""Property test: no injected fault ever vanishes without a trace.
+
+For any fault seed and any mix of fault classes, a hardened run either
+fails with a typed :class:`~repro.errors.ReproError` (never a bare
+exception) or accounts for every single injection: each one classified
+into the survival matrix, counted in the ``faults.*`` metrics, and — when
+classified as detected — backed by an observable response (alarm,
+watchdog record, or validation event).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.satin import install_satin
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, OUTCOMES
+from repro.faults.plan import FAULT_CLASSES, FaultPlan, FaultSpec
+from repro.hw.platform import build_machine
+from repro.kernel.os import boot_rich_os
+
+from tests.conftest import small_config
+
+#: Aggressive per-class rates so short horizons still inject faults.
+_RATES = {
+    "timer_drop": 0.6,
+    "timer_late": 0.6,
+    "smc_spike": 1.5,
+    "bitflip": 0.5,
+    "wakeup_corrupt": 0.6,
+    "core_stall": 0.3,
+    "snapshot_corrupt": 0.6,
+}
+
+_PARAMS = {
+    "timer_late": (("min_delay", 0.05), ("max_delay", 0.5)),
+    "bitflip": (("revert_after", 1.5),),
+    "core_stall": (("min_window", 0.2), ("max_window", 1.0)),
+}
+
+_DURATION = 6.0
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    fault_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    classes=st.sets(
+        st.sampled_from(FAULT_CLASSES), min_size=1, max_size=3
+    ),
+)
+def test_every_injected_fault_is_accounted_for(fault_seed, classes):
+    plan = FaultPlan(
+        name="prop",
+        specs=tuple(
+            FaultSpec(cls, _RATES[cls], _PARAMS.get(cls, ()))
+            for cls in sorted(classes)
+        ),
+        duration=_DURATION,
+    )
+    try:
+        machine = build_machine(small_config(1234, use_snapshot=True))
+        rich_os = boot_rich_os(machine)
+        satin = install_satin(machine, rich_os)
+        watchdog = satin.harden()
+        injector = FaultInjector(
+            machine, satin, plan, fault_seed=fault_seed
+        ).install()
+        machine.run(until=_DURATION)
+        injector.deactivate()
+        machine.run(until=_DURATION + watchdog.grace * 5 + 1.0)
+        result = injector.classify()
+    except ReproError:
+        return  # a typed, catchable failure is an accepted outcome
+
+    # Every injection classified, totals consistent.
+    assert result["totals"]["injected"] == len(injector.injections)
+    assert result["totals"]["injected"] == sum(
+        result["totals"][key] for key in OUTCOMES
+    )
+    for injection in result["injections"]:
+        assert injection["outcome"] in OUTCOMES
+
+    # Every arrival surfaced in the metrics stream.
+    counters = machine.metrics.snapshot()["counters"]
+    arrived = [
+        i for i in injector.injections
+        if i.note != "injector inactive at arrival" and i.time <= machine.sim.now
+    ]
+    assert counters.get("faults.injected", 0) == len(arrived)
+
+    # Detections are backed by an observable response, never asserted
+    # into existence.  (Not 1:1 — two faults with overlapping
+    # classification windows may share one alarm.)
+    evidence = (
+        len(satin.alarms.alarms)
+        + watchdog.missed_wakes
+        + satin.wakeup_queue.invalid_entries
+    )
+    detected = result["totals"]["detected"]
+    if detected:
+        assert evidence > 0

@@ -4,11 +4,16 @@ import pytest
 
 from repro.errors import (
     AttackError,
+    CampaignError,
     ConfigurationError,
+    FaultError,
+    FaultInjectionError,
+    FaultPlanError,
     HardwareError,
     IntrospectionError,
     KernelError,
     MemoryAccessError,
+    ObservabilityError,
     ReproError,
     SchedulingError,
     SecureAccessError,
@@ -18,8 +23,10 @@ from repro.errors import (
 
 def test_every_error_derives_from_repro_error():
     for cls in (
-        AttackError, ConfigurationError, HardwareError, IntrospectionError,
-        KernelError, MemoryAccessError, SchedulingError, SecureAccessError,
+        AttackError, CampaignError, ConfigurationError, FaultError,
+        FaultInjectionError, FaultPlanError, HardwareError,
+        IntrospectionError, KernelError, MemoryAccessError,
+        ObservabilityError, SchedulingError, SecureAccessError,
         SimulationError,
     ):
         assert issubclass(cls, ReproError)
@@ -34,9 +41,32 @@ def test_scheduling_is_a_simulation_error():
     assert issubclass(SchedulingError, SimulationError)
 
 
+def test_fault_error_hierarchy():
+    assert issubclass(FaultPlanError, FaultError)
+    assert issubclass(FaultInjectionError, FaultError)
+    assert issubclass(FaultError, ReproError)
+    # Siblings, not a chain: a bad plan is not a bad injection.
+    assert not issubclass(FaultInjectionError, FaultPlanError)
+    assert not issubclass(FaultPlanError, FaultInjectionError)
+
+
+def test_every_error_importable_from_top_level():
+    import inspect
+
+    import repro
+    from repro import errors as errors_module
+
+    for name, cls in vars(errors_module).items():
+        if inspect.isclass(cls) and issubclass(cls, ReproError):
+            assert getattr(repro, name) is cls, name
+            assert name in repro.__all__, name
+
+
 def test_one_catch_all():
     with pytest.raises(ReproError):
         raise SecureAccessError("blocked")
+    with pytest.raises(ReproError):
+        raise FaultPlanError("no such plan")
 
 
 # ---------------------------------------------------------------------------
