@@ -60,12 +60,14 @@ from repro.errors import (
     FaultPlanError,
     HardwareError,
     IntrospectionError,
+    JobTransitionError,
     KernelError,
     MemoryAccessError,
     ObservabilityError,
     ReproError,
     SchedulingError,
     SecureAccessError,
+    ServiceError,
     SimulationError,
 )
 from repro.experiments import (
@@ -103,11 +105,13 @@ __all__ = [
     "FaultPlanError",
     "HardwareError",
     "IntrospectionError",
+    "JobTransitionError",
     "KernelError",
     "MemoryAccessError",
     "ObservabilityError",
     "SchedulingError",
     "SecureAccessError",
+    "ServiceError",
     "SimulationError",
     "KProberI",
     "KProberII",

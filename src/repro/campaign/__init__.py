@@ -25,8 +25,10 @@ from repro.campaign.progress import ProgressMeter
 from repro.campaign.runner import (
     CampaignResult,
     CampaignSpec,
+    SweepRun,
     aggregate_records,
     run_campaign,
+    run_sweep,
 )
 from repro.campaign.store import ResultStore
 
@@ -36,10 +38,12 @@ __all__ = [
     "CampaignSpec",
     "ProgressMeter",
     "ResultStore",
+    "SweepRun",
     "TrialOutcome",
     "aggregate_records",
     "canonical_form",
     "run_campaign",
+    "run_sweep",
     "run_tasks",
     "stable_digest",
     "trial_key",

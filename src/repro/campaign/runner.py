@@ -19,20 +19,26 @@ run over the same seed set.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.analysis.stats import Summary, mean_ci
 from repro.analysis.tables import render_table
 from repro.campaign.digest import CODE_VERSION, stable_digest, trial_key
-from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome, run_tasks
+from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome
 from repro.campaign.progress import ProgressMeter
 from repro.campaign.store import ResultStore
 from repro.campaign.trials import DEFAULT_PRESET, build_trial_config
 from repro.errors import CampaignError
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.obs.metrics import MetricsRegistry
+
+#: Type of the optional sweep observer: ``observer(event, info)`` fires on
+#: "cached", "done", "failed", "retry" and "cancelled" — the service uses
+#: it to surface live per-job progress without touching the meter.
+Observer = Callable[[str, Dict[str, Any]], None]
 
 #: Import path of the worker-side trial function.
 TRIAL_FN = "repro.campaign.trials:run_experiment_trial"
@@ -55,14 +61,31 @@ class CampaignSpec:
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     cache_dir: str = DEFAULT_CACHE_DIR
     resume: bool = False
+    #: executor backend: "auto" (jobs==0 -> inline, else fork), "inline",
+    #: "thread", "fork", or "queue" (needs ``queue_dir``).  Deliberately
+    #: excluded from ``campaign_id`` — the substrate never changes results.
+    backend: str = "auto"
+    queue_dir: Optional[str] = None
+    #: local drain threads to spawn for the queue backend (0 = external
+    #: ``repro worker`` processes own the draining).
+    queue_workers: int = 0
 
     def __post_init__(self) -> None:
+        from repro.service.executors import BACKENDS
+
         if not self.seeds:
             raise CampaignError("campaign needs at least one seed")
         if not self.presets:
             raise CampaignError("campaign needs at least one preset")
         if len(set(self.seeds)) != len(self.seeds):
             raise CampaignError("campaign seeds must be unique")
+        if self.backend not in ("auto",) + BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r} "
+                f"(choose from auto, {', '.join(BACKENDS)})"
+            )
+        if self.backend == "queue" and not self.queue_dir:
+            raise CampaignError("backend 'queue' needs queue_dir")
 
     def campaign_id(self) -> str:
         """Cache directory name: human-readable prefix + grid digest.
@@ -119,6 +142,9 @@ class CampaignResult:
     rendered: str
     #: path of the run manifest written beside the result cache.
     manifest_path: Optional[str] = None
+    #: True when the run was interrupted (SIGINT or a service cancel);
+    #: the manifest is partial and marked ``cancelled: true``.
+    cancelled: bool = False
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -233,19 +259,48 @@ def render_campaign(
     return "\n".join(lines)
 
 
-def run_campaign(
-    spec: CampaignSpec,
+@dataclass
+class SweepRun:
+    """What the backend-agnostic supervision phase produced.
+
+    Shared by campaigns and chaos sweeps: everything up to "ok records in
+    task order" is identical; only rendering and manifest decoration
+    differ between the two.
+    """
+
+    tasks: List[Dict[str, Any]]
+    store: ResultStore
+    records: List[Dict[str, Any]]
+    cached: int
+    ran: int
+    quarantined: List[Dict[str, Any]]
+    supervisor: MetricsRegistry
+    cancelled: bool
+    started_wall: float
+
+    @property
+    def wall_seconds(self) -> float:
+        return time.monotonic() - self.started_wall
+
+
+def run_sweep(
+    spec,
+    trial_fn: str,
     stream: Optional[TextIO] = None,
     progress: Union[bool, str] = True,
-    trial_fn: str = TRIAL_FN,
-) -> CampaignResult:
-    """Execute a campaign end-to-end; never aborts on individual trials.
+    observer: Optional[Observer] = None,
+    cancel_event: Optional[threading.Event] = None,
+) -> SweepRun:
+    """Cache consult + executor fan-out + store writeback, backend-agnostic.
 
-    ``trial_fn`` is the worker-side function's import path; tests override
-    it to inject hanging/crashing trials against a real campaign.
-    ``progress`` is ``True`` (live meter), ``False`` (silent), or
-    ``"quiet"`` (one final tally line).
+    ``spec`` is any campaign-shaped spec (``trial_tasks``/``campaign_id``/
+    ``backend``/``jobs``/...).  On cancellation (``cancel_event`` set or
+    ``KeyboardInterrupt``) the pool is drained, completed records are kept,
+    and the returned :class:`SweepRun` carries ``cancelled=True`` — callers
+    still render and write a partial manifest.
     """
+    from repro.service.executors import execute_tasks, make_executor
+
     started_wall = time.monotonic()
     tasks = spec.trial_tasks()
     store = ResultStore(spec.cache_dir, spec.campaign_id())
@@ -254,8 +309,8 @@ def run_campaign(
     cached_records: Dict[str, Dict[str, Any]] = {}
     pending: List[Dict[str, Any]] = []
     for task in tasks:
-        record = store.get(task["key"]) if spec.resume else None
-        if record is not None and record.get("status") == "ok" and "payload" in record:
+        record = store.ok_record(task["key"]) if spec.resume else None
+        if record is not None:
             cached_records[task["key"]] = record
         else:
             pending.append(task)
@@ -272,8 +327,14 @@ def run_campaign(
         enabled=progress is not False,
         quiet=progress == "quiet",
     )
+
+    def notify(event: str, info: Dict[str, Any]) -> None:
+        if observer is not None:
+            observer(event, info)
+
     if cached_records:
         meter.note_cached(len(cached_records))
+        notify("cached", {"count": len(cached_records)})
 
     quarantined: List[Dict[str, Any]] = []
 
@@ -283,6 +344,7 @@ def run_campaign(
         if outcome.ok:
             store.put(make_record(task, outcome))
             meter.note_done()
+            notify("done", {"key": task["key"], "seed": task.get("seed")})
         else:
             entry = {
                 "key": task["key"],
@@ -296,23 +358,36 @@ def run_campaign(
             store.quarantine(entry)
             quarantined.append(entry)
             meter.note_failed()
+            notify("failed", {"key": task["key"], "status": outcome.status})
 
-    def on_retry(_task: Dict[str, Any], _kind: str) -> None:
+    def on_retry(task: Dict[str, Any], kind: str) -> None:
         meter.note_retry()
+        notify("retry", {"key": task["key"], "kind": kind})
 
-    outcomes = run_tasks(
-        pending,
-        trial_fn,
+    executor = make_executor(
+        backend=spec.backend,
         jobs=spec.jobs,
         timeout=spec.timeout,
+        metrics=supervisor,
+        queue_dir=getattr(spec, "queue_dir", None),
+        queue_workers=getattr(spec, "queue_workers", 0),
+    )
+    outcomes, cancelled = execute_tasks(
+        pending,
+        trial_fn,
+        executor,
         max_attempts=spec.max_attempts,
         on_final=on_final,
         on_retry=on_retry,
         metrics=supervisor,
+        cancel_event=cancel_event,
     )
     meter.finish()
+    if cancelled:
+        supervisor.counter("campaign.cancelled").inc()
+        notify("cancelled", {"completed": len(outcomes), "pending": len(pending)})
 
-    records = []
+    records: List[Dict[str, Any]] = []
     for task in tasks:  # task order => deterministic aggregation
         if task["key"] in cached_records:
             records.append(cached_records[task["key"]])
@@ -321,23 +396,67 @@ def run_campaign(
             if outcome is not None and outcome.ok:
                 records.append(make_record(task, outcome))
 
-    rendered = render_campaign(
-        spec, records, cached=len(cached_records), ran=len(pending), quarantined=quarantined
-    )
-    result = CampaignResult(
-        spec=spec,
-        total=len(tasks),
+    return SweepRun(
+        tasks=tasks,
+        store=store,
         records=records,
         cached=len(cached_records),
         ran=len(pending),
         quarantined=quarantined,
+        supervisor=supervisor,
+        cancelled=cancelled,
+        started_wall=started_wall,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    stream: Optional[TextIO] = None,
+    progress: Union[bool, str] = True,
+    trial_fn: str = TRIAL_FN,
+    observer: Optional[Observer] = None,
+    cancel_event: Optional[threading.Event] = None,
+) -> CampaignResult:
+    """Execute a campaign end-to-end; never aborts on individual trials.
+
+    ``trial_fn`` is the worker-side function's import path; tests override
+    it to inject hanging/crashing trials against a real campaign.
+    ``progress`` is ``True`` (live meter), ``False`` (silent), or
+    ``"quiet"`` (one final tally line).  A ``KeyboardInterrupt`` (or a set
+    ``cancel_event``) cancels cleanly: the pool is drained, completed
+    shards stay flushed, and a partial manifest marked ``cancelled: true``
+    is written before returning.
+    """
+    sweep = run_sweep(
+        spec, trial_fn,
+        stream=stream, progress=progress,
+        observer=observer, cancel_event=cancel_event,
+    )
+    rendered = render_campaign(
+        spec, sweep.records,
+        cached=sweep.cached, ran=sweep.ran, quarantined=sweep.quarantined,
+    )
+    if sweep.cancelled:
+        rendered = (
+            f"!! campaign cancelled — partial results "
+            f"({len(sweep.records)}/{len(sweep.tasks)} trials)\n" + rendered
+        )
+    result = CampaignResult(
+        spec=spec,
+        total=len(sweep.tasks),
+        records=sweep.records,
+        cached=sweep.cached,
+        ran=sweep.ran,
+        quarantined=sweep.quarantined,
         rendered=rendered,
+        cancelled=sweep.cancelled,
     )
     manifest = build_manifest(
         spec,
         result,
-        wall_seconds=time.monotonic() - started_wall,
-        supervisor_snapshot=supervisor.snapshot(),
+        wall_seconds=sweep.wall_seconds,
+        supervisor_snapshot=sweep.supervisor.snapshot(),
+        cancelled=sweep.cancelled,
     )
-    result.manifest_path = write_manifest(store.directory, manifest)
+    result.manifest_path = write_manifest(sweep.store.directory, manifest)
     return result

@@ -118,6 +118,25 @@ class ResultStore:
             self.load()
         return self._index.get(key)
 
+    def ok_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``key`` iff it is a servable completion.
+
+        Quarantine entries and records without a payload (written by an
+        older code version, or torn) are not cache hits.
+        """
+        record = self.get(key)
+        if record is not None and record.get("status") == "ok" and "payload" in record:
+            return record
+        return None
+
+    def hits(self, keys) -> int:
+        """How many of ``keys`` the store can serve without re-running.
+
+        The service polls this to answer "would this job be a pure cache
+        hit?" and to report progress for jobs draining a shared queue.
+        """
+        return sum(1 for key in keys if self.ok_record(key) is not None)
+
     def put(self, record: Dict[str, Any]) -> None:
         """Append one completed-trial record to its shard (flushed)."""
         key = record["key"]
@@ -156,3 +175,27 @@ class ResultStore:
 
     def quarantined(self) -> List[Dict[str, Any]]:
         return list(self._iter_records(self.quarantine_path()))
+
+
+# ---------------------------------------------------------------------------
+# Job-scoped artifact prefixes
+# ---------------------------------------------------------------------------
+#
+# Trial records are shared across every job that maps to the same campaign
+# grid (that is the whole point of content addressing), but each service
+# job also owns artifacts that must NOT be shared — its JobState snapshot
+# and the manifest it rendered.  Those live under a job-scoped prefix
+# beside the campaign directories:
+#
+#     <root>/jobs/<job_id>/job.json
+#     <root>/jobs/<job_id>/manifest.json
+
+JOBS_PREFIX = "jobs"
+
+
+def job_artifact_dir(root: str, job_id: str, create: bool = True) -> str:
+    """The job-scoped artifact directory for ``job_id`` under ``root``."""
+    path = os.path.join(root, JOBS_PREFIX, job_id)
+    if create:
+        os.makedirs(path, exist_ok=True)
+    return path

@@ -20,6 +20,14 @@ Commands
     (open in ui.perfetto.dev) and/or JSONL.
 ``metrics <campaign-dir>``
     Render the rollup of a campaign's ``manifest.json``.
+``serve``
+    Long-running HTTP/JSON job service (submit campaigns over the wire,
+    answered from the shared result cache on resubmission).
+``worker --queue DIR``
+    Drain trial tasks from a file-system queue (``--backend queue`` runs
+    and multi-host fan-out).
+``submit`` / ``status`` / ``fetch`` / ``cancel``
+    Thin clients for a running ``repro serve``.
 ``demo``
     A 60-second narrated run: SATIN catching a GETTID hijack.
 """
@@ -79,6 +87,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             max_attempts=args.retries + 1,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
+            queue_workers=args.queue_workers,
         )
         if args.no_progress:
             progress = False
@@ -98,6 +109,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"campaign summary written to {args.output}", file=sys.stderr)
     else:
         print(result.rendered)
+    if result.cancelled:
+        print(
+            f"campaign cancelled — {len(result.records)}/{result.total} trials "
+            "completed; rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     return 0 if result.records else 3
 
 
@@ -121,6 +139,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             max_attempts=args.retries + 1,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            backend=args.backend,
+            queue_dir=args.queue_dir,
+            queue_workers=args.queue_workers,
         )
         if args.no_progress:
             progress = False
@@ -154,6 +175,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"chaos summary written to {args.output}", file=sys.stderr)
     else:
         print(result.rendered)
+    if result.cancelled:
+        print(
+            f"chaos sweep cancelled — {len(result.records)}/{result.total} "
+            "trials completed; rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     if not result.records:
         return 3
     return 4 if result.missed else 0
@@ -247,6 +275,167 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_forever
+
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_workers=args.workers,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.queue import run_worker
+
+    count = run_worker(
+        args.queue,
+        max_idle=args.max_idle if args.max_idle > 0 else None,
+        max_tasks=1 if args.once else None,
+    )
+    print(f"worker exiting after {count} task(s)", file=sys.stderr)
+    return 0
+
+
+def _job_spec_from_args(args: argparse.Namespace) -> dict:
+    spec = {
+        "kind": "chaos" if args.chaos else "campaign",
+        "target": args.target,
+        "seeds": args.seeds,
+        "seed_base": args.seed_base,
+        "presets": list(args.preset) if args.preset else ["juno_r1"],
+        "full": args.full,
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "max_attempts": args.retries + 1,
+    }
+    if args.timeout > 0:
+        spec["timeout"] = args.timeout
+    if args.queue_dir:
+        spec["queue_dir"] = args.queue_dir
+        spec["queue_workers"] = args.queue_workers
+    if args.chaos:
+        spec["plan"] = args.faults
+        spec["fault_seed_base"] = args.fault_seed_base
+        if args.duration is not None:
+            spec["duration"] = args.duration
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import client
+
+    try:
+        state = client.submit_job(args.url, _job_spec_from_args(args))
+        job_id = state["job_id"]
+        note = " (duplicate of an active job)" if state.get("deduped") else ""
+        print(f"submitted {job_id}{note}", file=sys.stderr)
+        if not args.wait:
+            print(job_id)
+            return 0
+        last_line = ""
+
+        def on_progress(current: dict) -> None:
+            nonlocal last_line
+            line = client.format_state_line(current)
+            if line != last_line:
+                print(line, file=sys.stderr)
+                last_line = line
+
+        state = client.wait_for_job(
+            args.url, job_id, timeout=args.wait_timeout, on_progress=on_progress
+        )
+        if state["state"] == "done":
+            print(client.fetch_result(args.url, job_id), end="")
+            return 0
+        if args.json:
+            print(json.dumps(state, indent=1, sort_keys=True))
+        return 130 if state["state"] == "cancelled" else 1
+    except ServiceError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import client
+
+    try:
+        if args.job_id:
+            state = client.job_status(args.url, args.job_id)
+            if args.json:
+                print(json.dumps(state, indent=1, sort_keys=True))
+            else:
+                print(client.format_state_line(state))
+        else:
+            status, body = client.request(args.url, "/jobs")
+            if status >= 400 or not isinstance(body, dict):
+                print(f"job listing failed (HTTP {status})", file=sys.stderr)
+                return 2
+            jobs = body.get("jobs", [])
+            if args.json:
+                print(json.dumps(jobs, indent=1, sort_keys=True))
+            else:
+                for state in jobs:
+                    print(client.format_state_line(state))
+                if not jobs:
+                    print("no jobs submitted yet", file=sys.stderr)
+    except ServiceError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import client
+
+    try:
+        if args.result:
+            text = client.fetch_result(args.url, args.job_id)
+        elif args.matrix:
+            text = json.dumps(
+                client.fetch_matrix(args.url, args.job_id), indent=1, sort_keys=True
+            ) + "\n"
+        else:
+            text = json.dumps(
+                client.fetch_manifest(args.url, args.job_id),
+                indent=1, sort_keys=True,
+            ) + "\n"
+    except ServiceError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service import client
+
+    try:
+        state = client.cancel_job(args.url, args.job_id)
+    except ServiceError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    print(client.format_state_line(state))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -299,6 +488,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "inline", "thread", "fork", "queue"),
+                        help="executor backend (default auto: fork pool, or "
+                             "serial in-process when --jobs 0)")
+    parser.add_argument("--queue-dir", metavar="DIR", default=None,
+                        help="task queue directory for --backend queue")
+    parser.add_argument("--queue-workers", type=int, default=0, metavar="N",
+                        help="in-process drain threads for --backend queue "
+                             "(0 = rely on external `repro worker` processes)")
+
+
+def _add_client_options(parser: argparse.ArgumentParser) -> None:
+    from repro.service.client import DEFAULT_URL
+
+    parser.add_argument("--url", default=DEFAULT_URL,
+                        help=f"service base URL (default {DEFAULT_URL})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suppress the stderr progress meter entirely")
     campaign.add_argument("-o", "--output",
                           help="write the campaign summary to a file")
+    _add_backend_options(campaign)
 
     chaos = sub.add_parser(
         "chaos",
@@ -388,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the survival matrix as JSON (CI artifact)")
     chaos.add_argument("-o", "--output",
                        help="write the chaos summary to a file")
+    _add_backend_options(chaos)
 
     report = sub.add_parser("report", help="run the whole suite")
     report.add_argument("--seed", type=int, default=2019)
@@ -437,6 +647,99 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare the deterministic block against a pinned "
                             "JSON file; non-zero exit on drift")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON campaign job service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8971,
+                       help="bind port (default 8971; 0 picks a free port)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="shared result store root (default .repro-cache)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent job executions (default 2)")
+    serve.add_argument("-v", "--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain trial tasks from a file-system queue",
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="queue directory shared with the supervisor")
+    worker.add_argument("--max-idle", type=float, default=0.0, metavar="S",
+                        help="exit after S seconds with nothing to claim "
+                             "(0 = wait forever)")
+    worker.add_argument("--once", action="store_true",
+                        help="process a single task and exit")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign/chaos job to a running `repro serve`",
+    )
+    submit.add_argument("target",
+                        help="experiment id (campaign) or scenario (--chaos)")
+    submit.add_argument("--chaos", action="store_true",
+                        help="submit a chaos sweep instead of a campaign")
+    submit.add_argument("--seeds", type=int, default=8, metavar="N")
+    submit.add_argument("--seed-base", type=int, default=0)
+    submit.add_argument("--preset", action="append", metavar="NAME",
+                        help="platform preset; repeat for a grid "
+                             "(default juno_r1)")
+    submit.add_argument("--full", action="store_true",
+                        help="paper-scale trials")
+    submit.add_argument("--faults", default="smoke", metavar="PLAN",
+                        help="fault plan for --chaos (default smoke)")
+    submit.add_argument("--fault-seed-base", type=int, default=0)
+    submit.add_argument("--duration", type=float, default=None, metavar="S",
+                        help="chaos injection horizon in simulated seconds")
+    submit.add_argument("--backend", default="auto",
+                        choices=("auto", "inline", "thread", "fork", "queue"),
+                        help="executor backend the service should use")
+    submit.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker parallelism inside the service job")
+    submit.add_argument("--queue-dir", metavar="DIR", default=None,
+                        help="task queue directory for --backend queue")
+    submit.add_argument("--queue-workers", type=int, default=0, metavar="N",
+                        help="service-side drain threads for --backend queue")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="per-trial timeout in seconds (0 disables)")
+    submit.add_argument("--retries", type=int, default=1)
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its report")
+    submit.add_argument("--wait-timeout", type=float, default=None, metavar="S",
+                        help="give up waiting after S seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="print the final job state as JSON on failure")
+    _add_client_options(submit)
+
+    status = sub.add_parser(
+        "status",
+        help="show job state (all jobs, or one by id)",
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--json", action="store_true",
+                        help="print raw JSON instead of a summary line")
+    _add_client_options(status)
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="fetch a job's manifest (default), report, or survival matrix",
+    )
+    fetch.add_argument("job_id")
+    fetch.add_argument("--result", action="store_true",
+                       help="fetch the rendered report instead of the manifest")
+    fetch.add_argument("--matrix", action="store_true",
+                       help="fetch the chaos survival matrix")
+    fetch.add_argument("-o", "--output", metavar="FILE",
+                       help="write to a file instead of stdout")
+    _add_client_options(fetch)
+
+    cancel = sub.add_parser("cancel", help="cancel a submitted job")
+    cancel.add_argument("job_id")
+    _add_client_options(cancel)
+
     demo = sub.add_parser("demo", help="narrated SATIN detection demo")
     demo.add_argument("--seed", type=int, default=42)
 
@@ -451,6 +754,12 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+    "cancel": _cmd_cancel,
     "bench": _cmd_bench,
     "demo": _cmd_demo,
 }

@@ -59,6 +59,14 @@ class ObservabilityError(ReproError):
     """The telemetry subsystem (metrics / trace export) was misused."""
 
 
+class ServiceError(ReproError):
+    """The campaign service (jobs, executors, HTTP API) was misused."""
+
+
+class JobTransitionError(ServiceError):
+    """A job was asked to make an invalid lifecycle transition."""
+
+
 class FaultError(ReproError):
     """Base class for the fault-injection subsystem (:mod:`repro.faults`)."""
 

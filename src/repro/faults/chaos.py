@@ -18,23 +18,20 @@ pins.
 from __future__ import annotations
 
 import hashlib
-import time
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.analysis.tables import render_table
 from repro.campaign.digest import CODE_VERSION, stable_digest
-from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome, run_tasks
-from repro.campaign.progress import ProgressMeter
-from repro.campaign.runner import DEFAULT_CACHE_DIR, make_record
-from repro.campaign.store import ResultStore
+from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS
+from repro.campaign.runner import DEFAULT_CACHE_DIR, Observer, run_sweep
 from repro.campaign.trials import DEFAULT_PRESET
 from repro.config import preset_config
 from repro.errors import CampaignError, FaultInjectionError
 from repro.faults.injector import OUTCOMES, FaultInjector
 from repro.faults.plan import FaultPlan, plan_by_name
 from repro.obs.manifest import build_manifest, write_manifest
-from repro.obs.metrics import MetricsRegistry
 
 #: Import path of the worker-side chaos trial function.
 CHAOS_TRIAL_FN = "repro.faults.chaos:run_chaos_trial"
@@ -62,14 +59,26 @@ class ChaosSpec:
     cache_dir: str = DEFAULT_CACHE_DIR
     resume: bool = False
     full: bool = False  # manifest-surface compatibility; chaos has one scale
+    #: executor backend (same choices and semantics as CampaignSpec).
+    backend: str = "auto"
+    queue_dir: Optional[str] = None
+    queue_workers: int = 0
 
     def __post_init__(self) -> None:
         from repro.obs.scenarios import scenario_by_name
+        from repro.service.executors import BACKENDS
 
         if not self.seeds:
             raise CampaignError("chaos sweep needs at least one seed")
         if len(set(self.seeds)) != len(self.seeds):
             raise CampaignError("chaos sweep seeds must be unique")
+        if self.backend not in ("auto",) + BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r} "
+                f"(choose from auto, {', '.join(BACKENDS)})"
+            )
+        if self.backend == "queue" and not self.queue_dir:
+            raise CampaignError("backend 'queue' needs queue_dir")
         self.plan: FaultPlan = plan_by_name(self.plan_name)
         # Fail fast on a scenario the trial function would reject anyway:
         # without SATIN there is no degradation machinery to audit.
@@ -155,6 +164,7 @@ class ChaosResult:
     survival: Dict[str, Dict[str, int]] = field(default_factory=dict)
     totals: Dict[str, int] = field(default_factory=dict)
     manifest_path: Optional[str] = None
+    cancelled: bool = False
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -360,82 +370,21 @@ def run_chaos(
     stream: Optional[TextIO] = None,
     progress: Union[bool, str] = True,
     trial_fn: str = CHAOS_TRIAL_FN,
+    observer: Optional[Observer] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> ChaosResult:
-    """Execute a chaos sweep end-to-end through the campaign pool."""
-    started_wall = time.monotonic()
-    tasks = spec.trial_tasks()
-    store = ResultStore(spec.cache_dir, spec.campaign_id())
-    store.load()
+    """Execute a chaos sweep end-to-end through the executor layer.
 
-    cached_records: Dict[str, Dict[str, Any]] = {}
-    pending: List[Dict[str, Any]] = []
-    for task in tasks:
-        record = store.get(task["key"]) if spec.resume else None
-        if record is not None and record.get("status") == "ok" and "payload" in record:
-            cached_records[task["key"]] = record
-        else:
-            pending.append(task)
-
-    supervisor = MetricsRegistry()
-    if store.corrupt_lines_skipped:
-        supervisor.counter("campaign.store_corrupt_lines").inc(
-            store.corrupt_lines_skipped
-        )
-    meter = ProgressMeter(
-        total=len(tasks),
-        registry=supervisor,
-        stream=stream,
-        enabled=progress is not False,
-        quiet=progress == "quiet",
+    Shares :func:`repro.campaign.runner.run_sweep` with campaigns, so
+    every backend (inline/thread/fork/queue), the cache, cancellation and
+    quarantine behave identically; only the survival aggregation differs.
+    """
+    sweep = run_sweep(
+        spec, trial_fn,
+        stream=stream, progress=progress,
+        observer=observer, cancel_event=cancel_event,
     )
-    if cached_records:
-        meter.note_cached(len(cached_records))
-
-    quarantined: List[Dict[str, Any]] = []
-
-    def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
-        supervisor.histogram("campaign.trial_wall_seconds").observe(outcome.elapsed)
-        supervisor.histogram("campaign.trial_attempts").observe(float(outcome.attempts))
-        if outcome.ok:
-            store.put(make_record(task, outcome))
-            meter.note_done()
-        else:
-            entry = {
-                "key": task["key"],
-                "status": outcome.status,
-                "seed": task["seed"],
-                "preset": task["preset"],
-                "attempts": outcome.attempts,
-                "failures": outcome.failures,
-                "error": outcome.error,
-            }
-            store.quarantine(entry)
-            quarantined.append(entry)
-            meter.note_failed()
-
-    def on_retry(_task: Dict[str, Any], _kind: str) -> None:
-        meter.note_retry()
-
-    outcomes = run_tasks(
-        pending,
-        trial_fn,
-        jobs=spec.jobs,
-        timeout=spec.timeout,
-        max_attempts=spec.max_attempts,
-        on_final=on_final,
-        on_retry=on_retry,
-        metrics=supervisor,
-    )
-    meter.finish()
-
-    records: List[Dict[str, Any]] = []
-    for task in tasks:  # task order => deterministic aggregation
-        if task["key"] in cached_records:
-            records.append(cached_records[task["key"]])
-        else:
-            outcome = outcomes.get(task["key"])
-            if outcome is not None and outcome.ok:
-                records.append(make_record(task, outcome))
+    records = sweep.records
 
     matrix = empty_matrix(spec.plan)
     totals = {key: 0 for key in ("injected",) + OUTCOMES}
@@ -447,24 +396,31 @@ def run_chaos(
 
     rendered = render_chaos(
         spec, matrix, totals, records,
-        cached=len(cached_records), ran=len(pending), quarantined=quarantined,
+        cached=sweep.cached, ran=sweep.ran, quarantined=sweep.quarantined,
     )
+    if sweep.cancelled:
+        rendered = (
+            f"!! chaos sweep cancelled — partial results "
+            f"({len(records)}/{len(sweep.tasks)} trials)\n" + rendered
+        )
     result = ChaosResult(
         spec=spec,
-        total=len(tasks),
+        total=len(sweep.tasks),
         records=records,
-        cached=len(cached_records),
-        ran=len(pending),
-        quarantined=quarantined,
+        cached=sweep.cached,
+        ran=sweep.ran,
+        quarantined=sweep.quarantined,
         rendered=rendered,
         survival=matrix,
         totals=totals,
+        cancelled=sweep.cancelled,
     )
     manifest = build_manifest(
         spec,
         result,
-        wall_seconds=time.monotonic() - started_wall,
-        supervisor_snapshot=supervisor.snapshot(),
+        wall_seconds=sweep.wall_seconds,
+        supervisor_snapshot=sweep.supervisor.snapshot(),
+        cancelled=sweep.cancelled,
     )
     manifest["survival"] = {
         "scenario": spec.scenario,
@@ -478,5 +434,5 @@ def run_chaos(
             for record in records
         },
     }
-    result.manifest_path = write_manifest(store.directory, manifest)
+    result.manifest_path = write_manifest(sweep.store.directory, manifest)
     return result

@@ -11,6 +11,7 @@ detection experiment.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Tuple
 
 import numpy as np
@@ -30,6 +31,10 @@ _CONTENT_CACHE: Dict[Tuple[int, int], bytes] = {}
 #: an unbounded number of ~12 MB payloads alive.
 _CONTENT_CACHE_MAX = 4
 
+#: Guards cache mutation under the thread executor backend (concurrent
+#: trials in one process); lookups stay lock-free.
+_CONTENT_CACHE_LOCK = threading.Lock()
+
 
 def _cache_enabled() -> bool:
     return not os.environ.get("REPRO_NO_BOOT_CACHE")
@@ -43,9 +48,10 @@ def image_content(image_seed: int, size: int) -> bytes:
         rng = np.random.Generator(np.random.PCG64(image_seed))
         content = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
         if _cache_enabled():
-            if len(_CONTENT_CACHE) >= _CONTENT_CACHE_MAX:
-                _CONTENT_CACHE.pop(next(iter(_CONTENT_CACHE)))
-            _CONTENT_CACHE[key] = content
+            with _CONTENT_CACHE_LOCK:
+                if len(_CONTENT_CACHE) >= _CONTENT_CACHE_MAX:
+                    _CONTENT_CACHE.pop(next(iter(_CONTENT_CACHE)))
+                _CONTENT_CACHE[key] = content
     return content
 
 

@@ -34,6 +34,7 @@ def build_manifest(
     result,
     wall_seconds: float,
     supervisor_snapshot: Optional[Dict[str, Any]] = None,
+    cancelled: bool = False,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one finished campaign run.
 
@@ -89,6 +90,7 @@ def build_manifest(
         "campaign_id": spec.campaign_id(),
         "experiment_id": spec.experiment_id.upper(),
         "code_version": CODE_VERSION,
+        "cancelled": cancelled,
         "generated_unix": time.time(),
         "spec": {
             "seeds": len(spec.seeds),
@@ -120,6 +122,44 @@ def write_manifest(directory: str, manifest: Dict[str, Any]) -> str:
         json.dump(manifest, handle, sort_keys=True, indent=1)
         handle.write("\n")
     return path
+
+
+def manifest_fingerprint(manifest: Dict[str, Any]) -> str:
+    """Canonical JSON of the manifest's deterministic sections.
+
+    Two runs of the same campaign must produce identical fingerprints no
+    matter which executor backend ran the trials, how many workers were
+    used, or whether results came from the content-addressed store — so
+    everything wall-clock-dependent (elapsed, attempts, supervisor
+    metrics, ran/cached split, timestamps) is excluded, and everything
+    result-bearing (merged metrics, per-trial status, survival matrix) is
+    kept.  The service uses the fingerprint to prove a cache-served job
+    equals the job that originally computed it; the backend-equivalence
+    golden test byte-compares it across backends.
+    """
+    view: Dict[str, Any] = {
+        "schema": manifest.get("schema"),
+        "campaign_id": manifest.get("campaign_id"),
+        "experiment_id": manifest.get("experiment_id"),
+        "code_version": manifest.get("code_version"),
+        "cancelled": bool(manifest.get("cancelled", False)),
+        "trials": [
+            {
+                "seed": trial.get("seed"),
+                "preset": trial.get("preset"),
+                "status": trial.get("status"),
+            }
+            for trial in manifest.get("trials", [])
+        ],
+        "totals": {
+            "trials": manifest.get("totals", {}).get("trials"),
+            "quarantined": manifest.get("totals", {}).get("quarantined"),
+        },
+        "metrics": manifest.get("metrics", {}),
+    }
+    if "survival" in manifest:
+        view["survival"] = manifest["survival"]
+    return json.dumps(view, sort_keys=True, separators=(",", ":"))
 
 
 def find_manifest(path: str) -> str:
@@ -202,6 +242,8 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         f"wall {totals.get('wall_seconds', 0.0):.2f}s",
         "",
     ]
+    if manifest.get("cancelled"):
+        lines.insert(-1, "!! CANCELLED — partial results only")
     failed = [t for t in manifest.get("trials", []) if t["status"] not in ("ok",)]
     if failed:
         lines.append("non-ok trials:")

@@ -191,6 +191,10 @@ class MetricsRegistry:
     def timer(self, name: str, clock: Callable[[], float] = time.perf_counter) -> Timer:
         return Timer(self.histogram(name), clock)
 
+    def namespaced(self, prefix: str) -> "NamespacedRegistry":
+        """A view that prefixes every instrument name with ``<prefix>.``."""
+        return NamespacedRegistry(self, prefix)
+
     # ------------------------------------------------------------------
     # Snapshot / merge
     # ------------------------------------------------------------------
@@ -218,6 +222,44 @@ class MetricsRegistry:
                 for name, h in sorted(self._histograms.items())
             },
         }
+
+
+class NamespacedRegistry:
+    """A prefixing view over a :class:`MetricsRegistry`.
+
+    Instruments created through the view land in the parent registry under
+    ``<prefix>.<name>``, so one service-wide registry can hold per-job
+    metric namespaces (``job.<id>.trials_done``, ...) that still appear in
+    a single ``snapshot()`` and merge like any other metrics.
+    """
+
+    __slots__ = ("_parent", "prefix")
+
+    def __init__(self, parent: "MetricsRegistry", prefix: str) -> None:
+        if not prefix:
+            raise ObservabilityError("metric namespace prefix cannot be empty")
+        self._parent = parent
+        self.prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> Counter:
+        return self._parent.counter(self._qualify(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._parent.gauge(self._qualify(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._parent.histogram(self._qualify(name))
+
+    def timer(
+        self, name: str, clock: Callable[[], float] = time.perf_counter
+    ) -> Timer:
+        return self._parent.timer(self._qualify(name), clock)
+
+    def namespaced(self, prefix: str) -> "NamespacedRegistry":
+        return NamespacedRegistry(self._parent, self._qualify(prefix))
 
 
 def empty_snapshot() -> Dict[str, Any]:

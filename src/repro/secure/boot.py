@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import IntrospectionError
@@ -35,6 +36,10 @@ AreaSpan = Tuple[int, int]
 _DIGEST_CACHE: Dict[tuple, Tuple[int, ...]] = {}
 
 _DIGEST_CACHE_MAX = 64
+
+#: Guards cache mutation under the thread executor backend (concurrent
+#: trials in one process); lookups stay lock-free.
+_DIGEST_CACHE_LOCK = threading.Lock()
 
 #: module-level (not per-registry) counters, exposed for the bench CLI.
 DIGEST_CACHE_STATS = {"hits": 0, "misses": 0, "rejected": 0}
@@ -112,17 +117,19 @@ class AuthorizedHashStore:
                     digests = None
                     break
         if digests is None:
-            if key is not None and key in _DIGEST_CACHE:
-                del _DIGEST_CACHE[key]
+            if key is not None:
+                with _DIGEST_CACHE_LOCK:
+                    _DIGEST_CACHE.pop(key, None)
             digests = tuple(
                 djb2(image.view(offset, length, World.SECURE))
                 for offset, length in self._spans
             )
             DIGEST_CACHE_STATS["misses"] += 1
             if use_cache:
-                if len(_DIGEST_CACHE) >= _DIGEST_CACHE_MAX:
-                    _DIGEST_CACHE.pop(next(iter(_DIGEST_CACHE)))
-                _DIGEST_CACHE[key] = digests
+                with _DIGEST_CACHE_LOCK:
+                    if len(_DIGEST_CACHE) >= _DIGEST_CACHE_MAX:
+                        _DIGEST_CACHE.pop(next(iter(_DIGEST_CACHE)))
+                    _DIGEST_CACHE[key] = digests
         else:
             DIGEST_CACHE_STATS["hits"] += 1
         # The table bytes always land in secure SRAM: the simulated state is

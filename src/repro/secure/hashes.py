@@ -14,6 +14,7 @@ pure Python) are provided as alternatives.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Union
 
 import numpy as np
@@ -53,10 +54,19 @@ def _pow_table(mult: int) -> np.ndarray:
 
 
 #: Reusable widening buffer for :func:`_fold_chunk`.  ``update`` runs to
-#: completion synchronously (single-threaded simulator, no suspension
-#: points inside a fold), so one process-wide scratch is safe and saves a
-#: fresh 8x-size uint64 allocation per <= 64 KiB chunk hashed.
-_SCRATCH = np.empty(_TABLE_LEN, dtype=np.uint64)
+#: completion synchronously (no suspension points inside a fold), but the
+#: thread-backend campaign executor runs whole trials on concurrent
+#: threads, so the scratch is thread-local: one buffer per hashing thread
+#: still saves a fresh 8x-size uint64 allocation per <= 64 KiB chunk.
+_scratch_local = threading.local()
+
+
+def _scratch(n: int) -> np.ndarray:
+    buffer = getattr(_scratch_local, "buffer", None)
+    if buffer is None:
+        buffer = np.empty(_TABLE_LEN, dtype=np.uint64)
+        _scratch_local.buffer = buffer
+    return buffer[:n]
 
 
 def _fold_chunk(h: int, chunk: Buffer, mult: int) -> int:
@@ -65,7 +75,7 @@ def _fold_chunk(h: int, chunk: Buffer, mult: int) -> int:
     n = data.shape[0]
     if n == 0:
         return h
-    scratch = _SCRATCH[:n]
+    scratch = _scratch(n)
     np.copyto(scratch, data, casting="unsafe")
     powers = _pow_table(mult)[_TABLE_LEN - n :]
     with np.errstate(over="ignore"):

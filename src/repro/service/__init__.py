@@ -1,0 +1,51 @@
+"""Campaign-as-a-service: executor backends + job API.
+
+The service layer turns campaigns from a function call into a substrate:
+
+* :mod:`repro.service.executors` — the :class:`Executor` interface
+  (``submit``/``poll``/``cancel``/``drain``) with in-process thread,
+  crash-isolated fork-pool, and file-queue worker backends, plus the
+  backend-agnostic supervision loop :func:`execute_tasks`;
+* :mod:`repro.service.queue` — the on-disk queue protocol behind
+  ``python -m repro worker --queue DIR``;
+* :mod:`repro.service.jobs` — :class:`JobSpec`/:class:`JobState`
+  shared by the CLI and the HTTP service;
+* :mod:`repro.service.server` — ``python -m repro serve``, a stdlib
+  HTTP/JSON job service memoised through the content-addressed store;
+* :mod:`repro.service.client` — the ``repro submit/status/fetch/cancel``
+  client commands.
+
+Every backend runs the same trial functions and flows results through the
+same :class:`~repro.campaign.store.ResultStore`, so serial, thread, fork
+and multi-process queue runs of one campaign produce byte-identical
+merged manifests (see ``manifest_fingerprint``).
+"""
+
+from repro.service.executors import (
+    BACKENDS,
+    ExecMessage,
+    Executor,
+    ForkExecutor,
+    InlineExecutor,
+    ThreadExecutor,
+    execute_tasks,
+    make_executor,
+)
+from repro.service.jobs import JobSpec, JobState, JOB_STATES
+from repro.service.queue import FileQueueExecutor, run_worker
+
+__all__ = [
+    "BACKENDS",
+    "ExecMessage",
+    "Executor",
+    "FileQueueExecutor",
+    "ForkExecutor",
+    "InlineExecutor",
+    "JOB_STATES",
+    "JobSpec",
+    "JobState",
+    "ThreadExecutor",
+    "execute_tasks",
+    "make_executor",
+    "run_worker",
+]

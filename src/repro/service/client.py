@@ -1,0 +1,155 @@
+"""Thin stdlib client for the ``repro serve`` job API.
+
+``repro submit/status/fetch/cancel`` are wrappers over these helpers;
+everything speaks JSON over ``urllib.request`` so the client has the
+same zero-dependency footprint as the server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+#: Default service URL the CLI talks to.
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+#: Poll cadence of ``submit --wait`` / ``status --wait``.
+POLL_SECONDS = 0.25
+
+
+def request(
+    url: str,
+    path: str,
+    method: str = "GET",
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, Any]:
+    """One API call; returns ``(http_status, decoded_body)``.
+
+    Error responses (4xx/5xx) are returned, not raised — the server puts
+    the explanation in the body's ``error`` key.  Transport failures
+    (connection refused, DNS) raise :class:`ServiceError`.
+    """
+    full = url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(full, data=data, headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, _decode(response)
+    except urllib.error.HTTPError as error:
+        return error.code, _decode(error)
+    except urllib.error.URLError as error:
+        raise ServiceError(
+            f"cannot reach repro service at {url!r}: {error.reason}"
+        ) from None
+
+
+def _decode(response: Any) -> Any:
+    raw = response.read().decode("utf-8")
+    content_type = (response.headers.get("Content-Type") or "").lower()
+    if "json" in content_type:
+        try:
+            return json.loads(raw)
+        except ValueError:
+            pass
+    return raw
+
+
+def _expect(status: int, body: Any, what: str) -> Dict[str, Any]:
+    if status >= 400:
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        raise ServiceError(f"{what} failed (HTTP {status}): {message}")
+    if not isinstance(body, dict):
+        raise ServiceError(f"{what} returned a non-JSON body")
+    return body
+
+
+def submit_job(url: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+    status, body = request(url, "/jobs", method="POST", payload=spec)
+    return _expect(status, body, "job submission")
+
+
+def job_status(url: str, job_id: str) -> Dict[str, Any]:
+    status, body = request(url, f"/jobs/{job_id}")
+    return _expect(status, body, f"status of {job_id}")
+
+
+def cancel_job(url: str, job_id: str) -> Dict[str, Any]:
+    status, body = request(url, f"/jobs/{job_id}/cancel", method="POST")
+    return _expect(status, body, f"cancel of {job_id}")
+
+
+def fetch_manifest(url: str, job_id: str) -> Dict[str, Any]:
+    status, body = request(url, f"/jobs/{job_id}/manifest")
+    return _expect(status, body, f"manifest of {job_id}")
+
+
+def fetch_result(url: str, job_id: str) -> str:
+    status, body = request(url, f"/jobs/{job_id}/result")
+    if status >= 400:
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        raise ServiceError(f"result of {job_id} failed (HTTP {status}): {message}")
+    return body if isinstance(body, str) else json.dumps(body)
+
+
+def fetch_matrix(url: str, job_id: str) -> Dict[str, Any]:
+    status, body = request(url, f"/jobs/{job_id}/matrix")
+    return _expect(status, body, f"survival matrix of {job_id}")
+
+
+def wait_for_job(
+    url: str,
+    job_id: str,
+    timeout: Optional[float] = None,
+    poll: float = POLL_SECONDS,
+    on_progress=None,
+) -> Dict[str, Any]:
+    """Poll until the job reaches a terminal state; returns the final state.
+
+    ``on_progress(state_json)`` fires on every poll so callers can render
+    live trial counters.  Raises :class:`ServiceError` on deadline.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        state = job_status(url, job_id)
+        if on_progress is not None:
+            on_progress(state)
+        if state.get("state") in ("done", "cancelled", "failed"):
+            return state
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ServiceError(
+                f"job {job_id} still {state.get('state')!r} after {timeout:g}s"
+            )
+        time.sleep(poll)
+
+
+def format_state_line(state: Dict[str, Any]) -> str:
+    """One human-readable status line for ``repro status``/``submit --wait``."""
+    progress = state.get("progress") or {}
+    bits = [f"{state.get('job_id')}: {state.get('state')}"]
+    total = progress.get("total")
+    if total:
+        finished = (progress.get("cached") or 0) + (progress.get("done") or 0)
+        bits.append(f"{finished}/{total} trials")
+        if progress.get("cached"):
+            bits.append(f"{progress['cached']} cached")
+        if progress.get("failed"):
+            bits.append(f"{progress['failed']} failed")
+    result = state.get("result") or {}
+    if result.get("pure_cache_hit"):
+        bits.append("pure cache hit")
+    if state.get("error"):
+        first = str(state["error"]).strip().splitlines()
+        if first:
+            bits.append(f"error: {first[-1]}")
+    return "  ".join(bits)

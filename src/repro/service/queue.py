@@ -1,0 +1,298 @@
+"""File-system task queue: many worker processes drain one sweep.
+
+Queue layout (any shared directory — local disk, NFS, ...)::
+
+    <queue>/
+        tasks/<key>.json      submitted work (task dict + trial-fn path)
+        claimed/<key>.json    work a worker has taken (atomic rename claim)
+        results/<key>.json    finished attempts (tmp-file + rename, atomic)
+        control/stop          polite shutdown marker for workers
+
+Claiming is an atomic ``rename(tasks/k.json, claimed/k.json)`` — on POSIX
+exactly one worker wins, which is the whole concurrency story: no locks,
+no daemons, and the queue directory is inspectable with ``ls``.  Results
+are written to a temp file and renamed in, so a reader never sees a torn
+JSON document.
+
+Crash/stall recovery lives supervisor-side: a claim older than the trial
+timeout (plus grace) is reclaimed — the claim file is deleted and the
+supervisor's retry budget re-enqueues the task; a late result from the
+stale worker is ignored because its attempt is no longer outstanding.
+
+``python -m repro worker --queue DIR`` runs :func:`run_worker`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.executors import ExecMessage, Executor
+from repro.campaign.pool import resolve_function
+
+#: Seconds past the trial timeout before a claim counts as abandoned.
+CLAIM_GRACE = 30.0
+
+#: Worker poll cadence when the tasks directory is empty.
+_IDLE_POLL = 0.05
+
+_SUBDIRS = ("tasks", "claimed", "results", "control")
+
+
+def ensure_queue(queue_dir: str) -> str:
+    """Create the queue directory structure (idempotent)."""
+    for name in _SUBDIRS:
+        os.makedirs(os.path.join(queue_dir, name), exist_ok=True)
+    return queue_dir
+
+
+def _atomic_write(path: str, payload: Dict[str, Any]) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def enqueue_task(queue_dir: str, task: Dict[str, Any], fn_path: str) -> str:
+    """Publish one task; returns its file path."""
+    path = os.path.join(queue_dir, "tasks", f"{task['key']}.json")
+    _atomic_write(path, {"task": task, "fn_path": fn_path})
+    return path
+
+
+def claim_next(queue_dir: str) -> Optional[str]:
+    """Atomically claim the oldest visible task; returns the claimed path."""
+    tasks_dir = os.path.join(queue_dir, "tasks")
+    try:
+        names = sorted(
+            name for name in os.listdir(tasks_dir) if name.endswith(".json")
+        )
+    except FileNotFoundError:
+        return None
+    for name in names:
+        source = os.path.join(tasks_dir, name)
+        target = os.path.join(queue_dir, "claimed", name)
+        try:
+            os.rename(source, target)
+        except (FileNotFoundError, OSError):
+            continue  # another worker won the rename race
+        return target
+    return None
+
+
+def write_result(queue_dir: str, key: str, message: Dict[str, Any]) -> None:
+    _atomic_write(os.path.join(queue_dir, "results", f"{key}.json"), message)
+
+
+def stop_workers(queue_dir: str) -> None:
+    """Ask every worker on this queue to exit after its current task."""
+    _atomic_write(os.path.join(queue_dir, "control", "stop"), {"stop": True})
+
+
+def clear_stop(queue_dir: str) -> None:
+    try:
+        os.remove(os.path.join(queue_dir, "control", "stop"))
+    except FileNotFoundError:
+        pass
+
+
+def _stop_requested(queue_dir: str) -> bool:
+    return os.path.exists(os.path.join(queue_dir, "control", "stop"))
+
+
+def run_worker(
+    queue_dir: str,
+    max_idle: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    stop_event: Optional[threading.Event] = None,
+    progress=None,
+) -> int:
+    """Drain tasks from ``queue_dir`` until told to stop; returns task count.
+
+    The worker exits when the ``control/stop`` marker appears, when
+    ``stop_event`` is set (in-process workers), after ``max_tasks`` tasks
+    (``repro worker --once`` uses 1), or after ``max_idle`` seconds with
+    nothing to claim.  Trial functions are resolved per task from the
+    queued ``fn_path``, so one queue can serve campaigns and chaos sweeps
+    at once; resolved functions are memoised per path.
+    """
+    ensure_queue(queue_dir)
+    functions: Dict[str, Any] = {}
+    completed = 0
+    idle_since = time.monotonic()
+    while True:
+        if _stop_requested(queue_dir):
+            break
+        if stop_event is not None and stop_event.is_set():
+            break
+        claimed = claim_next(queue_dir)
+        if claimed is None:
+            if max_idle is not None and time.monotonic() - idle_since > max_idle:
+                break
+            time.sleep(_IDLE_POLL)
+            continue
+        idle_since = time.monotonic()
+        with open(claimed, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        task, fn_path = entry["task"], entry["fn_path"]
+        if fn_path not in functions:
+            functions[fn_path] = resolve_function(fn_path)
+        started = time.monotonic()
+        try:
+            payload = functions[fn_path](task)
+            message = {
+                "key": task["key"], "ok": True, "payload": payload,
+                "elapsed": time.monotonic() - started, "worker": os.getpid(),
+            }
+        except BaseException:
+            message = {
+                "key": task["key"], "ok": False,
+                "error": traceback.format_exc(limit=20),
+                "elapsed": time.monotonic() - started, "worker": os.getpid(),
+            }
+        write_result(queue_dir, task["key"], message)
+        try:
+            os.remove(claimed)
+        except FileNotFoundError:
+            pass  # supervisor reclaimed a stale-looking claim; result still counts
+        completed += 1
+        if progress is not None:
+            progress(task["key"], message)
+        if max_tasks is not None and completed >= max_tasks:
+            break
+    return completed
+
+
+class FileQueueExecutor(Executor):
+    """Executor backend over the on-disk queue.
+
+    ``local_workers`` > 0 spawns that many in-process drain threads so a
+    ``--backend queue`` run is self-contained; with 0, external
+    ``repro worker --queue DIR`` processes must drain the queue.
+    """
+
+    name = "queue"
+    supports_timeout = True  # via stale-claim reclaim, not a hard kill
+
+    def __init__(
+        self,
+        queue_dir: str,
+        timeout: Optional[float] = None,
+        local_workers: int = 0,
+        claim_grace: float = CLAIM_GRACE,
+    ) -> None:
+        if not queue_dir:
+            raise ServiceError("queue backend needs a queue directory")
+        self.queue_dir = ensure_queue(queue_dir)
+        self.timeout = timeout
+        self.claim_grace = claim_grace
+        self._fn_path = ""
+        #: key -> claim-observation deadline bookkeeping.
+        self._outstanding: Dict[str, float] = {}
+        self._stop_event = threading.Event()
+        self._local_workers = local_workers
+        self._threads: List[threading.Thread] = []
+
+    def start(self, fn_path: str) -> None:
+        resolve_function(fn_path)  # fail fast in the supervisor
+        self._fn_path = fn_path
+        clear_stop(self.queue_dir)
+        for index in range(self._local_workers):
+            thread = threading.Thread(
+                target=run_worker,
+                args=(self.queue_dir,),
+                kwargs={"stop_event": self._stop_event},
+                name=f"repro-queue-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def has_capacity(self) -> bool:
+        # The queue itself is unbounded; outstanding work lives on disk.
+        return True
+
+    def submit(self, task: Dict[str, Any]) -> None:
+        enqueue_task(self.queue_dir, task, self._fn_path)
+        self._outstanding[task["key"]] = time.monotonic()
+
+    def _stale_deadline(self) -> Optional[float]:
+        if self.timeout is None:
+            return None
+        return self.timeout + self.claim_grace
+
+    def poll(self, timeout: float) -> List[ExecMessage]:
+        messages: List[ExecMessage] = []
+        results_dir = os.path.join(self.queue_dir, "results")
+        deadline = time.monotonic() + timeout
+        while True:
+            for key in list(self._outstanding):
+                path = os.path.join(results_dir, f"{key}.json")
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        raw = json.load(handle)
+                except (FileNotFoundError, ValueError):
+                    continue
+                os.remove(path)
+                del self._outstanding[key]
+                messages.append(
+                    ExecMessage(
+                        key=key,
+                        kind="ok" if raw.get("ok") else "error",
+                        payload=raw.get("payload"),
+                        error=raw.get("error"),
+                        elapsed=raw.get("elapsed", 0.0),
+                    )
+                )
+            stale_after = self._stale_deadline()
+            if stale_after is not None:
+                now = time.monotonic()
+                for key, submitted in list(self._outstanding.items()):
+                    if now - submitted <= stale_after:
+                        continue
+                    # Reclaim: drop the claim/task file so nothing re-runs it
+                    # under the old attempt, and report a timeout failure.
+                    for sub in ("claimed", "tasks"):
+                        try:
+                            os.remove(
+                                os.path.join(self.queue_dir, sub, f"{key}.json")
+                            )
+                        except FileNotFoundError:
+                            pass
+                    del self._outstanding[key]
+                    messages.append(
+                        ExecMessage(
+                            key=key, kind="timeout",
+                            error=(
+                                f"no result within {stale_after:g}s; "
+                                "claim reclaimed (worker lost or stalled?)"
+                            ),
+                            elapsed=now - submitted,
+                        )
+                    )
+            if messages or time.monotonic() >= deadline:
+                return messages
+            time.sleep(_IDLE_POLL)
+
+    def cancel(self) -> None:
+        # Withdraw work this run still owns; never stop foreign workers.
+        for key in list(self._outstanding):
+            try:
+                os.remove(os.path.join(self.queue_dir, "tasks", f"{key}.json"))
+            except FileNotFoundError:
+                pass
+        self._outstanding = {}
+
+    def drain(self) -> None:
+        self._stop_event.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []

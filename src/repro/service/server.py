@@ -1,0 +1,464 @@
+"""``python -m repro serve``: a long-running HTTP/JSON campaign service.
+
+Stdlib-only (``http.server``), multi-tenant, and memoised through the
+content-addressed result store: every job runs with ``resume=True``
+against one shared cache root, so overlapping submissions hit the store
+instead of the simulator, and a duplicate of a finished job completes
+with ``ran == 0`` (a *pure cache hit*).  In-flight deduplication goes one
+step further — submitting a spec whose digest matches a pending/running
+job returns that job instead of queueing a twin.
+
+Endpoints (all JSON unless noted)::
+
+    POST /jobs               submit a JobSpec; 200 -> JobState (+deduped flag)
+    GET  /jobs               list job states, newest last
+    GET  /jobs/<id>          one JobState (live progress while running)
+    GET  /jobs/<id>/manifest the campaign manifest (deterministic merge)
+    GET  /jobs/<id>/result   the rendered report (text/plain)
+    GET  /jobs/<id>/matrix   the survival matrix (chaos jobs)
+    POST /jobs/<id>/cancel   cooperative cancel (also DELETE /jobs/<id>)
+    GET  /healthz            liveness probe
+    GET  /metrics            the service registry snapshot
+
+Job execution happens on a small worker-thread pool; jobs that map to the
+same campaign directory serialize on a per-campaign lock because the
+JSONL store is single-writer.  Each job gets a per-job metric namespace
+(``job.<id>.*``) inside the service registry plus lifecycle counters
+(``service.jobs_submitted``, ``service.cache_hits``, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import queue as queue_module
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.runner import DEFAULT_CACHE_DIR
+from repro.campaign.store import job_artifact_dir
+from repro.errors import JobTransitionError, ReproError, ServiceError
+from repro.obs.manifest import manifest_fingerprint
+from repro.obs.metrics import MetricsRegistry
+from repro.service.jobs import JobSpec, JobState
+
+#: Default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8971
+
+
+class JobManager:
+    """Owns job lifecycle, execution threads, and the shared cache root."""
+
+    def __init__(
+        self,
+        cache_dir: str = DEFAULT_CACHE_DIR,
+        registry: Optional[MetricsRegistry] = None,
+        max_workers: int = 2,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"need max_workers >= 1, got {max_workers}")
+        self.cache_dir = cache_dir
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._jobs: Dict[str, JobState] = {}
+        self._order: List[str] = []
+        self._lock = threading.RLock()
+        self._run_queue: "queue_module.Queue" = queue_module.Queue()
+        self._campaign_locks: Dict[str, threading.Lock] = {}
+        self._ids = itertools.count(1)
+        self._stopping = threading.Event()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Tuple[JobState, bool]:
+        """Queue a job; returns ``(state, deduped)``.
+
+        ``deduped`` is True when an active (pending/running) job with the
+        same config digest already exists — the caller gets that job.
+        """
+        spec = JobSpec.from_json(payload)
+        digest = spec.config_digest()
+        with self._lock:
+            for job_id in reversed(self._order):
+                job = self._jobs[job_id]
+                if job.digest == digest and not job.terminal:
+                    self.registry.counter("service.jobs_deduped").inc()
+                    return job, True
+            job_id = f"job-{next(self._ids):04d}-{digest[:8]}"
+            job = JobState(job_id=job_id, spec=spec, digest=digest)
+            job.progress = {
+                "total": spec.seeds * len(spec.presets),
+                "cached": 0, "done": 0, "failed": 0, "retried": 0,
+            }
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self.registry.counter("service.jobs_submitted").inc()
+            self.registry.namespaced(f"job.{job_id}").counter("submitted").inc()
+            self._persist(job)
+        self._run_queue.put(job_id)
+        return job, False
+
+    def get(self, job_id: str) -> JobState:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def list(self) -> List[JobState]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def cancel(self, job_id: str) -> JobState:
+        """Cancel a pending job outright, or cooperatively stop a running one."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state == "pending":
+                job.advance("cancelled")
+                self.registry.counter("service.jobs_cancelled").inc()
+                self._persist(job)
+                return job
+            if job.state == "running":
+                job.cancel_event.set()
+                return job
+        raise JobTransitionError(
+            f"job {job_id} is already {job.state}; nothing to cancel"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _campaign_lock(self, campaign_id: str) -> threading.Lock:
+        with self._lock:
+            if campaign_id not in self._campaign_locks:
+                self._campaign_locks[campaign_id] = threading.Lock()
+            return self._campaign_locks[campaign_id]
+
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                job_id = self._run_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.state != "pending":
+                    continue  # cancelled while queued
+                job.advance("running")
+                self._persist(job)
+            try:
+                self._execute(job)
+            except BaseException:  # never kill the worker loop
+                with self._lock:
+                    if not job.terminal:
+                        import traceback
+
+                        job.advance("failed", error=traceback.format_exc(limit=10))
+                        self.registry.counter("service.jobs_failed").inc()
+                        self._persist(job)
+
+    def _execute(self, job: JobState) -> None:
+        from repro.campaign.runner import run_campaign
+        from repro.faults.chaos import run_chaos
+
+        ns = self.registry.namespaced(f"job.{job.job_id}")
+        started = time.monotonic()
+
+        def observer(event: str, info: Dict[str, Any]) -> None:
+            with self._lock:
+                if event == "cached":
+                    job.progress["cached"] = info.get("count", 0)
+                elif event in ("done", "failed", "retried", "retry"):
+                    key = "retried" if event == "retry" else event
+                    job.progress[key] = job.progress.get(key, 0) + 1
+            ns.counter(f"trials_{'retried' if event == 'retry' else event}").inc()
+
+        error: Optional[str] = None
+        result = None
+        try:
+            spec = job.spec.to_run_spec(self.cache_dir)
+            with self._campaign_lock(spec.campaign_id()):
+                if job.spec.kind == "campaign":
+                    result = run_campaign(
+                        spec, progress=False,
+                        observer=observer, cancel_event=job.cancel_event,
+                    )
+                else:
+                    result = run_chaos(
+                        spec, progress=False,
+                        observer=observer, cancel_event=job.cancel_event,
+                    )
+        except ReproError as exc:
+            error = exc.args[0] if exc.args else str(exc)
+
+        wall = time.monotonic() - started
+        with self._lock:
+            if error is not None or result is None:
+                job.advance("failed", error=error or "job produced no result")
+                self.registry.counter("service.jobs_failed").inc()
+            else:
+                job.manifest_path = result.manifest_path
+                summary: Dict[str, Any] = {
+                    "total": result.total,
+                    "ran": result.ran,
+                    "cached": result.cached,
+                    "quarantined": len(result.quarantined),
+                    "records": len(result.records),
+                    "pure_cache_hit": result.total > 0 and result.ran == 0,
+                    "campaign_id": result.spec.campaign_id(),
+                }
+                if result.manifest_path and os.path.isfile(result.manifest_path):
+                    with open(result.manifest_path, "r", encoding="utf-8") as handle:
+                        manifest = json.load(handle)
+                    summary["fingerprint_sha256"] = hashlib.sha256(
+                        manifest_fingerprint(manifest).encode("utf-8")
+                    ).hexdigest()
+                if getattr(result, "totals", None):  # chaos survival totals
+                    summary["survival_totals"] = result.totals
+                job.result = summary
+                self._write_artifact(job, "result.txt", result.rendered + "\n")
+                if summary["pure_cache_hit"]:
+                    self.registry.counter("service.cache_hits").inc()
+                if result.cancelled:
+                    job.advance("cancelled")
+                    self.registry.counter("service.jobs_cancelled").inc()
+                else:
+                    job.advance("done")
+                    self.registry.counter("service.jobs_completed").inc()
+            ns.counter(f"state_{job.state}").inc()
+            self.registry.histogram("service.job_wall_seconds").observe(wall)
+            self._persist(job)
+
+    # ------------------------------------------------------------------
+    # Job-scoped artifacts
+    # ------------------------------------------------------------------
+
+    def _persist(self, job: JobState) -> None:
+        directory = job_artifact_dir(self.cache_dir, job.job_id)
+        path = os.path.join(directory, "job.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(job.to_json(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+
+    def _write_artifact(self, job: JobState, name: str, text: str) -> None:
+        directory = job_artifact_dir(self.cache_dir, job.job_id)
+        with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    def read_artifact(self, job_id: str, name: str) -> Optional[str]:
+        directory = job_artifact_dir(self.cache_dir, job_id, create=False)
+        try:
+            with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def manifest(self, job_id: str) -> Dict[str, Any]:
+        job = self.get(job_id)
+        if not job.manifest_path or not os.path.isfile(job.manifest_path):
+            raise ServiceError(f"job {job_id} has no manifest yet (state {job.state})")
+        with open(job.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def shutdown(self, cancel_running: bool = True) -> None:
+        self._stopping.set()
+        if cancel_running:
+            with self._lock:
+                jobs = [self._jobs[j] for j in self._order]
+            for job in jobs:
+                if job.state == "running":
+                    job.cancel_event.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the job API onto a :class:`JobManager` (set by make_server)."""
+
+    manager: JobManager  # injected via subclassing in make_server
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    #: set False to silence per-request stderr logging.
+    verbose = False
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: N802
+        self.manager.registry.counter("service.http_requests").inc()
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: Any) -> None:
+        body = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("utf-8")
+        self._send(code, body, "application/json")
+
+    def _text(self, code: int, text: str) -> None:
+        self._send(code, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except ValueError:
+            raise ServiceError("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, List[str]]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        return path, [part for part in path.split("/") if part]
+
+    # -- methods -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        _, parts = self._route()
+        try:
+            if parts == ["healthz"]:
+                self._json(200, {"ok": True, "jobs": len(self.manager.list())})
+            elif parts == ["metrics"]:
+                self._json(200, self.manager.registry.snapshot())
+            elif parts == ["jobs"]:
+                self._json(
+                    200, {"jobs": [job.to_json() for job in self.manager.list()]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._json(200, self.manager.get(parts[1]).to_json())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "manifest":
+                self._json(200, self.manager.manifest(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                rendered = self.manager.read_artifact(parts[1], "result.txt")
+                if rendered is None:
+                    job = self.manager.get(parts[1])  # 404 on unknown id
+                    self._error(
+                        409, f"job {job.job_id} has no result yet (state {job.state})"
+                    )
+                else:
+                    self._text(200, rendered)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "matrix":
+                manifest = self.manager.manifest(parts[1])
+                survival = manifest.get("survival")
+                if survival is None:
+                    self._error(409, f"job {parts[1]} carries no survival matrix")
+                else:
+                    self._json(200, survival)
+            else:
+                self._error(404, f"no such resource {self.path!r}")
+        except ServiceError as exc:
+            self._error(404 if "unknown job" in str(exc) else 409, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        _, parts = self._route()
+        try:
+            if parts == ["jobs"]:
+                payload = self._read_body()
+                job, deduped = self.manager.submit(payload)
+                body = job.to_json()
+                body["deduped"] = deduped
+                self._json(200, body)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._json(200, self.manager.cancel(parts[1]).to_json())
+            else:
+                self._error(404, f"no such resource {self.path!r}")
+        except JobTransitionError as exc:
+            self._error(409, str(exc))
+        except ServiceError as exc:
+            self._error(
+                404 if "unknown job" in str(exc) else 400, str(exc)
+            )
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        _, parts = self._route()
+        try:
+            if len(parts) == 2 and parts[0] == "jobs":
+                self._json(200, self.manager.cancel(parts[1]).to_json())
+            else:
+                self._error(404, f"no such resource {self.path!r}")
+        except JobTransitionError as exc:
+            self._error(409, str(exc))
+        except ServiceError as exc:
+            self._error(404 if "unknown job" in str(exc) else 400, str(exc))
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    max_workers: int = 2,
+    verbose: bool = False,
+) -> Tuple[ThreadingHTTPServer, JobManager]:
+    """Build the HTTP server + manager pair (caller runs serve_forever)."""
+    manager = JobManager(cache_dir=cache_dir, max_workers=max_workers)
+
+    class _Handler(ServiceHandler):
+        pass
+
+    _Handler.manager = manager
+    _Handler.verbose = verbose
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    return server, manager
+
+
+def serve_forever(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    max_workers: int = 2,
+    verbose: bool = False,
+    stream=None,
+) -> int:
+    """The ``repro serve`` entry point; blocks until SIGINT."""
+    import sys
+
+    stream = stream if stream is not None else sys.stderr
+    server, manager = make_server(
+        host=host, port=port, cache_dir=cache_dir,
+        max_workers=max_workers, verbose=verbose,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"(cache {cache_dir!r}, {max_workers} job worker(s))",
+        file=stream,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down (cancelling running jobs)", file=stream)
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.shutdown(cancel_running=True)
+    return 0

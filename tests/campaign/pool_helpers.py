@@ -41,3 +41,16 @@ def fail_once(task):
 
 def always_raise(task):
     raise ValueError(f"trial {task['key']} is broken")
+
+
+def interrupt_at_seed_3(task):
+    """Simulates the user hitting Ctrl-C partway through a sweep."""
+    if task["seed"] >= 3:
+        raise KeyboardInterrupt
+    return {"value": task["seed"]}
+
+
+def slow_double_seed(task):
+    """double_seed with enough latency for cancel/progress races."""
+    time.sleep(task.get("delay", 0.2))
+    return {"value": task["seed"] * 2}

@@ -108,3 +108,43 @@ def test_cli_metrics_missing_manifest(tmp_path, capsys):
 
     assert main(["metrics", str(tmp_path)]) == 2
     assert MANIFEST_NAME in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints (the backend-equivalence contract)
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_ignores_wall_clock_but_tracks_results(tmp_path):
+    from repro.obs.manifest import manifest_fingerprint
+
+    result = run_campaign(small_spec(tmp_path), progress=False)
+    manifest = load_manifest(result.manifest_path)
+    base = manifest_fingerprint(manifest)
+
+    noisy = json.loads(json.dumps(manifest))
+    noisy["generated_unix"] = 0.0
+    noisy["totals"]["wall_seconds"] = 999.0
+    noisy["totals"]["ran"], noisy["totals"]["cached"] = 0, 2  # cache split
+    for trial in noisy["trials"]:
+        trial["elapsed"], trial["attempts"] = 123.0, 7
+    noisy["supervisor"] = {"counters": {"campaign.pool_dispatches": 99}}
+    assert manifest_fingerprint(noisy) == base
+
+    changed = json.loads(json.dumps(manifest))
+    changed["trials"][0]["status"] = "timeout"
+    assert manifest_fingerprint(changed) != base
+    changed = json.loads(json.dumps(manifest))
+    changed["cancelled"] = True
+    assert manifest_fingerprint(changed) != base
+
+
+def test_cached_rerun_fingerprint_matches_original(tmp_path):
+    from repro.obs.manifest import manifest_fingerprint
+
+    first = run_campaign(small_spec(tmp_path), progress=False)
+    second = run_campaign(small_spec(tmp_path, resume=True), progress=False)
+    assert second.ran == 0 and second.cached == 2
+    assert manifest_fingerprint(
+        load_manifest(first.manifest_path)
+    ) == manifest_fingerprint(load_manifest(second.manifest_path))

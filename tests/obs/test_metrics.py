@@ -206,3 +206,44 @@ def test_machine_adopts_active_registry():
         machine = build_machine(juno_r1_config(seed=1))
     assert machine.metrics is registry
     assert machine.sim.metrics is registry
+
+
+# ---------------------------------------------------------------------------
+# Namespaced views (per-job metrics in the service)
+# ---------------------------------------------------------------------------
+
+
+def test_namespaced_registry_prefixes_every_instrument():
+    registry = MetricsRegistry()
+    ns = registry.namespaced("job.j1")
+    ns.counter("done").inc(2)
+    ns.gauge("depth").set(3.0)
+    ns.histogram("wall").observe(0.5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["job.j1.done"] == 2
+    assert snapshot["gauges"]["job.j1.depth"]["value"] == 3.0
+    assert snapshot["histograms"]["job.j1.wall"]["count"] == 1
+
+
+def test_namespaced_registry_shares_underlying_instruments():
+    registry = MetricsRegistry()
+    ns = registry.namespaced("job.j1")
+    ns.counter("done").inc()
+    registry.counter("job.j1.done").inc()
+    assert registry.snapshot()["counters"]["job.j1.done"] == 2
+
+
+def test_namespaced_registry_nests():
+    registry = MetricsRegistry()
+    inner = registry.namespaced("a").namespaced("b")
+    inner.counter("c").inc()
+    assert registry.snapshot()["counters"]["a.b.c"] == 1
+
+
+def test_namespaces_are_isolated():
+    registry = MetricsRegistry()
+    registry.namespaced("job.j1").counter("done").inc()
+    registry.namespaced("job.j2").counter("done").inc(5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["job.j1.done"] == 1
+    assert snapshot["counters"]["job.j2.done"] == 5

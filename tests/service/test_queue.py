@@ -1,0 +1,149 @@
+"""File-queue primitives, the worker loop, and the queue executor."""
+
+import json
+import os
+import threading
+
+from repro.service.executors import execute_tasks
+from repro.service.queue import (
+    FileQueueExecutor,
+    claim_next,
+    clear_stop,
+    enqueue_task,
+    ensure_queue,
+    run_worker,
+    stop_workers,
+)
+
+HELPERS = "tests.campaign.pool_helpers"
+FN = f"{HELPERS}:double_seed"
+
+
+def task_for(seed, **extra):
+    return {"key": f"t{seed}", "seed": seed, **extra}
+
+
+class TestPrimitives:
+    def test_ensure_queue_layout(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        for sub in ("tasks", "claimed", "results", "control"):
+            assert os.path.isdir(os.path.join(queue_dir, sub))
+        ensure_queue(queue_dir)  # idempotent
+
+    def test_enqueue_and_claim(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        enqueue_task(queue_dir, task_for(1), FN)
+        claimed = claim_next(queue_dir)
+        assert claimed and claimed.endswith("t1.json")
+        assert os.path.dirname(claimed).endswith("claimed")
+        with open(claimed, encoding="utf-8") as handle:
+            entry = json.load(handle)
+        assert entry["task"]["seed"] == 1 and entry["fn_path"] == FN
+        # the task is gone: a second claim finds nothing
+        assert claim_next(queue_dir) is None
+
+    def test_claims_oldest_first(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        for seed in (2, 1, 3):
+            enqueue_task(queue_dir, task_for(seed), FN)
+        order = [os.path.basename(claim_next(queue_dir)) for _ in range(3)]
+        assert order == ["t1.json", "t2.json", "t3.json"]  # sorted by key
+
+    def test_stop_marker_round_trip(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        stop_workers(queue_dir)
+        assert run_worker(queue_dir) == 0  # exits immediately
+        clear_stop(queue_dir)
+        clear_stop(queue_dir)  # idempotent
+
+
+class TestWorker:
+    def test_drains_tasks_and_writes_results(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        for seed in (1, 2):
+            enqueue_task(queue_dir, task_for(seed), FN)
+        done = run_worker(queue_dir, max_idle=0.2)
+        assert done == 2
+        results = sorted(os.listdir(os.path.join(queue_dir, "results")))
+        assert results == ["t1.json", "t2.json"]
+        with open(os.path.join(queue_dir, "results", "t2.json")) as handle:
+            message = json.load(handle)
+        assert message["ok"] and message["payload"] == {"value": 4}
+        assert os.listdir(os.path.join(queue_dir, "claimed")) == []
+
+    def test_max_tasks_one_is_repro_worker_once(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        for seed in (1, 2):
+            enqueue_task(queue_dir, task_for(seed), FN)
+        assert run_worker(queue_dir, max_tasks=1) == 1
+        assert len(os.listdir(os.path.join(queue_dir, "tasks"))) == 1
+
+    def test_trial_exception_becomes_error_result(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        enqueue_task(queue_dir, task_for(1), f"{HELPERS}:always_raise")
+        assert run_worker(queue_dir, max_tasks=1) == 1
+        with open(os.path.join(queue_dir, "results", "t1.json")) as handle:
+            message = json.load(handle)
+        assert not message["ok"] and "is broken" in message["error"]
+
+    def test_stop_event_stops_in_process_worker(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        event = threading.Event()
+        event.set()
+        assert run_worker(queue_dir, stop_event=event) == 0
+
+
+class TestFileQueueExecutor:
+    def test_local_workers_complete_a_run(self, tmp_path):
+        executor = FileQueueExecutor(str(tmp_path / "q"), local_workers=2)
+        outcomes, cancelled = execute_tasks(
+            [task_for(s) for s in (1, 2, 3, 4)], FN, executor
+        )
+        assert not cancelled
+        assert {k: o.payload["value"] for k, o in outcomes.items()} == {
+            "t1": 2, "t2": 4, "t3": 6, "t4": 8,
+        }
+
+    def test_external_worker_drains_supervised_queue(self, tmp_path):
+        """Supervisor with no local workers + a separate worker thread."""
+        queue_dir = str(tmp_path / "q")
+        executor = FileQueueExecutor(queue_dir, local_workers=0)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=run_worker, args=(queue_dir,), kwargs={"stop_event": stop},
+            daemon=True,
+        )
+        worker.start()
+        try:
+            outcomes, cancelled = execute_tasks(
+                [task_for(s) for s in (1, 2)], FN, executor
+            )
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+        assert not cancelled and all(o.ok for o in outcomes.values())
+
+    def test_stale_claim_reclaimed_as_timeout(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        executor = FileQueueExecutor(queue_dir, timeout=0.1, claim_grace=0.1)
+        executor.start(FN)
+        executor.submit(task_for(1))
+        # nobody drains the queue; after timeout+grace the claim is abandoned
+        messages = []
+        deadline = 50
+        while not messages and deadline:
+            messages = executor.poll(0.1)
+            deadline -= 1
+        assert messages and messages[0].kind == "timeout"
+        assert "reclaimed" in messages[0].error
+        assert os.listdir(os.path.join(queue_dir, "tasks")) == []
+
+    def test_cancel_withdraws_own_tasks_only(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        enqueue_task(queue_dir, task_for(99), FN)  # someone else's work
+        executor = FileQueueExecutor(queue_dir)
+        executor.start(FN)
+        executor.submit(task_for(1))
+        executor.cancel()
+        remaining = os.listdir(os.path.join(queue_dir, "tasks"))
+        assert remaining == ["t99.json"]

@@ -1,0 +1,192 @@
+"""The HTTP job service: submit, poll, fetch, cancel, cache semantics."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import JobTransitionError, ServiceError
+from repro.service import client
+from repro.service.jobs import JobState
+from repro.service.server import JobManager, make_server
+
+SPEC = {"kind": "campaign", "target": "E7", "seeds": 2, "jobs": 0,
+        "backend": "inline"}
+
+
+@pytest.fixture
+def service(tmp_path):
+    server, manager = make_server(
+        port=0, cache_dir=str(tmp_path / "cache"), max_workers=1
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", manager
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+
+
+def wait_terminal(url, job_id, timeout=60.0):
+    return client.wait_for_job(url, job_id, timeout=timeout, poll=0.05)
+
+
+class TestJobManager:
+    def test_submit_runs_to_done(self, tmp_path):
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        try:
+            job, deduped = manager.submit(SPEC)
+            assert not deduped and job.state in ("pending", "running")
+            deadline = time.monotonic() + 60
+            while not job.terminal and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert job.state == "done"
+            assert job.result["ran"] == 2 and not job.result["pure_cache_hit"]
+            assert job.manifest_path and job.progress["done"] == 2
+        finally:
+            manager.shutdown()
+
+    def test_job_state_persisted_as_artifact(self, tmp_path):
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        try:
+            job, _ = manager.submit(SPEC)
+            deadline = time.monotonic() + 60
+            while not job.terminal and time.monotonic() < deadline:
+                time.sleep(0.05)
+            path = tmp_path / "jobs" / job.job_id / "job.json"
+            assert path.is_file()
+            persisted = JobState.from_json(json.loads(path.read_text()))
+            assert persisted.state == "done"
+            assert persisted.digest == job.digest
+        finally:
+            manager.shutdown()
+
+    def test_inflight_dedupe_by_digest(self, tmp_path):
+        # No workers draining: both submissions stay pending -> dedupe hits.
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        manager._stopping.set()  # freeze execution for this test
+        first, deduped1 = manager.submit(SPEC)
+        second, deduped2 = manager.submit(dict(SPEC, jobs=4, backend="thread"))
+        assert not deduped1 and deduped2
+        assert second.job_id == first.job_id  # execution fields don't matter
+        other, deduped3 = manager.submit(dict(SPEC, seeds=3))
+        assert not deduped3 and other.job_id != first.job_id
+
+    def test_cancel_pending_job(self, tmp_path):
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        manager._stopping.set()
+        job, _ = manager.submit(SPEC)
+        cancelled = manager.cancel(job.job_id)
+        assert cancelled.state == "cancelled"
+        with pytest.raises(JobTransitionError):
+            manager.cancel(job.job_id)
+
+    def test_unknown_job_raises(self, tmp_path):
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        manager._stopping.set()
+        with pytest.raises(ServiceError, match="unknown job"):
+            manager.get("job-9999-deadbeef")
+
+    def test_bad_spec_rejected(self, tmp_path):
+        manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+        manager._stopping.set()
+        with pytest.raises(ServiceError):
+            manager.submit({"kind": "campaign"})  # no target
+
+
+class TestHttpApi:
+    def test_submit_poll_fetch_round_trip(self, service):
+        url, _ = service
+        state = client.submit_job(url, SPEC)
+        assert not state["deduped"]
+        final = wait_terminal(url, state["job_id"])
+        assert final["state"] == "done"
+        manifest = client.fetch_manifest(url, state["job_id"])
+        assert manifest["cancelled"] is False
+        assert len(manifest["trials"]) == 2
+        rendered = client.fetch_result(url, state["job_id"])
+        assert rendered.startswith("# campaign E7")
+
+    def test_resubmission_is_pure_cache_hit(self, service):
+        url, _ = service
+        first = wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
+        second = wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
+        assert second["job_id"] != first["job_id"]
+        assert second["result"]["pure_cache_hit"] is True
+        assert second["result"]["ran"] == 0
+        assert (
+            second["result"]["fingerprint_sha256"]
+            == first["result"]["fingerprint_sha256"]
+        )
+
+    def test_unknown_job_is_404(self, service):
+        url, _ = service
+        status, body = client.request(url, "/jobs/job-9999-deadbeef")
+        assert status == 404 and "unknown job" in body["error"]
+
+    def test_bad_spec_is_400(self, service):
+        url, _ = service
+        status, body = client.request(
+            url, "/jobs", method="POST", payload={"kind": "campaign"}
+        )
+        assert status == 400 and "target" in body["error"]
+
+    def test_manifest_before_done_is_409(self, service):
+        url, manager = service
+        manager._stopping.set()  # keep the job pending
+        state = client.submit_job(url, SPEC)
+        status, body = client.request(url, f"/jobs/{state['job_id']}/manifest")
+        assert status == 409 and "no manifest" in body["error"]
+
+    def test_cancel_terminal_job_is_409(self, service):
+        url, _ = service
+        state = wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
+        status, body = client.request(
+            url, f"/jobs/{state['job_id']}/cancel", method="POST"
+        )
+        assert status == 409 and "nothing to cancel" in body["error"]
+
+    def test_healthz_jobs_listing_and_metrics(self, service):
+        url, _ = service
+        status, health = client.request(url, "/healthz")
+        assert status == 200 and health["ok"]
+        wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
+        status, listing = client.request(url, "/jobs")
+        assert status == 200 and len(listing["jobs"]) == 1
+        status, metrics = client.request(url, "/metrics")
+        assert metrics["counters"]["service.jobs_submitted"] == 1
+        assert metrics["counters"]["service.jobs_completed"] == 1
+        assert any(
+            name.startswith("job.job-") for name in metrics["counters"]
+        )
+
+    def test_bad_json_body_is_400(self, service):
+        url, _ = service
+        req = urllib.request.Request(
+            url + "/jobs", data=b"not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            response = urllib.request.urlopen(req)
+            status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400
+
+    def test_chaos_job_serves_survival_matrix(self, service):
+        url, _ = service
+        spec = {"kind": "chaos", "target": "baseline", "seeds": 1,
+                "jobs": 0, "backend": "inline", "duration": 20.0}
+        state = wait_terminal(url, client.submit_job(url, spec)["job_id"],
+                              timeout=120.0)
+        assert state["state"] == "done"
+        matrix = client.fetch_matrix(url, state["job_id"])
+        assert isinstance(matrix, dict) and matrix
+        # campaigns have no matrix
+        campaign = wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
+        status, body = client.request(url, f"/jobs/{campaign['job_id']}/matrix")
+        assert status == 409
