@@ -23,6 +23,7 @@ from repro.errors import AttackError
 from repro.hw.platform import Machine
 from repro.kernel.os import RichOS
 from repro.kernel.threads import FIFO_PRIORITY_MAX, Task, pin_to
+from repro.sim.batch import bind_sampler
 from repro.sim.process import cpu, sleep
 
 
@@ -88,6 +89,7 @@ class KProberII:
     # ------------------------------------------------------------------
     def _make_body(self, core_index: int, compares: bool):
         rng = self.machine.rng.stream(f"kprober2.jitter.{core_index}")
+        draw_jitter = bind_sampler(self.config.wake_jitter, rng)
 
         def body(task: Task) -> Generator[Any, Any, None]:
             cfg = self.config
@@ -96,7 +98,6 @@ class KProberII:
             # requests can be allocated once per thread, not per iteration.
             report_req = cpu(cfg.report_cost)
             compare_req = cpu(cfg.compare_cost)
-            jitter = cfg.wake_jitter
             tsleep = cfg.tsleep
             while self.running:
                 yield report_req
@@ -105,7 +106,7 @@ class KProberII:
                     yield compare_req
                     controller.compare(core_index)
                 self.iterations += 1
-                interval = tsleep + jitter.sample(rng)
+                interval = tsleep + draw_jitter()
                 if self.oracle is not None:
                     interval = self.oracle.adjust(interval)
                 yield sleep(interval)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.config import ProberConfig
 from repro.errors import AttackError
 from repro.hw.platform import Machine
+from repro.sim.batch import bind_sampler
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,7 @@ class ProbeBuffer:
         self.machine = machine
         self.config = config
         self._rng = machine.rng.stream("prober.visibility")
+        self._draw_delay = bind_sampler(config.cross_core_delay, self._rng)
         #: per-core list of (write_time, value), newest last.
         self._slots: Dict[int, List[Tuple[float, float]]] = {}
 
@@ -72,7 +74,7 @@ class ProbeBuffer:
             return None
         if reader_core == target_core:
             return history[-1][1]
-        visible_until = self.machine.sim.now - self.config.cross_core_delay.sample(self._rng)
+        visible_until = self.machine.sim.now - self._draw_delay()
         for write_time, value in reversed(history):
             if write_time <= visible_until:
                 return value

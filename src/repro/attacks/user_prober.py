@@ -20,6 +20,7 @@ from repro.errors import AttackError
 from repro.hw.platform import Machine
 from repro.kernel.os import RichOS
 from repro.kernel.threads import Task, pin_to
+from repro.sim.batch import bind_sampler
 from repro.sim.process import cpu, sleep
 
 #: Default user-level probe interval: coarser than KProber-II's Tsleep to
@@ -92,6 +93,7 @@ class UserLevelProber:
     # ------------------------------------------------------------------
     def _make_body(self, core_index: int, compares: bool):
         rng = self.machine.rng.stream(f"uprober.jitter.{core_index}")
+        draw_jitter = bind_sampler(self.config.wake_jitter, rng)
 
         def body(task: Task) -> Generator[Any, Any, None]:
             cfg = self.config
@@ -103,7 +105,7 @@ class UserLevelProber:
                     yield cpu(cfg.compare_cost)
                     controller.compare(core_index)
                 self.iterations += 1
-                pause = self.interval + cfg.wake_jitter.sample(rng)
+                pause = self.interval + draw_jitter()
                 if self.oracle is not None:
                     pause = self.oracle.adjust(pause)
                 yield sleep(pause)

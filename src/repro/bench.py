@@ -28,6 +28,12 @@ import json
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+#: Bumped whenever the bench suite itself changes shape (new sections,
+#: changed workloads).  ``--check`` fails on a pinned file carrying a
+#: different version, so a stale baseline reads as an explicit error
+#: instead of a silent key-by-key pass.
+BENCH_VERSION = 7
+
 # ----------------------------------------------------------------------
 # Seed-style reference engine (the pre-overhaul design, kept verbatim in
 # spirit: Event objects *in* the heap, Python __lt__ per sift, separate
@@ -428,6 +434,96 @@ def bench_boot_cache(seed: int = 77) -> Dict[str, Any]:
     }
 
 
+def bench_batch_kernels(rows: int = 64, size: int = 262144) -> Dict[str, Any]:
+    """Row-wise batched djb2 (one matmul per chunk) vs per-row hashing.
+
+    The scalar side is already the vectorised one-shot ``djb2`` — this
+    measures the marginal win of folding all rows through one uint64
+    matmul, and asserts the digests are bit-identical.
+    """
+    import numpy as np
+
+    from repro.secure.hashes import djb2
+    from repro.sim.batch import batch_djb2
+
+    matrix = np.random.RandomState(2019).randint(
+        0, 256, size=(rows, size), dtype=np.uint8
+    )
+
+    gc.collect()
+    started = time.perf_counter()
+    batched = batch_djb2(matrix)
+    batch_wall = time.perf_counter() - started
+
+    gc.collect()
+    started = time.perf_counter()
+    scalar = [djb2(matrix[i].tobytes()) for i in range(rows)]
+    scalar_wall = time.perf_counter() - started
+
+    return {
+        "rows": rows,
+        "bytes_per_row": size,
+        "batch_wall_seconds": round(batch_wall, 4),
+        "scalar_wall_seconds": round(scalar_wall, 4),
+        "speedup": round(scalar_wall / batch_wall, 2) if batch_wall else None,
+        "digests_identical": [int(x) for x in batched] == scalar,
+    }
+
+
+def bench_batch_campaign(
+    seeds_count: int = 64, experiment_id: str = "E9"
+) -> Dict[str, Any]:
+    """Scalar vs ``--batch`` campaign over one experiment, inline backend.
+
+    Both runs use fresh cache directories; the manifest fingerprints must
+    be byte-identical (batching is bit-exact by construction), and the
+    wall-clock ratio is reported as measured — never asserted.
+    """
+    import shutil
+    import tempfile
+
+    from repro.campaign.runner import CampaignSpec, run_campaign
+    from repro.obs.manifest import load_manifest, manifest_fingerprint
+
+    seeds = list(range(2019, 2019 + seeds_count))
+    out: Dict[str, Any] = {"experiment_id": experiment_id, "seeds": seeds_count}
+    fingerprints: Dict[str, str] = {}
+    for label, batch in (("scalar", False), ("batch", True)):
+        cache = tempfile.mkdtemp(prefix=f"repro-bench-{label}-")
+        try:
+            spec = CampaignSpec(
+                experiment_id=experiment_id,
+                seeds=seeds,
+                jobs=0,
+                cache_dir=cache,
+                batch=batch,
+            )
+            gc.collect()
+            started = time.perf_counter()
+            result = run_campaign(spec, progress=False)
+            wall = time.perf_counter() - started
+            manifest = load_manifest(result.manifest_path)
+            fingerprints[label] = manifest_fingerprint(manifest)
+            entry: Dict[str, Any] = {
+                "wall_seconds": round(wall, 3),
+                "quarantined": len(result.quarantined),
+            }
+            if batch:
+                entry["dispatch"] = manifest.get("batch")
+            out[label] = entry
+        finally:
+            shutil.rmtree(cache, ignore_errors=True)
+    batch_wall = out["batch"]["wall_seconds"]
+    out["speedup"] = (
+        round(out["scalar"]["wall_seconds"] / batch_wall, 2) if batch_wall else None
+    )
+    out["fingerprint_identical"] = fingerprints["scalar"] == fingerprints["batch"]
+    out["fingerprint_sha256"] = hashlib.sha256(
+        fingerprints["scalar"].encode()
+    ).hexdigest()
+    return out
+
+
 # ----------------------------------------------------------------------
 # Assembly, determinism pinning, CLI backend
 # ----------------------------------------------------------------------
@@ -450,14 +546,24 @@ def determinism_block(results: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def run_bench(progress: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
-    """Run every benchmark; returns the full result dict."""
+def run_bench(
+    progress: Optional[Callable[[str], None]] = None,
+    batch: bool = False,
+    batch_seeds: int = 64,
+) -> Dict[str, Any]:
+    """Run every benchmark; returns the full result dict.
+
+    ``batch=True`` adds the vectorized-dispatch sections (batched hashing
+    kernels and the scalar-vs-``--batch`` campaign differential) — they
+    are opt-in because the campaign pair runs ``2 * batch_seeds`` full
+    trials.
+    """
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    results: Dict[str, Any] = {"bench_version": 4}
+    results: Dict[str, Any] = {"bench_version": BENCH_VERSION}
     note("event engine microbench...")
     results["event_engine"] = bench_event_engine()
     note("schedule_batch microbench...")
@@ -470,6 +576,11 @@ def run_bench(progress: Optional[Callable[[str], None]] = None) -> Dict[str, Any
     results["trials"] = bench_trials()
     note("trusted-boot digest cache...")
     results["boot_cache"] = bench_boot_cache()
+    if batch:
+        note("batched hashing kernels...")
+        results["batch_kernels"] = bench_batch_kernels()
+        note(f"batch campaign differential ({batch_seeds} seeds, scalar vs --batch)...")
+        results["batch_campaign"] = bench_batch_campaign(batch_seeds)
     results["determinism"] = determinism_block(results)
     return results
 
@@ -480,6 +591,12 @@ def check_determinism(results: Dict[str, Any], expected_path: str) -> List[str]:
         expected = json.load(handle)
     actual = results["determinism"]
     problems = []
+    baseline_version = expected.pop("bench_version", None)
+    if baseline_version is not None and baseline_version != results.get("bench_version"):
+        problems.append(
+            f"stale bench_version: baseline {baseline_version}, current "
+            f"{results.get('bench_version')} — regenerate the pinned file"
+        )
     for key, want in expected.items():
         got = actual.get(key)
         if got != want:
@@ -488,4 +605,7 @@ def check_determinism(results: Dict[str, Any], expected_path: str) -> List[str]:
         problems.append("optimized engine fired a different (time, seq) sequence")
     if not actual.get("scan_timeline_identical"):
         problems.append("fused scan timeline diverged from per-chunk timeline")
+    batch_campaign = results.get("batch_campaign")
+    if batch_campaign is not None and not batch_campaign.get("fingerprint_identical"):
+        problems.append("batched campaign fingerprint diverged from scalar run")
     return problems

@@ -1,0 +1,272 @@
+"""Batched trial dispatch: N seeds of one config per executor task.
+
+With ``--batch`` the campaign runner groups pending trials that share a
+configuration (same experiment, preset, scale and SATIN overrides) into
+*super-tasks* of up to ``batch_size`` seeds.  A super-task travels through
+the ordinary :class:`~repro.service.executors.Executor` interface as one
+JSON-serialisable dict — every backend (inline/thread/fork/queue) executes
+it with :func:`run_batch_trials`, which:
+
+1. pre-advances the hot RNG streams of all member seeds in one
+   vectorized pass per stream (:func:`repro.sim.batch.plan_blocks`);
+2. runs each member under a :class:`~repro.sim.batch.ReplayPlan`, so
+   every distribution draw is served from the precomputed blocks —
+   bit-identical to the scalar engine by construction;
+3. catches :class:`~repro.sim.batch.BatchDivergence` per member (a
+   stream asked for entropy the replay cannot serve, e.g. a fault
+   injector's ``randrange``) and *ejects* that seed: the member reruns on
+   the pure scalar engine, and the ejection is recorded for the manifest.
+
+Batching never changes results — member records, verdicts and the
+manifest fingerprint are byte-identical to a scalar run — so it is safe
+to flip on and off per invocation.  It is auto-disabled for fault plans
+(chaos sweeps) and by the ``REPRO_NO_BATCH`` environment kill switch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.campaign.digest import stable_digest
+from repro.campaign.pool import TrialOutcome, resolve_function
+
+#: Import path of the worker-side super-task function.
+BATCH_TRIAL_FN = "repro.campaign.batch_runner:run_batch_trials"
+
+#: Streams pre-advanced for every member seed, one vectorized pass each.
+#: ``core{i}.perf`` / ``kprober2.jitter.{i}`` are expanded per core at
+#: plan-build time; anything not listed is generated lazily in-stream
+#: (still bit-exact), so this is a latency hint, not a correctness list.
+HOT_STREAMS = ("prober.visibility", "figure4", "table2")
+HOT_PER_CORE_STREAMS = ("core{i}.perf", "kprober2.jitter.{i}")
+
+#: Uniforms pre-generated per (seed, stream) block.
+PLAN_BLOCK_SIZE = 8192
+
+#: Environment kill switch: any non-empty value forces the scalar engine.
+NO_BATCH_ENV = "REPRO_NO_BATCH"
+
+#: Test hook: force every replayed stream to trip BatchDivergence after
+#: this many generated uniforms, exercising the ejection path end-to-end.
+TRIP_ENV = "REPRO_BATCH_TRIP"
+
+
+def batch_active(spec: Any) -> bool:
+    """Whether this sweep runs through the batch dispatcher.
+
+    Requires the spec to opt in (``batch=True``), no environment kill
+    switch, and no fault plan — injected faults consume ``randrange``
+    entropy mid-trial, so every seed would just eject; the scalar engine
+    is the honest path there.
+    """
+    if not getattr(spec, "batch", False):
+        return False
+    if os.environ.get(NO_BATCH_ENV):
+        return False
+    if getattr(spec, "plan", None) is not None:
+        return False
+    return True
+
+
+def group_tasks(
+    pending: List[Dict[str, Any]],
+    fn_path: str,
+    batch_size: int,
+) -> List[Dict[str, Any]]:
+    """Group consecutive same-config trials into batch super-tasks.
+
+    Grouping preserves task order (preset-major, then seed), so member
+    finalisation — and therefore every store shard, meter tick and
+    manifest row — happens in the same order a scalar run produces.
+    """
+    groups: List[Dict[str, Any]] = []
+    run: List[Dict[str, Any]] = []
+
+    def config_of(task: Dict[str, Any]) -> Tuple:
+        return (
+            task.get("experiment_id"),
+            task.get("preset"),
+            bool(task.get("full")),
+            stable_digest(task.get("satin") or {}),
+        )
+
+    def flush() -> None:
+        if not run:
+            return
+        groups.append(
+            {
+                "key": "batch:" + stable_digest([t["key"] for t in run], length=16),
+                "kind": "batch",
+                "fn": fn_path,
+                "tasks": list(run),
+            }
+        )
+        run.clear()
+
+    current: Optional[Tuple] = None
+    for task in pending:
+        cfg = config_of(task)
+        if cfg != current or len(run) >= batch_size:
+            flush()
+            current = cfg
+        run.append(task)
+    flush()
+    return groups
+
+
+def _member_streams(seeds: List[int], core_count: int) -> List[str]:
+    names = list(HOT_STREAMS)
+    for template in HOT_PER_CORE_STREAMS:
+        names.extend(template.format(i=i) for i in range(core_count))
+    return names
+
+
+def run_batch_trials(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side super-task: run every member seed under stream replay.
+
+    Returns a composite payload the supervisor splits back into per-trial
+    outcomes.  A member that raises :class:`BatchDivergence` is rerun on
+    the scalar engine (``mode: scalar_fallback``); any other exception
+    becomes that member's error without sinking its siblings.
+    """
+    from repro.campaign.trials import build_trial_config
+    from repro.sim.batch import BatchDivergence, ReplayPlan, plan_blocks, use_replay
+
+    members: List[Dict[str, Any]] = task["tasks"]
+    fn = resolve_function(task["fn"])
+    trip_env = os.environ.get(TRIP_ENV)
+    trip_after = int(trip_env) if trip_env else None
+
+    seeds = [int(m["seed"]) for m in members]
+    first = members[0]
+    try:
+        config = build_trial_config(
+            seeds[0], preset=first.get("preset") or "juno_r1", satin=first.get("satin")
+        )
+        core_count = config.core_count
+    except Exception:
+        core_count = 0
+    blocks = plan_blocks(seeds, _member_streams(seeds, core_count), PLAN_BLOCK_SIZE)
+
+    out_members: List[Dict[str, Any]] = []
+    batched = scalar_fallback = 0
+    ejections: List[Dict[str, Any]] = []
+    for member in members:
+        started = time.monotonic()
+        seed = int(member["seed"])
+        plan = ReplayPlan(
+            blocks={k: v for k, v in blocks.items() if k[0] == seed},
+            trip_after=trip_after,
+        )
+        entry: Dict[str, Any] = {"key": member["key"], "seed": seed}
+        try:
+            with use_replay(plan):
+                payload = fn(dict(member))
+            entry.update(ok=True, mode="batched", payload=payload)
+            batched += 1
+        except BatchDivergence as exc:
+            ejections.append({"seed": seed, "reason": str(exc)})
+            try:
+                payload = fn(dict(member))
+                entry.update(ok=True, mode="scalar_fallback", payload=payload)
+                scalar_fallback += 1
+            except Exception as exc2:  # noqa: BLE001 - isolate members
+                entry.update(ok=False, mode="scalar_fallback", error=repr(exc2))
+        except Exception as exc:  # noqa: BLE001 - isolate members
+            entry.update(ok=False, mode="batched", error=repr(exc))
+        entry["elapsed"] = round(time.monotonic() - started, 6)
+        out_members.append(entry)
+
+    return {
+        "kind": "batch",
+        "members": out_members,
+        "batched": batched,
+        "scalar_fallback": scalar_fallback,
+        "ejections": ejections,
+    }
+
+
+def split_outcome(
+    super_task: Dict[str, Any], outcome: TrialOutcome
+) -> List[Tuple[Dict[str, Any], TrialOutcome]]:
+    """Explode a super-task outcome into per-member ``(task, outcome)``.
+
+    A super-task that failed wholesale (worker crash, timeout after all
+    attempts) fails every member with the same status, so quarantine
+    entries look exactly like a scalar run's.
+    """
+    members: List[Dict[str, Any]] = super_task["tasks"]
+    if not outcome.ok or not isinstance(outcome.payload, dict):
+        return [
+            (
+                member,
+                TrialOutcome(
+                    key=member["key"],
+                    status=outcome.status if not outcome.ok else "error",
+                    error=outcome.error or "malformed batch payload",
+                    elapsed=outcome.elapsed / max(1, len(members)),
+                    attempts=outcome.attempts,
+                    failures=list(outcome.failures),
+                ),
+            )
+            for member in members
+        ]
+    by_key = {m["key"]: m for m in outcome.payload.get("members", [])}
+    pairs: List[Tuple[Dict[str, Any], TrialOutcome]] = []
+    for member in members:
+        entry = by_key.get(member["key"])
+        if entry is None:
+            pairs.append(
+                (
+                    member,
+                    TrialOutcome(
+                        key=member["key"],
+                        status="error",
+                        error="batch payload missing member",
+                        attempts=outcome.attempts,
+                    ),
+                )
+            )
+            continue
+        if entry.get("ok"):
+            pairs.append(
+                (
+                    member,
+                    TrialOutcome(
+                        key=member["key"],
+                        status="ok",
+                        payload=entry.get("payload"),
+                        elapsed=float(entry.get("elapsed", 0.0)),
+                        attempts=outcome.attempts,
+                        failures=list(outcome.failures),
+                    ),
+                )
+            )
+        else:
+            pairs.append(
+                (
+                    member,
+                    TrialOutcome(
+                        key=member["key"],
+                        status="error",
+                        error=entry.get("error"),
+                        elapsed=float(entry.get("elapsed", 0.0)),
+                        attempts=outcome.attempts,
+                        failures=list(outcome.failures),
+                    ),
+                )
+            )
+    return pairs
+
+
+def batch_stats(outcome: TrialOutcome) -> Dict[str, Any]:
+    """The {batched, scalar_fallback, ejections} triple of one super-task."""
+    if outcome.ok and isinstance(outcome.payload, dict):
+        return {
+            "batched": int(outcome.payload.get("batched", 0)),
+            "scalar_fallback": int(outcome.payload.get("scalar_fallback", 0)),
+            "ejections": list(outcome.payload.get("ejections", [])),
+        }
+    return {"batched": 0, "scalar_fallback": 0, "ejections": []}

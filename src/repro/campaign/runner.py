@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Union
 
 from repro.analysis.stats import Summary, mean_ci
 from repro.analysis.tables import render_table
+from repro.campaign import batch_runner
 from repro.campaign.digest import CODE_VERSION, stable_digest, trial_key
 from repro.campaign.pool import DEFAULT_MAX_ATTEMPTS, TrialOutcome
 from repro.campaign.progress import ProgressMeter
@@ -69,12 +70,20 @@ class CampaignSpec:
     #: local drain threads to spawn for the queue backend (0 = external
     #: ``repro worker`` processes own the draining).
     queue_workers: int = 0
+    #: run same-config seeds as vectorized batch groups.  Like ``backend``
+    #: it is excluded from ``campaign_id``: batching is bit-exact, so the
+    #: cache and manifest fingerprint are identical either way.
+    batch: bool = False
+    #: max member trials per batch super-task.
+    batch_size: int = 16
 
     def __post_init__(self) -> None:
         from repro.service.executors import BACKENDS
 
         if not self.seeds:
             raise CampaignError("campaign needs at least one seed")
+        if self.batch_size < 1:
+            raise CampaignError(f"batch_size must be >= 1, got {self.batch_size}")
         if not self.presets:
             raise CampaignError("campaign needs at least one preset")
         if len(set(self.seeds)) != len(self.seeds):
@@ -277,6 +286,9 @@ class SweepRun:
     supervisor: MetricsRegistry
     cancelled: bool
     started_wall: float
+    #: batch dispatch rollup ({enabled, groups, batched, scalar_fallback,
+    #: ejections}) or None when the sweep ran scalar trials.
+    batch: Optional[Dict[str, Any]] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -337,12 +349,15 @@ def run_sweep(
         notify("cached", {"count": len(cached_records)})
 
     quarantined: List[Dict[str, Any]] = []
+    ok_records: Dict[str, Dict[str, Any]] = {}
 
-    def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+    def finalize_member(task: Dict[str, Any], outcome: TrialOutcome) -> None:
         supervisor.histogram("campaign.trial_wall_seconds").observe(outcome.elapsed)
         supervisor.histogram("campaign.trial_attempts").observe(float(outcome.attempts))
         if outcome.ok:
-            store.put(make_record(task, outcome))
+            record = make_record(task, outcome)
+            store.put(record)
+            ok_records[task["key"]] = record
             meter.note_done()
             notify("done", {"key": task["key"], "seed": task.get("seed")})
         else:
@@ -360,6 +375,38 @@ def run_sweep(
             meter.note_failed()
             notify("failed", {"key": task["key"], "status": outcome.status})
 
+    batching = batch_runner.batch_active(spec)
+    batch_info: Optional[Dict[str, Any]] = None
+    if batching:
+        dispatch_tasks = batch_runner.group_tasks(
+            pending, trial_fn, spec.batch_size
+        )
+        dispatch_fn = batch_runner.BATCH_TRIAL_FN
+        batch_info = {
+            "enabled": True,
+            "groups": len(dispatch_tasks),
+            "batched": 0,
+            "scalar_fallback": 0,
+            "ejections": [],
+        }
+
+        def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
+            stats = batch_runner.batch_stats(outcome)
+            batch_info["batched"] += stats["batched"]
+            batch_info["scalar_fallback"] += stats["scalar_fallback"]
+            batch_info["ejections"].extend(stats["ejections"])
+            supervisor.counter("campaign.trials_batched").inc(stats["batched"])
+            supervisor.counter("campaign.trials_scalar_fallback").inc(
+                stats["scalar_fallback"]
+            )
+            for member, member_outcome in batch_runner.split_outcome(task, outcome):
+                finalize_member(member, member_outcome)
+
+    else:
+        dispatch_tasks = pending
+        dispatch_fn = trial_fn
+        on_final = finalize_member
+
     def on_retry(task: Dict[str, Any], kind: str) -> None:
         meter.note_retry()
         notify("retry", {"key": task["key"], "kind": kind})
@@ -373,8 +420,8 @@ def run_sweep(
         queue_workers=getattr(spec, "queue_workers", 0),
     )
     outcomes, cancelled = execute_tasks(
-        pending,
-        trial_fn,
+        dispatch_tasks,
+        dispatch_fn,
         executor,
         max_attempts=spec.max_attempts,
         on_final=on_final,
@@ -391,10 +438,8 @@ def run_sweep(
     for task in tasks:  # task order => deterministic aggregation
         if task["key"] in cached_records:
             records.append(cached_records[task["key"]])
-        else:
-            outcome = outcomes.get(task["key"])
-            if outcome is not None and outcome.ok:
-                records.append(make_record(task, outcome))
+        elif task["key"] in ok_records:
+            records.append(ok_records[task["key"]])
 
     return SweepRun(
         tasks=tasks,
@@ -406,6 +451,7 @@ def run_sweep(
         supervisor=supervisor,
         cancelled=cancelled,
         started_wall=started_wall,
+        batch=batch_info,
     )
 
 
@@ -457,6 +503,7 @@ def run_campaign(
         wall_seconds=sweep.wall_seconds,
         supervisor_snapshot=sweep.supervisor.snapshot(),
         cancelled=sweep.cancelled,
+        batch=sweep.batch,
     )
     result.manifest_path = write_manifest(sweep.store.directory, manifest)
     return result

@@ -90,6 +90,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             backend=args.backend,
             queue_dir=args.queue_dir,
             queue_workers=args.queue_workers,
+            batch=args.batch,
+            batch_size=args.batch_size,
         )
         if args.no_progress:
             progress = False
@@ -441,7 +443,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import check_determinism, run_bench
 
-    results = run_bench(progress=lambda msg: print(msg, file=sys.stderr))
+    results = run_bench(
+        progress=lambda msg: print(msg, file=sys.stderr),
+        batch=args.batch,
+        batch_seeds=args.batch_seeds,
+    )
     rendered = json.dumps(results, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -555,6 +561,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="suppress the stderr progress meter entirely")
     campaign.add_argument("-o", "--output",
                           help="write the campaign summary to a file")
+    campaign.add_argument("--batch", action="store_true",
+                          help="run same-config seeds as vectorized batch "
+                               "groups (bit-exact; auto-off for fault plans; "
+                               "kill switch REPRO_NO_BATCH)")
+    campaign.add_argument("--batch-size", type=int, default=16, metavar="N",
+                          help="max trials per batch group (default 16)")
     _add_backend_options(campaign)
 
     chaos = sub.add_parser(
@@ -642,10 +654,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the performance benchmark suite (BENCH_*.json trajectory)",
     )
     bench.add_argument("-o", "--out", metavar="FILE",
-                       help="write the full bench JSON here (e.g. BENCH_4.json)")
+                       help="write the full bench JSON here (e.g. BENCH_7.json)")
     bench.add_argument("--check", metavar="FILE",
                        help="compare the deterministic block against a pinned "
                             "JSON file; non-zero exit on drift")
+    bench.add_argument("--batch", action="store_true",
+                       help="also benchmark the vectorized batch dispatcher "
+                            "(scalar vs --batch campaign, batched hashing)")
+    bench.add_argument("--batch-seeds", type=int, default=64, metavar="N",
+                       help="seeds for the batch campaign benchmark "
+                            "(default 64; only with --batch)")
 
     serve = sub.add_parser(
         "serve",

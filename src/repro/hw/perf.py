@@ -3,55 +3,58 @@
 Each core owns a :class:`CorePerf` that turns the cluster's
 :class:`~repro.config.ClusterTiming` distributions into concrete samples
 drawn from core-specific deterministic RNG streams.
+
+The samplers are bound once at construction via
+:func:`repro.sim.batch.bind_sampler`: on a plain stream that is
+``partial(dist.sample, rng)`` (the scalar engine, one frame fewer per
+draw); under a batch replay plan the stream is a
+:class:`~repro.sim.batch.ReplayRandom` and the binding is its compiled
+replay draw — bit-identical values either way.
 """
 
 from __future__ import annotations
 
 from repro.config import ClusterTiming
+from repro.sim.batch import bind_sampler
 from repro.sim.rng import RngRegistry
 
 
 class CorePerf:
     """Samples timing costs for one core."""
 
-    __slots__ = ("timing", "_rng")
+    __slots__ = (
+        "timing",
+        "_rng",
+        "hash_byte",
+        "snapshot_byte",
+        "world_switch",
+        "recover_trace_8b",
+        "syscall",
+        "dispatch",
+        "tick",
+        "preemption_penalty",
+    )
 
     def __init__(self, timing: ClusterTiming, rng: RngRegistry, core_index: int) -> None:
         self.timing = timing
         self._rng = rng.stream(f"core{core_index}.perf")
+        #: Secure-world cost to directly hash one byte (Table I).
+        self.hash_byte = bind_sampler(timing.hash_byte, self._rng)
+        #: Secure-world cost to snapshot-then-hash one byte (Table I).
+        self.snapshot_byte = bind_sampler(timing.snapshot_byte, self._rng)
+        #: One-direction EL3 world switch (Section IV-B1).
+        self.world_switch = bind_sampler(timing.world_switch, self._rng)
+        #: Rootkit restoring one 8-byte attack trace (Section IV-B2).
+        self.recover_trace_8b = bind_sampler(timing.recover_trace_8b, self._rng)
+        #: Rich-OS system call round trip.
+        self.syscall = bind_sampler(timing.syscall, self._rng)
+        #: Rich-OS scheduler dispatch latency.
+        self.dispatch = bind_sampler(timing.dispatch, self._rng)
+        #: Timer-tick handler cost.
+        self.tick = bind_sampler(timing.tick, self._rng)
+        #: Cache-refill penalty paid by a task resumed after preemption.
+        self.preemption_penalty = bind_sampler(timing.preemption_penalty, self._rng)
 
     @property
     def cluster_name(self) -> str:
         return self.timing.name
-
-    def hash_byte(self) -> float:
-        """Secure-world cost to directly hash one byte (Table I)."""
-        return self.timing.hash_byte.sample(self._rng)
-
-    def snapshot_byte(self) -> float:
-        """Secure-world cost to snapshot-then-hash one byte (Table I)."""
-        return self.timing.snapshot_byte.sample(self._rng)
-
-    def world_switch(self) -> float:
-        """One-direction EL3 world switch (Section IV-B1)."""
-        return self.timing.world_switch.sample(self._rng)
-
-    def recover_trace_8b(self) -> float:
-        """Rootkit restoring one 8-byte attack trace (Section IV-B2)."""
-        return self.timing.recover_trace_8b.sample(self._rng)
-
-    def syscall(self) -> float:
-        """Rich-OS system call round trip."""
-        return self.timing.syscall.sample(self._rng)
-
-    def dispatch(self) -> float:
-        """Rich-OS scheduler dispatch latency."""
-        return self.timing.dispatch.sample(self._rng)
-
-    def tick(self) -> float:
-        """Timer-tick handler cost."""
-        return self.timing.tick.sample(self._rng)
-
-    def preemption_penalty(self) -> float:
-        """Cache-refill penalty paid by a task resumed after preemption."""
-        return self.timing.preemption_penalty.sample(self._rng)

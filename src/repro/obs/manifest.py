@@ -35,6 +35,7 @@ def build_manifest(
     wall_seconds: float,
     supervisor_snapshot: Optional[Dict[str, Any]] = None,
     cancelled: bool = False,
+    batch: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one finished campaign run.
 
@@ -85,7 +86,7 @@ def build_manifest(
                     "attempts": 0,
                 }
             )
-    return {
+    manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "campaign_id": spec.campaign_id(),
         "experiment_id": spec.experiment_id.upper(),
@@ -113,6 +114,13 @@ def build_manifest(
         "metrics": merge_snapshots(metric_snapshots),
         "supervisor": supervisor_snapshot or {},
     }
+    if batch is not None:
+        # Dispatch provenance: how trials actually executed (batched vs
+        # ejected to the scalar engine).  Deliberately OUTSIDE the
+        # fingerprint view — batching is bit-exact, so a batched and a
+        # scalar run of the same campaign must fingerprint identically.
+        manifest["batch"] = batch
+    return manifest
 
 
 def write_manifest(directory: str, manifest: Dict[str, Any]) -> str:
@@ -244,6 +252,16 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
     ]
     if manifest.get("cancelled"):
         lines.insert(-1, "!! CANCELLED — partial results only")
+    batch = manifest.get("batch")
+    if batch:
+        ejections = batch.get("ejections", [])
+        lines.insert(
+            -1,
+            f"batch dispatch: {batch.get('groups', 0)} group(s), "
+            f"{batch.get('batched', 0)} trials batched, "
+            f"{batch.get('scalar_fallback', 0)} scalar fallback"
+            + (f" ({len(ejections)} ejection(s))" if ejections else ""),
+        )
     failed = [t for t in manifest.get("trials", []) if t["status"] not in ("ok",)]
     if failed:
         lines.append("non-ok trials:")

@@ -12,13 +12,42 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+import threading
+from typing import Callable, Dict, Optional
 
 
 def derive_seed(master_seed: int, name: str) -> int:
     """Derive a 64-bit child seed from ``master_seed`` and a stream name."""
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+#: A stream factory maps ``(master_seed, name, derived_seed)`` to the
+#: ``random.Random`` (or subclass) that will back the stream.  The batch
+#: replay engine installs one so registries built inside a batched trial
+#: serve replayed streams; everything else pays nothing — the factory is
+#: consulted once per stream *creation*, never per draw.
+StreamFactory = Callable[[int, str, int], random.Random]
+
+_factory_stack = threading.local()
+
+
+def push_stream_factory(factory: StreamFactory) -> None:
+    """Install ``factory`` for streams created on this thread."""
+    stack = getattr(_factory_stack, "stack", None)
+    if stack is None:
+        stack = _factory_stack.stack = []
+    stack.append(factory)
+
+
+def pop_stream_factory() -> None:
+    """Remove the most recently installed stream factory."""
+    getattr(_factory_stack, "stack").pop()
+
+
+def active_stream_factory() -> Optional[StreamFactory]:
+    stack = getattr(_factory_stack, "stack", None)
+    return stack[-1] if stack else None
 
 
 class RngRegistry:
@@ -34,7 +63,12 @@ class RngRegistry:
         """Return the stream for ``name``, creating it on first use."""
         rng = self._streams.get(name)
         if rng is None:
-            rng = random.Random(derive_seed(self.master_seed, name))
+            derived = derive_seed(self.master_seed, name)
+            factory = active_stream_factory()
+            if factory is not None:
+                rng = factory(self.master_seed, name, derived)
+            else:
+                rng = random.Random(derived)
             self._streams[name] = rng
         return rng
 

@@ -1,0 +1,305 @@
+"""Golden differential contract for ``--batch`` campaign dispatch.
+
+A batched campaign must be indistinguishable from a scalar one in every
+result-bearing byte: same per-trial payloads, same rendered tables, same
+``manifest_fingerprint`` — across all four executor backends, with
+forced mid-trial divergence (every seed ejected to the scalar engine),
+and under hypothesis-randomized SATIN variants.  Only the manifest's
+``batch`` provenance section (outside the fingerprint view) and the
+supervisor's dispatch counters may differ.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.campaign import batch_runner
+from repro.campaign.batch_runner import (
+    batch_active,
+    batch_stats,
+    group_tasks,
+    run_batch_trials,
+    split_outcome,
+)
+from repro.campaign.pool import TrialOutcome
+from repro.campaign.runner import CampaignSpec, run_campaign
+from repro.obs.manifest import load_manifest, manifest_fingerprint, render_manifest
+
+#: Every backend must reproduce the scalar inline fingerprint exactly.
+BACKEND_MATRIX = [
+    ("inline", dict(jobs=0, backend="inline")),
+    ("thread", dict(jobs=2, backend="thread")),
+    ("fork", dict(jobs=2, backend="fork")),
+    ("queue", dict(jobs=2, backend="queue", queue_workers=2)),
+]
+
+
+def run_one(tmp_path, label, experiment_id="E1", seeds=(0, 1, 2, 3), satin=None,
+            **kwargs):
+    if kwargs.get("backend") == "queue":
+        kwargs.setdefault("queue_dir", str(tmp_path / f"queue-{label}"))
+    spec = CampaignSpec(
+        experiment_id=experiment_id,
+        seeds=list(seeds),
+        satin=satin,
+        cache_dir=str(tmp_path / f"cache-{label}"),
+        **kwargs,
+    )
+    result = run_campaign(spec, progress=False)
+    return result, load_manifest(result.manifest_path)
+
+
+# ----------------------------------------------------------------------
+# the headline contract: batch == scalar, byte for byte, every backend
+# ----------------------------------------------------------------------
+
+
+def test_batch_matches_scalar_across_all_backends(tmp_path):
+    """ISSUE acceptance: the differential harness across inline, thread,
+    fork and queue — batched fingerprints and rendered reports must equal
+    the scalar inline run exactly."""
+    scalar_result, scalar_manifest = run_one(tmp_path, "scalar", jobs=0)
+    reference = manifest_fingerprint(scalar_manifest)
+    reference_metrics = json.dumps(scalar_manifest["metrics"], sort_keys=True)
+    assert "batch" not in scalar_manifest
+
+    for name, overrides in BACKEND_MATRIX:
+        result, manifest = run_one(
+            tmp_path, f"batch-{name}", batch=True, batch_size=3, **overrides
+        )
+        assert result.total == 4 and not result.quarantined
+        assert manifest_fingerprint(manifest) == reference, f"{name} diverged"
+        assert json.dumps(manifest["metrics"], sort_keys=True) == reference_metrics
+        assert result.rendered == scalar_result.rendered, f"{name} rendering diverged"
+        # provenance: everything actually ran batched, across 2 groups
+        # (batch_size=3 splits 4 same-config seeds into 3+1)
+        batch = manifest["batch"]
+        assert batch["enabled"] and batch["groups"] == 2
+        assert batch["batched"] == 4 and batch["scalar_fallback"] == 0
+        assert batch["ejections"] == []
+
+
+@pytest.mark.slow
+def test_batch_matches_scalar_on_e9(tmp_path):
+    """The stack-aware experiment (full six-core machine, hottest replay
+    streams) batches bit-exactly too."""
+    _, scalar = run_one(tmp_path, "scalar", experiment_id="E9", seeds=(0, 1, 2), jobs=0)
+    result, batched = run_one(
+        tmp_path, "batch", experiment_id="E9", seeds=(0, 1, 2), jobs=0, batch=True
+    )
+    assert manifest_fingerprint(batched) == manifest_fingerprint(scalar)
+    assert batched["batch"]["batched"] == 3
+
+
+# ----------------------------------------------------------------------
+# forced divergence: ejected seeds equal the pure-scalar run
+# ----------------------------------------------------------------------
+
+
+def test_forced_divergence_falls_back_and_stays_identical(tmp_path, monkeypatch):
+    """ISSUE acceptance: with REPRO_BATCH_TRIP every member diverges
+    mid-trial; each ejected seed reruns scalar and the campaign's bytes
+    are still identical to a never-batched run."""
+    _, scalar = run_one(tmp_path, "scalar", jobs=0)
+    monkeypatch.setenv(batch_runner.TRIP_ENV, "40")
+    result, tripped = run_one(tmp_path, "tripped", jobs=0, batch=True)
+    assert manifest_fingerprint(tripped) == manifest_fingerprint(scalar)
+    batch = tripped["batch"]
+    assert batch["batched"] == 0 and batch["scalar_fallback"] == 4
+    assert len(batch["ejections"]) == 4
+    assert all("tripped after" in e["reason"] for e in batch["ejections"])
+    # supervisor counters distinguish the two dispatch modes (metrics satellite)
+    counters = tripped["supervisor"]["counters"]
+    assert counters["campaign.trials_scalar_fallback"] == 4
+    assert counters.get("campaign.trials_batched", 0) == 0
+
+
+def test_partial_divergence_mixes_modes(tmp_path, monkeypatch):
+    """A trip budget big enough for E1's cheap trial means no ejection;
+    this pins the budget boundary by comparing against the scalar count
+    of uniforms (regression guard for the detector being too eager)."""
+    monkeypatch.setenv(batch_runner.TRIP_ENV, "1000000")
+    _, manifest = run_one(tmp_path, "roomy", jobs=0, batch=True)
+    assert manifest["batch"]["batched"] == 4
+    assert manifest["batch"]["ejections"] == []
+
+
+# ----------------------------------------------------------------------
+# kill switch / auto-off
+# ----------------------------------------------------------------------
+
+
+def test_no_batch_env_kill_switch(tmp_path, monkeypatch):
+    monkeypatch.setenv(batch_runner.NO_BATCH_ENV, "1")
+    _, manifest = run_one(tmp_path, "killed", jobs=0, batch=True)
+    assert "batch" not in manifest  # ran fully scalar
+
+
+def test_batch_auto_off_for_fault_plans():
+    class FakeSpec:
+        batch = True
+        plan = object()  # chaos sweeps carry a FaultPlan
+
+    class PlainSpec:
+        batch = True
+        plan = None
+
+    assert not batch_active(FakeSpec())
+    assert batch_active(PlainSpec())
+    assert not batch_active(CampaignSpec(experiment_id="E1", seeds=[1]))  # no opt-in
+
+
+# ----------------------------------------------------------------------
+# dispatch plumbing: grouping and outcome splitting
+# ----------------------------------------------------------------------
+
+
+def _task(seed, preset="juno_r1", experiment_id="E1", satin=None):
+    return {
+        "key": f"k{experiment_id}-{preset}-{seed}",
+        "experiment_id": experiment_id,
+        "seed": seed,
+        "full": False,
+        "preset": preset,
+        "satin": satin,
+    }
+
+
+def test_group_tasks_splits_by_config_and_size():
+    tasks = [_task(s) for s in range(5)] + [_task(9, preset="other")]
+    groups = group_tasks(tasks, "fn:path", batch_size=2)
+    assert [len(g["tasks"]) for g in groups] == [2, 2, 1, 1]
+    assert all(g["kind"] == "batch" and g["fn"] == "fn:path" for g in groups)
+    # order preserved: flattening the groups recovers the input order
+    flat = [t["key"] for g in groups for t in g["tasks"]]
+    assert flat == [t["key"] for t in tasks]
+    # keys are distinct and content-derived
+    assert len({g["key"] for g in groups}) == len(groups)
+
+
+def test_group_tasks_separates_satin_variants():
+    tasks = [_task(0), _task(1, satin={"tgoal": 60.0}), _task(2, satin={"tgoal": 60.0})]
+    groups = group_tasks(tasks, "fn", batch_size=8)
+    assert [len(g["tasks"]) for g in groups] == [1, 2]
+
+
+def test_split_outcome_wholesale_failure_fails_every_member():
+    super_task = {"tasks": [_task(0), _task(1)]}
+    outcome = TrialOutcome(key="b", status="timeout", error="hung", attempts=3)
+    pairs = split_outcome(super_task, outcome)
+    assert len(pairs) == 2
+    for member, member_outcome in pairs:
+        assert not member_outcome.ok
+        assert member_outcome.status == "timeout"
+        assert member_outcome.key == member["key"]
+        assert member_outcome.attempts == 3
+
+
+def test_split_outcome_maps_members_and_flags_missing():
+    super_task = {"tasks": [_task(0), _task(1), _task(2)]}
+    payload = {
+        "members": [
+            {"key": "kE1-juno_r1-0", "ok": True, "payload": {"v": 1}, "elapsed": 0.5},
+            {"key": "kE1-juno_r1-1", "ok": False, "error": "boom", "elapsed": 0.1},
+        ],
+        "batched": 1,
+        "scalar_fallback": 0,
+        "ejections": [],
+    }
+    outcome = TrialOutcome(key="b", status="ok", payload=payload, attempts=1)
+    pairs = dict((m["seed"], o) for m, o in split_outcome(super_task, outcome))
+    assert pairs[0].ok and pairs[0].payload == {"v": 1}
+    assert not pairs[1].ok and pairs[1].error == "boom"
+    assert not pairs[2].ok and "missing member" in pairs[2].error
+    assert batch_stats(outcome) == {"batched": 1, "scalar_fallback": 0, "ejections": []}
+
+
+def test_run_batch_trials_isolates_member_errors(monkeypatch):
+    """One member blowing up (not a divergence) must not sink siblings."""
+    calls = []
+
+    def fake_fn(task):
+        calls.append(task["seed"])
+        if task["seed"] == 1:
+            raise ValueError("member exploded")
+        return {"seed": task["seed"]}
+
+    monkeypatch.setattr(
+        "repro.campaign.pool.resolve_function", lambda path: fake_fn
+    )
+    monkeypatch.setattr(
+        batch_runner, "resolve_function", lambda path: fake_fn
+    )
+    result = run_batch_trials(
+        {"tasks": [_task(0), _task(1), _task(2)], "fn": "ignored"}
+    )
+    by_seed = {m["seed"]: m for m in result["members"]}
+    assert by_seed[0]["ok"] and by_seed[2]["ok"]
+    assert not by_seed[1]["ok"] and "member exploded" in by_seed[1]["error"]
+    assert result["batched"] == 2
+
+
+# ----------------------------------------------------------------------
+# observability: the metrics rollup distinguishes dispatch modes
+# ----------------------------------------------------------------------
+
+
+def test_metrics_rollup_renders_batch_dispatch(tmp_path):
+    _, manifest = run_one(tmp_path, "rollup", jobs=0, batch=True)
+    counters = manifest["supervisor"]["counters"]
+    assert counters["campaign.trials_batched"] == 4
+    assert counters.get("campaign.trials_scalar_fallback", 0) == 0
+    rendered = render_manifest(manifest)
+    assert "batch dispatch: 1 group(s), 4 trials batched, 0 scalar fallback" in rendered
+
+
+def test_scalar_rollup_has_no_batch_line(tmp_path):
+    _, manifest = run_one(tmp_path, "plain", jobs=0)
+    assert "batch dispatch" not in render_manifest(manifest)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: randomized SATIN variants stay bit-exact under --batch
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=2,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    tgoal=st.floats(min_value=60.0, max_value=200.0),
+    deviation=st.floats(min_value=0.2, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_randomized_satin_variants_batch_bit_exactly(tmp_path, tgoal, deviation, seed):
+    """E9 (the stack-aware experiment) under randomized SATIN overrides:
+    scalar and batched fingerprints must still be byte-identical."""
+    satin = {"tgoal": tgoal, "deviation_fraction": deviation}
+    label = f"{seed}-{tgoal:.3f}-{deviation:.3f}"
+    _, scalar = run_one(
+        tmp_path, f"s{label}", experiment_id="E9", seeds=(seed,), satin=satin, jobs=0
+    )
+    _, batched = run_one(
+        tmp_path, f"b{label}", experiment_id="E9", seeds=(seed,), satin=satin,
+        jobs=0, batch=True,
+    )
+    assert manifest_fingerprint(batched) == manifest_fingerprint(scalar)
+    assert batched["batch"]["batched"] == 1
+
+
+def test_figure4_stream_replays_bit_exactly():
+    """The figure-4 time-series generator (its own named stream) under a
+    replay plan equals the scalar run exactly."""
+    from repro.experiments.figure4 import run_figure4
+    from repro.sim.batch import ReplayPlan, use_replay
+
+    scalar = run_figure4(seed=2019)
+    with use_replay(ReplayPlan()):
+        replayed = run_figure4(seed=2019)
+    assert replayed.rendered == scalar.rendered
+    assert replayed.values == scalar.values

@@ -1,0 +1,389 @@
+"""Differential golden tests: the batch replay engine is bit-exact.
+
+Every test here compares the vectorized path against the plain-CPython
+scalar path *by equality of exact float/int values*, never by tolerance:
+``--batch`` is only safe because a batched trial consumes the very same
+bits a scalar trial would.  The layers under test, bottom up:
+
+* ``uniform_block``/``uniform_matrix`` — MT19937 state transplant,
+  including pre-advancement (``skip``) and window extension;
+* ``batch_djb2`` — row-wise matmul hashing vs the scalar fold;
+* ``ReplayRandom`` — the replayed ``random.Random`` surface, its sliding
+  window, its compiled ``make_draw`` fast paths for every distribution
+  shape, and its divergence detector (``getrandbits``/trip);
+* ``ReplayPlan``/``use_replay`` — stream-factory scoping, the blacklist,
+  and a whole ``run_experiment`` trial replayed end to end.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secure.hashes import djb2
+from repro.sim.batch import (
+    DEFAULT_WINDOW,
+    REPLAY_BLACKLIST,
+    BatchDivergence,
+    ReplayPlan,
+    ReplayRandom,
+    active_replay,
+    batch_djb2,
+    bind_sampler,
+    plan_blocks,
+    replayable,
+    uniform_block,
+    uniform_matrix,
+    use_replay,
+)
+from repro.sim.distributions import (
+    BoundedPareto,
+    Constant,
+    Distribution,
+    LogNormalJitter,
+    Shifted,
+    SpikeMixture,
+    Uniform,
+)
+from repro.sim.rng import RngRegistry, derive_seed
+
+#: Every distribution shape the simulation configures, including the
+#: calibrated cross-core visibility mixture (the hottest replay stream)
+#: and the sigma==0 lognormal degenerate case.
+DISTRIBUTIONS = [
+    Constant(3.25e-9),
+    Uniform(1.0e-5, 1.5e-5),
+    LogNormalJitter(6e-6, 0.6),
+    LogNormalJitter(3.3e-9, 0.05, lo_clip=2.8e-9, hi_clip=4.2e-9),
+    LogNormalJitter(5e-6, 0.0, lo_clip=6e-6),  # zero-uniform constant path
+    BoundedPareto(xm=8e-5, alpha=2.4, cap=1.32e-3),
+    SpikeMixture(
+        base=LogNormalJitter(2.2e-5, 0.45),
+        spike=BoundedPareto(xm=8e-5, alpha=2.4, cap=1.32e-3),
+        spike_prob=1.1e-4,
+    ),
+    SpikeMixture(base=Uniform(1e-6, 2e-6), spike=Constant(9e-4), spike_prob=0.25),
+    Shifted(LogNormalJitter(1e-6, 0.3), offset=4e-6),
+]
+
+
+class _Unknown(Distribution):
+    """A shape ``make_draw`` has no compiled path for: falls back to
+    ``sample(self)``, which must still replay bit-exactly."""
+
+    def sample(self, rng):
+        return -rng.random() if rng.random() < 0.5 else rng.random() * 2.0
+
+
+# ----------------------------------------------------------------------
+# uniform blocks: MT19937 transplant + pre-advancement
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**64 - 1),
+    n=st.integers(min_value=1, max_value=700),
+    skip=st.integers(min_value=0, max_value=650),
+)
+def test_uniform_block_is_bit_identical_to_cpython(seed, n, skip):
+    """Satellite: pre-advancement property.  A block generated after
+    ``skip`` discards equals the scalar stream's draws skip..skip+n, to
+    the last bit — the property batch plans rely on to hand each member
+    a mid-stream window."""
+    scalar = random.Random(seed)
+    expected = [scalar.random() for _ in range(skip + n)][skip:]
+    block = uniform_block(seed, n, skip=skip)
+    assert block.tolist() == expected
+
+
+def test_uniform_matrix_rows_are_independent_scalar_streams():
+    seeds = [0, 1, 2019, 2**63 + 12345]
+    matrix = uniform_matrix(seeds, 257)
+    for row, seed in enumerate(seeds):
+        scalar = random.Random(seed)
+        assert matrix[row].tolist() == [scalar.random() for _ in range(257)]
+
+
+def test_plan_blocks_rows_match_derived_streams():
+    seeds = [7, 8]
+    blocks = plan_blocks(seeds, ["prober.visibility", "satin.wakeup"], block_size=64)
+    # blacklisted stream gets no block at all
+    assert all(name == "prober.visibility" for (_, name) in blocks)
+    for seed in seeds:
+        scalar = random.Random(derive_seed(seed, "prober.visibility"))
+        assert blocks[(seed, "prober.visibility")].tolist() == [
+            scalar.random() for _ in range(64)
+        ]
+
+
+# ----------------------------------------------------------------------
+# batched hashing
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    length=st.integers(min_value=0, max_value=5000),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_batch_djb2_rows_equal_scalar_djb2(rows, length, seed):
+    matrix = np.random.RandomState(seed).randint(
+        0, 256, size=(rows, length), dtype=np.uint8
+    )
+    digests = batch_djb2(matrix)
+    for i in range(rows):
+        assert int(digests[i]) == djb2(matrix[i].tobytes())
+
+
+def test_batch_djb2_crosses_chunk_boundary():
+    """Rows longer than the 64 KiB power table exercise the multi-chunk
+    fold (h * mult^n carry between chunks)."""
+    matrix = np.random.RandomState(3).randint(
+        0, 256, size=(3, (1 << 16) + 513), dtype=np.uint8
+    )
+    digests = batch_djb2(matrix)
+    for i in range(3):
+        assert int(digests[i]) == djb2(matrix[i].tobytes())
+
+
+# ----------------------------------------------------------------------
+# ReplayRandom: the random.Random surface
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("window", [17, 257, DEFAULT_WINDOW])
+def test_replay_random_stream_equals_scalar(window):
+    scalar = random.Random(2019)
+    replay = ReplayRandom(2019, name="t", window=window)
+    for _ in range(window * 3 + 5):  # several slides at small windows
+        assert replay.random() == scalar.random()
+    assert replay.uniforms_served == window * 3 + 5
+
+
+def test_replay_inherited_methods_equal_scalar():
+    """uniform/expovariate/gauss-style consumers all funnel through
+    random() and replay exactly."""
+    scalar, replay = random.Random(7), ReplayRandom(7, window=64)
+    for _ in range(200):
+        assert replay.uniform(2.0, 9.0) == scalar.uniform(2.0, 9.0)
+        assert replay.random() == scalar.random()
+
+
+def test_replay_with_initial_block_continues_past_it():
+    initial = uniform_block(55, 37)
+    scalar = random.Random(55)
+    replay = ReplayRandom(55, initial=initial, window=29)
+    for _ in range(300):  # consumes the block, then window extensions
+        assert replay.random() == scalar.random()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    block=st.integers(min_value=0, max_value=120),
+    window=st.integers(min_value=2, max_value=90),
+    draws=st.integers(min_value=1, max_value=400),
+)
+def test_replay_equivalence_property(seed, block, window, draws):
+    """Any (initial block, window, draw count) combination replays the
+    scalar stream exactly — boundaries, carried tails and all."""
+    initial = uniform_block(seed, block) if block else None
+    scalar = random.Random(seed)
+    replay = ReplayRandom(seed, initial=initial, window=window)
+    assert [replay.random() for _ in range(draws)] == [
+        scalar.random() for _ in range(draws)
+    ]
+
+
+def test_getrandbits_family_raises_divergence():
+    replay = ReplayRandom(1, name="s")
+    with pytest.raises(BatchDivergence):
+        replay.getrandbits(32)
+    with pytest.raises(BatchDivergence):
+        replay.randrange(10)
+    with pytest.raises(BatchDivergence):
+        replay.shuffle([1, 2, 3])
+    with pytest.raises(BatchDivergence):
+        replay.choice([1, 2, 3])
+
+
+def test_reseeding_mid_replay_raises():
+    replay = ReplayRandom(1)
+    with pytest.raises(BatchDivergence):
+        replay.seed(2)
+
+
+# ----------------------------------------------------------------------
+# compiled draws: every distribution shape, bit-for-bit
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "dist", DISTRIBUTIONS, ids=lambda d: type(d).__name__ + repr(d.__dict__.get("sigma", ""))
+)
+@pytest.mark.parametrize("window", [23, 4096])
+def test_make_draw_equals_scalar_sample(dist, window):
+    scalar = random.Random(99)
+    replay = ReplayRandom(99, window=window)
+    draw = replay.make_draw(dist)
+    for _ in range(3000):
+        assert draw() == dist.sample(scalar)
+
+
+def test_unknown_distribution_falls_back_to_sample():
+    dist = _Unknown()
+    scalar = random.Random(5)
+    replay = ReplayRandom(5, window=31)
+    draw = replay.make_draw(dist)
+    for _ in range(500):
+        assert draw() == dist.sample(scalar)
+
+
+def test_interleaved_draws_share_one_cursor():
+    """Multiple bound samplers plus raw random() on one stream must
+    consume the single underlying uniform sequence in call order, exactly
+    like the scalar engine's shared ``random.Random``."""
+    shapes = [DISTRIBUTIONS[2], DISTRIBUTIONS[5], DISTRIBUTIONS[6], DISTRIBUTIONS[1]]
+    scalar = random.Random(31337)
+    replay = ReplayRandom(31337, window=41)
+    draws = [replay.make_draw(d) for d in shapes]
+    pick = random.Random(4)  # test-local, not under test
+    for _ in range(4000):
+        which = pick.randrange(len(shapes) + 1)
+        if which == len(shapes):
+            assert replay.random() == scalar.random()
+        else:
+            assert draws[which]() == shapes[which].sample(scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    mean=st.floats(min_value=1e-9, max_value=1e-3),
+    sigma=st.floats(min_value=0.0, max_value=2.0),
+    window=st.integers(min_value=8, max_value=600),
+)
+def test_lognormal_rejection_replay_property(seed, mean, sigma, window):
+    """The acceptance-bitmap walk reproduces CPython's rejection loop for
+    arbitrary (mu, sigma) — acceptance is parameter-free, values are
+    recomputed with libm, so equality must be exact."""
+    dist = LogNormalJitter(mean, sigma)
+    scalar = random.Random(seed)
+    draw = ReplayRandom(seed, window=window).make_draw(dist)
+    assert [draw() for _ in range(300)] == [dist.sample(scalar) for _ in range(300)]
+
+
+def test_bind_sampler_scalar_and_replay_agree():
+    dist = DISTRIBUTIONS[6]
+    scalar_draw = bind_sampler(dist, random.Random(12))
+    replay_draw = bind_sampler(dist, ReplayRandom(12, window=100))
+    assert [replay_draw() for _ in range(2000)] == [scalar_draw() for _ in range(2000)]
+
+
+# ----------------------------------------------------------------------
+# forced divergence (trip) — satellite: mid-trial ejection property
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    trip=st.integers(min_value=1, max_value=200),
+    window=st.integers(min_value=3, max_value=80),
+)
+def test_trip_is_exact_and_prefix_is_scalar(seed, trip, window):
+    """A stream with ``trip_after=t`` serves exactly the scalar stream's
+    first t uniforms, then raises BatchDivergence — the mid-trial
+    divergence contract the ejection path is built on."""
+    scalar = random.Random(seed)
+    replay = ReplayRandom(seed, name="trip", trip_after=trip, window=window)
+    served = []
+    with pytest.raises(BatchDivergence):
+        for _ in range(trip + 1):
+            served.append(replay.random())
+    assert len(served) == trip
+    assert served == [scalar.random() for _ in range(trip)]
+
+
+def test_trip_truncates_initial_block():
+    initial = uniform_block(9, 50)
+    replay = ReplayRandom(9, initial=initial, trip_after=20)
+    scalar = random.Random(9)
+    assert [replay.random() for _ in range(20)] == [scalar.random() for _ in range(20)]
+    with pytest.raises(BatchDivergence):
+        replay.random()
+
+
+def test_trip_fires_inside_compiled_draw():
+    dist = LogNormalJitter(6e-6, 0.6)
+    replay = ReplayRandom(3, trip_after=11, window=16)
+    draw = replay.make_draw(dist)
+    with pytest.raises(BatchDivergence):
+        for _ in range(50):
+            draw()
+
+
+# ----------------------------------------------------------------------
+# plans, scoping, blacklist, whole-trial replay
+# ----------------------------------------------------------------------
+
+
+def test_replay_plan_scoping_and_blacklist():
+    plan = ReplayPlan(blocks=dict(plan_blocks([5], ["core0.perf"], block_size=32)))
+    assert active_replay() is None
+    with use_replay(plan):
+        assert active_replay() is plan
+        registry = RngRegistry(5)
+        replayed = registry.stream("core0.perf")
+        plain = registry.stream("satin.wakeup")
+        faults = registry.stream("faults.injector")
+        assert isinstance(replayed, ReplayRandom)
+        assert type(plain) is random.Random
+        assert type(faults) is random.Random
+        # the replayed stream serves the derived scalar sequence
+        scalar = random.Random(derive_seed(5, "core0.perf"))
+        assert [replayed.random() for _ in range(100)] == [
+            scalar.random() for _ in range(100)
+        ]
+    assert active_replay() is None
+    # outside the scope registries are plain again
+    assert type(RngRegistry(5).stream("core0.perf")) is random.Random
+
+
+def test_replayable_names():
+    assert replayable("core0.perf") and replayable("prober.visibility")
+    for name in REPLAY_BLACKLIST:
+        assert not replayable(name)
+    assert not replayable("faults.injector")
+
+
+def test_whole_experiment_replays_bit_exactly():
+    """End-to-end: a full E1 trial under a replay plan renders the exact
+    bytes (tables, measured values) of the scalar trial."""
+    from repro.experiments.report import run_experiment
+
+    scalar = run_experiment("E1", seed=2019)
+    plan = ReplayPlan()
+    with use_replay(plan):
+        replayed = run_experiment("E1", seed=2019)
+    assert plan.created, "no streams were replayed"
+    assert replayed.rendered == scalar.rendered
+    assert replayed.values == scalar.values
+
+
+def test_lognorm_accept_map_matches_rejection_loop():
+    """The vectorized acceptance scan (numpy log + exact near-tie
+    re-check) agrees with CPython's per-pair decision on a long window."""
+    from repro.sim.batch import _lognorm_accept_map
+    from repro.sim.distributions import _NV_MAGICCONST
+
+    u = uniform_block(123, 20000)
+    amap = _lognorm_accept_map(u)
+    for i in range(0, 19999, 97):
+        u2 = 1.0 - u[i + 1]
+        z = _NV_MAGICCONST * (u[i] - 0.5) / u2
+        assert bool(amap[i]) == (z * z / 4.0 <= -math.log(u2))
