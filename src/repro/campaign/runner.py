@@ -289,6 +289,8 @@ class SweepRun:
     #: batch dispatch rollup ({enabled, groups, batched, scalar_fallback,
     #: ejections}) or None when the sweep ran scalar trials.
     batch: Optional[Dict[str, Any]] = None
+    #: deterministic store-health summary (:meth:`ResultStore.health`).
+    store_health: Optional[Dict[str, Any]] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -316,7 +318,9 @@ def run_sweep(
     started_wall = time.monotonic()
     tasks = spec.trial_tasks()
     store = ResultStore(spec.cache_dir, spec.campaign_id())
-    store.load()
+    # Index-backed open: a warm --resume seeks straight to its cache hits
+    # instead of streaming every shard (store.full_scans stays 0).
+    store.ensure_index()
 
     cached_records: Dict[str, Dict[str, Any]] = {}
     pending: List[Dict[str, Any]] = []
@@ -328,10 +332,6 @@ def run_sweep(
             pending.append(task)
 
     supervisor = MetricsRegistry()
-    if store.corrupt_lines_skipped:
-        supervisor.counter("campaign.store_corrupt_lines").inc(
-            store.corrupt_lines_skipped
-        )
     meter = ProgressMeter(
         total=len(tasks),
         registry=supervisor,
@@ -441,6 +441,24 @@ def run_sweep(
         elif task["key"] in ok_records:
             records.append(ok_records[task["key"]])
 
+    # Persist the key index so the next --resume is O(1) per key, and
+    # surface store health (truncation, reindexing, lookup counters) in
+    # the supervisor registry + the manifest's store section.
+    store.save_index()
+    store_health = store.health()
+    if store_health["truncated_records"]:
+        supervisor.counter("campaign.store_corrupt_lines").inc(
+            store_health["truncated_records"]
+        )
+    if store.lazy_reindexed:
+        supervisor.counter("campaign.store_lazy_reindexed").inc(
+            store.lazy_reindexed
+        )
+    if store.full_scans:
+        supervisor.counter("campaign.store_full_scans").inc(store.full_scans)
+    if store.record_reads:
+        supervisor.counter("campaign.store_record_reads").inc(store.record_reads)
+
     return SweepRun(
         tasks=tasks,
         store=store,
@@ -452,6 +470,7 @@ def run_sweep(
         cancelled=cancelled,
         started_wall=started_wall,
         batch=batch_info,
+        store_health=store_health,
     )
 
 
@@ -504,6 +523,7 @@ def run_campaign(
         supervisor_snapshot=sweep.supervisor.snapshot(),
         cancelled=sweep.cancelled,
         batch=sweep.batch,
+        store_health=sweep.store_health,
     )
     result.manifest_path = write_manifest(sweep.store.directory, manifest)
     return result

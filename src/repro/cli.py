@@ -19,7 +19,15 @@ Commands
     Run a trace scenario and export Perfetto ``trace_event`` JSON
     (open in ui.perfetto.dev) and/or JSONL.
 ``metrics <campaign-dir>``
-    Render the rollup of a campaign's ``manifest.json``.
+    Render the rollup of a campaign's ``manifest.json`` (``--format
+    json`` for the machine-readable rollup, ``--top N`` to trim).
+``dash <campaign-dir>``
+    Render a zero-dependency static HTML dashboard (survival heatmap,
+    Gantt lanes from a Perfetto trace, latency percentiles, store
+    health); ``--follow`` tails a still-running campaign.
+``store gc|pin <campaign-dir>``
+    Compact the result store (drop superseded/torn/resolved lines) or
+    pin golden keys gc must preserve.
 ``serve``
     Long-running HTTP/JSON job service (submit campaigns over the wire,
     answered from the shared result cache on resubmission).
@@ -265,15 +273,144 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
     from repro.errors import ReproError
-    from repro.obs.manifest import load_manifest, render_manifest
+    from repro.obs.manifest import (
+        load_manifest,
+        manifest_rollup,
+        render_manifest,
+    )
 
     try:
         manifest = load_manifest(args.path)
     except (ReproError, OSError, ValueError) as error:
         print(error.args[0] if error.args else str(error), file=sys.stderr)
         return 2
+    if args.format == "json":
+        rollup = manifest_rollup(manifest, top=args.top)
+        print(json.dumps(rollup, indent=1, sort_keys=True))
+        return 0
+    if args.top is not None:
+        # table mode renders the same trimmed view the JSON path would
+        trimmed = manifest_rollup(manifest, top=args.top)
+        manifest = dict(manifest)
+        manifest["metrics"] = {
+            "counters": trimmed["counters"],
+            "gauges": trimmed["gauges"],
+            "histograms": {
+                name: {
+                    key: value
+                    for key, value in histogram.items()
+                    if key not in ("mean", "p50", "p90", "p99")
+                }
+                for name, histogram in trimmed["histograms"].items()
+            },
+        }
     print(render_manifest(manifest), end="")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.dashboard import (
+        build_dashboard_data,
+        dashboard_json,
+        follow_campaign,
+        render_dashboard_html,
+    )
+    from repro.obs.dashboard.data import load_trace_file
+
+    try:
+        trace = load_trace_file(args.trace) if args.trace else None
+    except ReproError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    if args.follow:
+        return follow_campaign(
+            args.path,
+            out_html=args.out,
+            out_json=args.json,
+            trace=trace,
+            top=args.top,
+            interval=args.interval,
+            max_rounds=args.max_rounds if args.max_rounds > 0 else None,
+            stream=sys.stderr,
+        )
+    try:
+        data = build_dashboard_data(args.path, trace=trace, top=args.top)
+    except (ReproError, OSError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    from repro.obs.dashboard.follow import _write_atomic
+
+    _write_atomic(args.out, render_dashboard_html(data))
+    print(f"dashboard written to {args.out}", file=sys.stderr)
+    if args.json:
+        _write_atomic(args.json, dashboard_json(data))
+        print(f"dashboard data written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign.store import ResultStore, campaign_dirs
+
+    def open_store(path: str) -> ResultStore:
+        root, campaign_id = os.path.split(os.path.abspath(path.rstrip(os.sep)))
+        return ResultStore(root, campaign_id)
+
+    if args.action == "pin":
+        if not args.key:
+            print("store pin: pass --key KEY (repeatable)", file=sys.stderr)
+            return 2
+        store = open_store(args.path)
+        for key in args.key:
+            store.pin(key)
+        print(
+            f"pinned {len(args.key)} key(s); {len(store.pinned_keys())} "
+            f"pinned in total",
+            file=sys.stderr,
+        )
+        return 0
+
+    # gc: a campaign dir compacts one store, a cache root compacts all
+    if not os.path.isdir(args.path):
+        print(f"no such directory {args.path!r}", file=sys.stderr)
+        return 2
+    children = os.listdir(args.path)
+    is_store = (
+        any(n.startswith("shard-") and n.endswith(".jsonl") for n in children)
+        or "quarantine.jsonl" in children
+        or "manifest.json" in children
+    )
+    targets = [args.path] if is_store else campaign_dirs(args.path)
+    if not targets:
+        print(f"no campaign stores under {args.path!r}", file=sys.stderr)
+        return 2
+    reports = {}
+    for target in targets:
+        store = open_store(target)
+        reports[store.campaign_id] = store.gc(dry_run=args.dry_run)
+    for campaign_id in sorted(reports):
+        report = reports[campaign_id]
+        mode = "would drop" if args.dry_run else "dropped"
+        print(
+            f"{campaign_id}: kept {report['records_kept']} record(s), "
+            f"{mode} {report['superseded_dropped']} superseded + "
+            f"{report['truncated_dropped']} torn, quarantine "
+            f"{report['quarantine_kept']} kept / "
+            f"{report['quarantine_resolved']} resolved, "
+            f"{report['pinned']} pinned, "
+            f"{report['bytes_before']} -> {report['bytes_after']} bytes",
+            file=sys.stderr,
+        )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"gc report written to {args.report}", file=sys.stderr)
     return 0
 
 
@@ -648,6 +785,56 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("path",
                          help="manifest.json, a campaign directory, or a "
                               "cache root (most recent campaign wins)")
+    metrics.add_argument("--format", default="table",
+                         choices=("table", "json"),
+                         help="output format (default table; json is the "
+                              "sorted-key machine-readable rollup)")
+    metrics.add_argument("--top", type=int, default=None, metavar="N",
+                         help="keep only the N largest counters and "
+                              "histograms")
+
+    dash = sub.add_parser(
+        "dash",
+        help="render a static HTML dashboard for a campaign",
+    )
+    dash.add_argument("path",
+                      help="campaign directory (or manifest.json / cache "
+                           "root; most recent campaign wins)")
+    dash.add_argument("-o", "--out", default="dash.html", metavar="FILE",
+                      help="output HTML file (default dash.html)")
+    dash.add_argument("--json", metavar="FILE",
+                      help="also write the deterministic dashboard data "
+                           "(byte-identical between serial and --jobs runs)")
+    dash.add_argument("--trace", metavar="FILE",
+                      help="Perfetto trace_event JSON to render as per-core "
+                           "Gantt lanes (from `repro trace -o`)")
+    dash.add_argument("--top", type=int, default=None, metavar="N",
+                      help="keep only the N largest counters/histograms")
+    dash.add_argument("--follow", action="store_true",
+                      help="tail a running campaign: re-render until its "
+                           "manifest lands (exit 130 if it was cancelled)")
+    dash.add_argument("--interval", type=float, default=2.0, metavar="S",
+                      help="--follow poll interval in seconds (default 2)")
+    dash.add_argument("--max-rounds", type=int, default=0, metavar="N",
+                      help="--follow gives up after N rounds (0 = forever; "
+                           "exit 3 if the campaign was still running)")
+
+    store = sub.add_parser(
+        "store",
+        help="maintain a result store: gc compaction, golden-run pins",
+    )
+    store.add_argument("action", choices=("gc", "pin"),
+                       help="gc compacts shards/quarantine; pin protects "
+                            "keys from gc")
+    store.add_argument("path",
+                       help="campaign directory (or a cache root for gc "
+                            "across every campaign)")
+    store.add_argument("--dry-run", action="store_true",
+                       help="report what gc would drop without rewriting")
+    store.add_argument("--key", action="append", metavar="KEY",
+                       help="trial key to pin (repeatable)")
+    store.add_argument("--report", metavar="FILE",
+                       help="write the gc report JSON here (CI artifact)")
 
     bench = sub.add_parser(
         "bench",
@@ -772,6 +959,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "dash": _cmd_dash,
+    "store": _cmd_store,
     "serve": _cmd_serve,
     "worker": _cmd_worker,
     "submit": _cmd_submit,

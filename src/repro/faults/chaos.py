@@ -421,6 +421,7 @@ def run_chaos(
         wall_seconds=sweep.wall_seconds,
         supervisor_snapshot=sweep.supervisor.snapshot(),
         cancelled=sweep.cancelled,
+        store_health=sweep.store_health,
     )
     manifest["survival"] = {
         "scenario": spec.scenario,

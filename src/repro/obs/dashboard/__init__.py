@@ -1,0 +1,27 @@
+"""Campaign dashboard: deterministic ``dashboard.json`` + static HTML.
+
+``python -m repro dash <campaign-dir>`` renders what the obs subsystem
+already emits — the survival matrix, per-core Gantt lanes from a Perfetto
+span export, latency histograms with p50/p90/p99, and store health — as a
+zero-dependency static HTML page (inline JS/SVG, no network fetches).
+
+All chart data is first materialized as :func:`build_dashboard_data` —
+sorted keys, derived only from the manifest + store (+ an optional trace
+file) — so a serial and a ``--jobs N`` run of the same campaign produce
+byte-identical ``dashboard.json``, and the HTML is just a template around
+it.  ``--follow`` tails a running campaign by re-reading the manifest and
+shards incrementally (:func:`follow_campaign`).
+"""
+
+from repro.obs.dashboard.data import (  # noqa: F401
+    DASHBOARD_SCHEMA,
+    build_dashboard_data,
+    dashboard_json,
+    lanes_from_trace,
+)
+from repro.obs.dashboard.follow import (  # noqa: F401
+    follow_campaign,
+    load_manifest_safe,
+    store_progress,
+)
+from repro.obs.dashboard.html import render_dashboard_html  # noqa: F401

@@ -1,0 +1,239 @@
+"""Deterministic ``dashboard.json`` builder.
+
+Everything the dashboard charts is materialized here first, as a plain
+dict derived only from the campaign manifest, the result store's health
+section, and (optionally) a Perfetto ``trace_event`` export.  Wall-clock
+fields (``wall_seconds``, ``generated_unix``, per-trial ``elapsed``) and
+byte sizes are deliberately excluded, so a serial run and a ``--jobs N``
+run of the same campaign serialize to byte-identical JSON — the property
+the ``dash-smoke`` CI job and the golden tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.manifest import load_manifest, manifest_rollup
+from repro.obs.metrics import bucket_bound
+from repro.obs.trace_export import validate_trace_event_json
+
+#: Bumped when the dashboard data layout changes shape.
+DASHBOARD_SCHEMA = "satin-dashboard/v1"
+
+#: trial statuses rendered as "healthy" in the status strip.
+_OK_STATUSES = ("ok",)
+
+
+def _bucket_bars(histogram: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Bucket counts as chartable ``{le, count}`` rows (sorted by index)."""
+    bars: List[Dict[str, Any]] = []
+    for key in sorted(histogram.get("buckets", {}), key=int):
+        bound = bucket_bound(int(key))
+        bars.append(
+            {
+                "le": bound if bound is not None else "inf",
+                "count": int(histogram["buckets"][key]),
+            }
+        )
+    return bars
+
+
+def _histogram_panel(name: str, histogram: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "count": int(histogram.get("count") or 0),
+        "min": histogram.get("min"),
+        "max": histogram.get("max"),
+        "mean": histogram.get("mean"),
+        "p50": histogram.get("p50"),
+        "p90": histogram.get("p90"),
+        "p99": histogram.get("p99"),
+        "bars": _bucket_bars(histogram),
+    }
+
+
+def _survival_section(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    survival = manifest.get("survival")
+    if not isinstance(survival, dict):
+        return {"available": False}
+    classes = survival.get("classes") or {}
+    rows = []
+    for name in sorted(classes):
+        row = classes[name] if isinstance(classes[name], dict) else {}
+        injected = int(row.get("injected", 0) or 0)
+        cells = {
+            outcome: int(row.get(outcome, 0) or 0)
+            for outcome in ("detected", "degraded", "missed")
+        }
+        rows.append({"fault": name, "injected": injected, **cells})
+    return {
+        "available": True,
+        "scenario": survival.get("scenario"),
+        "plan": survival.get("plan"),
+        "plan_digest": survival.get("plan_digest"),
+        "horizon": survival.get("horizon"),
+        "totals": survival.get("totals", {}),
+        "rows": rows,
+    }
+
+
+def lanes_from_trace(trace: Dict[str, Any]) -> Dict[str, Any]:
+    """Gantt lane data from a Perfetto ``trace_event`` object.
+
+    One lane per (pid, tid) track, labelled from the trace's own metadata
+    events; spans are the complete ("X") events, instants the "i" marks.
+    Lane and span order is fully determined by the trace contents.
+    """
+    validate_trace_event_json(trace)
+    events = trace.get("traceEvents", [])
+    process_names: Dict[int, str] = {}
+    thread_names: Dict[tuple, str] = {}
+    spans: Dict[tuple, List[Dict[str, Any]]] = {}
+    instants: Dict[tuple, List[Dict[str, Any]]] = {}
+    end_ts = 0.0
+    for event in events:
+        phase = event.get("ph")
+        pid = event["pid"]
+        if phase == "M":
+            if event.get("name") == "process_name":
+                process_names[pid] = str(event["args"].get("name", pid))
+            elif event.get("name") == "thread_name":
+                thread_names[(pid, event.get("tid"))] = str(
+                    event["args"].get("name", event.get("tid"))
+                )
+            continue
+        track = (pid, event["tid"])
+        if phase == "X":
+            ts = float(event["ts"])
+            dur = float(event.get("dur", 0.0))
+            end_ts = max(end_ts, ts + dur)
+            spans.setdefault(track, []).append(
+                {
+                    "name": event.get("name", ""),
+                    "cat": event.get("cat", ""),
+                    "ts": ts,
+                    "dur": dur,
+                }
+            )
+        elif phase in ("i", "I"):
+            ts = float(event["ts"])
+            end_ts = max(end_ts, ts)
+            instants.setdefault(track, []).append(
+                {
+                    "name": event.get("name", ""),
+                    "cat": event.get("cat", ""),
+                    "ts": ts,
+                }
+            )
+    tracks = []
+    for track in sorted(set(spans) | set(instants)):
+        pid, tid = track
+        tracks.append(
+            {
+                "pid": pid,
+                "tid": tid,
+                "process": process_names.get(pid, f"pid {pid}"),
+                "track": thread_names.get(track, f"tid {tid}"),
+                "spans": sorted(
+                    spans.get(track, []), key=lambda s: (s["ts"], s["name"])
+                ),
+                "instants": sorted(
+                    instants.get(track, []), key=lambda s: (s["ts"], s["name"])
+                ),
+            }
+        )
+    return {
+        "available": True,
+        "events": len(events),
+        "end_ts": end_ts,
+        "span_count": sum(len(t["spans"]) for t in tracks),
+        "tracks": tracks,
+    }
+
+
+def _store_section(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    store = manifest.get("store")
+    if not isinstance(store, dict):
+        return {"available": False}
+    return dict(store, available=True)
+
+
+def build_dashboard_data(
+    path: str,
+    trace: Optional[Dict[str, Any]] = None,
+    top: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Assemble the dashboard data for one campaign directory.
+
+    ``path`` is anything :func:`~repro.obs.manifest.find_manifest`
+    accepts; ``trace`` is an optional already-loaded ``trace_event``
+    object (the Gantt panel renders "no trace" without one); ``top``
+    trims counters/histograms through the shared
+    :func:`~repro.obs.manifest.manifest_rollup` path.
+    """
+    manifest = load_manifest(path)
+    return dashboard_data_from_manifest(manifest, trace=trace, top=top)
+
+
+def dashboard_data_from_manifest(
+    manifest: Dict[str, Any],
+    trace: Optional[Dict[str, Any]] = None,
+    top: Optional[int] = None,
+    partial: bool = False,
+) -> Dict[str, Any]:
+    """Same as :func:`build_dashboard_data` from an in-memory manifest.
+
+    ``partial=True`` marks a dashboard built mid-run by the ``--follow``
+    tailer, where the manifest may not exist yet.
+    """
+    rollup = manifest_rollup(manifest, top=top)
+    totals = dict(rollup.get("totals", {}))
+    totals.pop("wall_seconds", None)  # wall clock breaks byte-identity
+    spec = dict(rollup.get("spec", {}))
+    spec.pop("jobs", None)  # executor parallelism is not a result
+    status = dict(rollup.get("trial_status", {}))
+    histograms = [
+        _histogram_panel(name, rollup["histograms"][name])
+        for name in sorted(rollup.get("histograms", {}))
+    ]
+    data: Dict[str, Any] = {
+        "schema": DASHBOARD_SCHEMA,
+        "partial": bool(partial),
+        "campaign": {
+            "campaign_id": rollup.get("campaign_id"),
+            "experiment_id": rollup.get("experiment_id"),
+            "code_version": rollup.get("code_version"),
+            "cancelled": bool(rollup.get("cancelled", False)),
+            "spec": spec,
+        },
+        "totals": totals,
+        "trial_status": status,
+        "ok_trials": sum(status.get(s, 0) for s in _OK_STATUSES),
+        "counters": rollup.get("counters", {}),
+        "gauges": rollup.get("gauges", {}),
+        "histograms": histograms,
+        "survival": _survival_section(manifest),
+        "store": _store_section(manifest),
+        "lanes": lanes_from_trace(trace) if trace else {"available": False},
+    }
+    if "batch" in rollup:
+        data["batch"] = rollup["batch"]
+    return data
+
+
+def dashboard_json(data: Dict[str, Any]) -> str:
+    """Canonical serialization — the byte-comparable artifact."""
+    return json.dumps(data, sort_keys=True, indent=1) + "\n"
+
+
+def load_trace_file(path: str) -> Dict[str, Any]:
+    """Load and validate a ``trace_event`` JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot read trace {path!r}: {exc}")
+    validate_trace_event_json(trace)
+    return trace

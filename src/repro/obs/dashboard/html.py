@@ -1,0 +1,311 @@
+"""Static HTML rendering of the dashboard data.
+
+One self-contained page: the deterministic data dict is embedded as
+``const DATA = {...}`` and a small inline script draws every panel with
+DOM + SVG.  No external stylesheets, fonts, scripts, or fetches — the
+file opens identically from a CI artifact, ``file://``, or a tarball.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 1.2rem 1.6rem; background: #14171c; color: #d7dce2;
+         font: 14px/1.45 ui-monospace, "SF Mono", Menlo, Consolas, monospace; }
+  h1 { font-size: 1.15rem; margin: 0 0 .25rem; color: #fff; }
+  h2 { font-size: .95rem; margin: 1.4rem 0 .5rem; color: #9fb6d4;
+       border-bottom: 1px solid #2a313b; padding-bottom: .25rem; }
+  .sub { color: #7d8795; margin-bottom: 1rem; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .6rem; }
+  .tile { background: #1c2128; border: 1px solid #2a313b; border-radius: 6px;
+          padding: .55rem .9rem; min-width: 7.5rem; }
+  .tile .v { font-size: 1.25rem; color: #fff; }
+  .tile .k { font-size: .72rem; color: #7d8795; text-transform: uppercase; }
+  .tile.bad .v { color: #ff7b72; }
+  .tile.warn .v { color: #e3b341; }
+  .tile.good .v { color: #7ee787; }
+  table { border-collapse: collapse; }
+  th, td { border: 1px solid #2a313b; padding: .3rem .6rem; text-align: right; }
+  th { color: #9fb6d4; font-weight: normal; }
+  td.name { text-align: left; color: #d7dce2; }
+  .cell { min-width: 3.2rem; }
+  .muted { color: #7d8795; }
+  svg { display: block; background: #1c2128; border: 1px solid #2a313b;
+        border-radius: 6px; }
+  .legend { font-size: .75rem; color: #7d8795; margin-top: .3rem; }
+  .banner { background: #3b2426; border: 1px solid #6e3a3d; color: #ff7b72;
+            padding: .5rem .8rem; border-radius: 6px; margin-bottom: 1rem; }
+  .banner.partial { background: #332b17; border-color: #6e5a1e; color: #e3b341; }
+</style>
+</head>
+<body>
+<div id="app"></div>
+<script>
+const DATA = __DATA__;
+(function () {
+  "use strict";
+  const app = document.getElementById("app");
+  const SVG = "http://www.w3.org/2000/svg";
+
+  function el(tag, attrs, children) {
+    const node = tag === "svg" || tag === "rect" || tag === "text" ||
+                 tag === "line" || tag === "g" || tag === "title"
+      ? document.createElementNS(SVG, tag)
+      : document.createElement(tag);
+    for (const key in (attrs || {})) {
+      if (key === "textContent") node.textContent = attrs[key];
+      else node.setAttribute(key, attrs[key]);
+    }
+    (children || []).forEach((child) => node.appendChild(child));
+    return node;
+  }
+  function fmt(value) {
+    if (value === null || value === undefined) return "–";
+    if (typeof value !== "number") return String(value);
+    if (Number.isInteger(value)) return String(value);
+    return value.toPrecision(3);
+  }
+  function tile(label, value, klass) {
+    return el("div", { class: "tile " + (klass || "") }, [
+      el("div", { class: "v", textContent: fmt(value) }),
+      el("div", { class: "k", textContent: label }),
+    ]);
+  }
+  const CAT_COLORS = { monitor: "#58a6ff", satin: "#7ee787" };
+  function catColor(cat) {
+    if (CAT_COLORS[cat]) return CAT_COLORS[cat];
+    let hash = 0;
+    for (let i = 0; i < cat.length; i++) hash = (hash * 31 + cat.charCodeAt(i)) >>> 0;
+    return "hsl(" + (hash % 360) + ", 55%, 60%)";
+  }
+
+  // ---- header -----------------------------------------------------------
+  const campaign = DATA.campaign || {};
+  app.appendChild(el("h1", {
+    textContent: "SATIN campaign " + (campaign.experiment_id || "?") +
+                 " — " + (campaign.campaign_id || "(pending)") }));
+  app.appendChild(el("div", { class: "sub",
+    textContent: "code " + (campaign.code_version || "?") +
+                 " · schema " + DATA.schema }));
+  if (campaign.cancelled)
+    app.appendChild(el("div", { class: "banner",
+      textContent: "CANCELLED — partial results only" }));
+  if (DATA.partial)
+    app.appendChild(el("div", { class: "banner partial",
+      textContent: "LIVE — campaign still running; manifest not written yet" }));
+
+  // ---- summary tiles ----------------------------------------------------
+  const totals = DATA.totals || {};
+  const status = DATA.trial_status || {};
+  const tiles = el("div", { class: "tiles" });
+  if (DATA.partial) {
+    const progress = DATA.progress || {};
+    tiles.appendChild(tile("records so far", progress.records || 0));
+    tiles.appendChild(tile("quarantined", progress.quarantined || 0,
+                           progress.quarantined ? "bad" : "good"));
+    tiles.appendChild(tile("torn lines", progress.truncated_records || 0,
+                           progress.truncated_records ? "warn" : ""));
+  } else {
+    tiles.appendChild(tile("trials", totals.trials));
+    tiles.appendChild(tile("ok", DATA.ok_trials, "good"));
+    tiles.appendChild(tile("quarantined", totals.quarantined,
+                           totals.quarantined ? "bad" : "good"));
+    tiles.appendChild(tile("cached", totals.cached));
+    Object.keys(status).sort().forEach((name) => {
+      if (name !== "ok") tiles.appendChild(tile(name, status[name], "warn"));
+    });
+  }
+  app.appendChild(tiles);
+
+  // ---- survival heatmap -------------------------------------------------
+  app.appendChild(el("h2", { textContent: "Survival matrix" }));
+  const survival = DATA.survival || {};
+  if (!survival.available || !(survival.rows || []).length) {
+    app.appendChild(el("div", { class: "muted",
+      textContent: "no survival section (not a chaos campaign)" }));
+  } else {
+    const OUT = ["detected", "degraded", "missed"];
+    const HUES = { detected: "140", degraded: "45", missed: "0" };
+    const table = el("table");
+    table.appendChild(el("tr", {},
+      [el("th", { textContent: "fault class" }),
+       el("th", { textContent: "injected" })]
+        .concat(OUT.map((o) => el("th", { textContent: o })))));
+    (survival.rows || []).forEach((row) => {
+      const tr = el("tr", {}, [
+        el("td", { class: "name", textContent: row.fault }),
+        el("td", { textContent: String(row.injected) }),
+      ]);
+      OUT.forEach((outcome) => {
+        const n = row[outcome] || 0;
+        const share = row.injected ? n / row.injected : 0;
+        const td = el("td", { class: "cell", textContent: String(n) });
+        td.style.background =
+          "hsla(" + HUES[outcome] + ", 65%, 45%, " + (0.08 + 0.72 * share) + ")";
+        tr.appendChild(td);
+      });
+      table.appendChild(tr);
+    });
+    app.appendChild(table);
+    const st = survival.totals || {};
+    app.appendChild(el("div", { class: "legend",
+      textContent: "plan " + survival.plan + " · horizon " + survival.horizon +
+        "s · " + fmt(st.injected) + " injected / " + fmt(st.detected) +
+        " detected / " + fmt(st.degraded) + " degraded / " +
+        fmt(st.missed) + " missed" }));
+  }
+
+  // ---- Gantt lanes ------------------------------------------------------
+  app.appendChild(el("h2", { textContent: "Core timeline (Perfetto spans)" }));
+  const lanes = DATA.lanes || {};
+  if (!lanes.available || !(lanes.tracks || []).length) {
+    app.appendChild(el("div", { class: "muted",
+      textContent: "no trace attached (pass --trace <perfetto.json>)" }));
+  } else {
+    const W = 940, LABEL = 170, LANE = 22, PAD = 6;
+    const tracks = lanes.tracks;
+    const H = tracks.length * LANE + 2 * PAD + 16;
+    const span = Math.max(lanes.end_ts, 1e-9);
+    const sx = (ts) => LABEL + (W - LABEL - 8) * (ts / span);
+    const svg = el("svg", { width: W, height: H,
+                            viewBox: "0 0 " + W + " " + H });
+    tracks.forEach((track, i) => {
+      const y = PAD + i * LANE;
+      if (i % 2 === 0)
+        svg.appendChild(el("rect", { x: 0, y: y, width: W, height: LANE,
+                                     fill: "#22272f" }));
+      svg.appendChild(el("text", {
+        x: 6, y: y + LANE - 7, fill: "#9fb6d4", "font-size": "11",
+        textContent: track.process + " / " + track.track }));
+      (track.spans || []).forEach((s) => {
+        const x0 = sx(s.ts), x1 = sx(s.ts + s.dur);
+        const rect = el("rect", {
+          x: x0, y: y + 3, width: Math.max(x1 - x0, 1.5),
+          height: LANE - 7, rx: 2, fill: catColor(s.cat) });
+        rect.appendChild(el("title", {
+          textContent: s.name + " [" + s.cat + "] ts=" + s.ts +
+                       "us dur=" + s.dur + "us" }));
+        svg.appendChild(rect);
+      });
+      (track.instants || []).forEach((s) => {
+        const x = sx(s.ts);
+        const mark = el("line", {
+          x1: x, y1: y + 2, x2: x, y2: y + LANE - 3,
+          stroke: catColor(s.cat), "stroke-width": 1.5 });
+        mark.appendChild(el("title", {
+          textContent: s.name + " [" + s.cat + "] ts=" + s.ts + "us" }));
+        svg.appendChild(mark);
+      });
+    });
+    // time axis
+    const axisY = PAD + tracks.length * LANE + 11;
+    [0, 0.25, 0.5, 0.75, 1].forEach((f) => {
+      svg.appendChild(el("text", {
+        x: sx(span * f), y: axisY, fill: "#7d8795", "font-size": "10",
+        "text-anchor": f === 0 ? "start" : "middle",
+        textContent: (span * f / 1000).toPrecision(3) + "ms" }));
+    });
+    app.appendChild(svg);
+    app.appendChild(el("div", { class: "legend",
+      textContent: lanes.span_count + " span(s) across " + tracks.length +
+        " track(s), " + lanes.events + " trace event(s)" }));
+  }
+
+  // ---- latency histograms ----------------------------------------------
+  app.appendChild(el("h2", { textContent: "Latency histograms" }));
+  const histograms = DATA.histograms || [];
+  if (!histograms.length) {
+    app.appendChild(el("div", { class: "muted",
+      textContent: "no merged histograms in the manifest" }));
+  } else {
+    histograms.forEach((h) => {
+      const bars = h.bars || [];
+      const W = 520, H = 96, PAD = 4;
+      const bw = bars.length ? (W - 2 * PAD) / bars.length : 0;
+      const top = Math.max(1, ...bars.map((b) => b.count));
+      const svg = el("svg", { width: W, height: H,
+                              viewBox: "0 0 " + W + " " + H });
+      bars.forEach((b, i) => {
+        const bh = (H - 22) * (b.count / top);
+        const rect = el("rect", {
+          x: PAD + i * bw + 1, y: H - 18 - bh,
+          width: Math.max(bw - 2, 1), height: Math.max(bh, b.count ? 2 : 0),
+          fill: "#58a6ff" });
+        rect.appendChild(el("title", {
+          textContent: "<= " + fmt(b.le) + "s : " + b.count }));
+        svg.appendChild(rect);
+      });
+      svg.appendChild(el("text", { x: PAD, y: H - 5, fill: "#9fb6d4",
+        "font-size": "11", textContent: h.name }));
+      app.appendChild(svg);
+      app.appendChild(el("div", { class: "legend",
+        textContent: "n=" + h.count + " · mean " + fmt(h.mean) +
+          " · p50 " + fmt(h.p50) + " · p90 " + fmt(h.p90) +
+          " · p99 " + fmt(h.p99) +
+          " · min " + fmt(h.min) + " · max " + fmt(h.max) }));
+    });
+  }
+
+  // ---- store health -----------------------------------------------------
+  app.appendChild(el("h2", { textContent: "Result store health" }));
+  const store = DATA.store || {};
+  if (!store.available) {
+    app.appendChild(el("div", { class: "muted",
+      textContent: "no store-health section in the manifest" }));
+  } else {
+    const index = store.index || {};
+    const row = el("div", { class: "tiles" }, [
+      tile("live records", store.records),
+      tile("shards", Object.keys(store.shards || {}).length),
+      tile("quarantined", store.quarantined, store.quarantined ? "bad" : "good"),
+      tile("truncated", store.truncated_records,
+           store.truncated_records ? "warn" : ""),
+      tile("pinned", store.pinned),
+      tile("keyed reads", index.record_reads),
+      tile("full scans", index.full_scans, index.full_scans > 1 ? "warn" : ""),
+      tile("tail scans", index.tail_scans),
+    ]);
+    app.appendChild(row);
+    if (index.lazy_reindexed)
+      app.appendChild(el("div", { class: "legend",
+        textContent: "pre-index store migrated on first open" }));
+  }
+
+  // ---- counters ---------------------------------------------------------
+  const counters = DATA.counters || {};
+  const names = Object.keys(counters).sort();
+  if (names.length) {
+    app.appendChild(el("h2", { textContent: "Merged counters" }));
+    const table = el("table");
+    names.forEach((name) => {
+      table.appendChild(el("tr", {}, [
+        el("td", { class: "name", textContent: name }),
+        el("td", { textContent: String(counters[name]) }),
+      ]));
+    });
+    app.appendChild(table);
+  }
+})();
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard_html(data: Dict[str, Any]) -> str:
+    """The full static page for one dashboard data dict."""
+    campaign = data.get("campaign", {}) or {}
+    title = "SATIN dashboard — {0}".format(
+        campaign.get("campaign_id") or campaign.get("experiment_id") or "campaign"
+    )
+    # "</" must not appear verbatim inside an inline <script> block.
+    blob = json.dumps(data, sort_keys=True).replace("</", "<\\/")
+    return _TEMPLATE.replace("__TITLE__", title).replace("__DATA__", blob)

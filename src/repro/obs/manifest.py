@@ -16,9 +16,10 @@ differ.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import bucket_bound, merge_snapshots
@@ -36,6 +37,7 @@ def build_manifest(
     supervisor_snapshot: Optional[Dict[str, Any]] = None,
     cancelled: bool = False,
     batch: Optional[Dict[str, Any]] = None,
+    store_health: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one finished campaign run.
 
@@ -120,6 +122,13 @@ def build_manifest(
         # fingerprint view — batching is bit-exact, so a batched and a
         # scalar run of the same campaign must fingerprint identically.
         manifest["batch"] = batch
+    if store_health is not None:
+        # Store health (record/shard counts, truncation, index counters).
+        # Derived from record counts only — no byte sizes or wall clock —
+        # so it stays identical between serial and --jobs N runs; still
+        # outside the fingerprint view because cache state (hits, reads)
+        # legitimately differs between a cold and a resumed run.
+        manifest["store"] = store_health
     return manifest
 
 
@@ -233,6 +242,95 @@ def render_histogram(name: str, histogram: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def histogram_quantiles(
+    histogram: Dict[str, Any], quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+) -> Dict[str, Optional[float]]:
+    """Bucket-resolution quantile estimates for one snapshot histogram.
+
+    The estimate for quantile ``q`` is the upper bound of the first bucket
+    whose cumulative count reaches ``q * count`` (the overflow bucket
+    reports the observed maximum).  Resolution is the shared log-bucket
+    table — coarse but fully deterministic, so dashboards rendered from a
+    serial and a ``--jobs N`` manifest agree byte for byte.
+    """
+    count = int(histogram.get("count") or 0)
+    out: Dict[str, Optional[float]] = {}
+    buckets = histogram.get("buckets", {})
+    indices = sorted(buckets, key=int)
+    for q in quantiles:
+        label = f"p{q * 100:g}".replace(".", "_")
+        if not count or not indices:
+            out[label] = None
+            continue
+        rank = max(1, math.ceil(q * count))
+        cumulative = 0
+        value: Optional[float] = None
+        for index_key in indices:
+            cumulative += int(buckets[index_key])
+            if cumulative >= rank:
+                bound = bucket_bound(int(index_key))
+                value = bound if bound is not None else histogram.get("max")
+                break
+        out[label] = value
+    return out
+
+
+def manifest_rollup(
+    manifest: Dict[str, Any], top: Optional[int] = None
+) -> Dict[str, Any]:
+    """Machine-readable rollup of one manifest — the single aggregation
+    path shared by ``repro metrics --format json`` and the dashboard.
+
+    Every histogram gains ``mean``/``p50``/``p90``/``p99`` estimates.
+    ``top`` keeps only the N largest counters (by value) and histograms
+    (by count); gauges are never trimmed (there are few).  The result is
+    JSON-safe and renders deterministically under ``sort_keys=True``.
+    """
+    metrics = manifest.get("metrics", {})
+    counters = dict(metrics.get("counters", {}))
+    histograms = {}
+    for name, histogram in metrics.get("histograms", {}).items():
+        entry = dict(histogram)
+        count = int(histogram.get("count") or 0)
+        entry["mean"] = (
+            float(histogram.get("sum", 0.0)) / count if count else None
+        )
+        entry.update(histogram_quantiles(histogram))
+        histograms[name] = entry
+    if top is not None and top >= 0:
+        keep = sorted(counters, key=lambda n: (-counters[n], n))[:top]
+        counters = {name: counters[name] for name in keep}
+        keep = sorted(
+            histograms, key=lambda n: (-(histograms[n].get("count") or 0), n)
+        )[:top]
+        histograms = {name: histograms[name] for name in keep}
+    rollup: Dict[str, Any] = {
+        "schema": manifest.get("schema"),
+        "campaign_id": manifest.get("campaign_id"),
+        "experiment_id": manifest.get("experiment_id"),
+        "code_version": manifest.get("code_version"),
+        "cancelled": bool(manifest.get("cancelled", False)),
+        "spec": manifest.get("spec", {}),
+        "totals": manifest.get("totals", {}),
+        "counters": counters,
+        "gauges": dict(metrics.get("gauges", {})),
+        "histograms": histograms,
+        "trial_status": _status_counts(manifest),
+    }
+    for section in ("survival", "store", "batch"):
+        if section in manifest:
+            rollup[section] = manifest[section]
+    return rollup
+
+
+def _status_counts(manifest: Dict[str, Any]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for trial in manifest.get("trials", []):
+        status = str(trial.get("status", "missing"))
+        counts[status] = counts.get(status, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def render_manifest(manifest: Dict[str, Any]) -> str:
     """Human rollup of one manifest (the ``repro metrics`` output)."""
     spec = manifest.get("spec", {})
@@ -317,6 +415,24 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
                     f"degraded={row.get('degraded', 0)} "
                     f"missed={row.get('missed', 0)}"
                 )
+        lines.append("")
+    store = manifest.get("store")
+    if store:
+        index = store.get("index", {})
+        lines.append(
+            f"store health: {store.get('records', 0)} live records in "
+            f"{len(store.get('shards', {}))} shard(s), "
+            f"{store.get('quarantined', 0)} quarantined, "
+            f"{store.get('truncated_records', 0)} truncated, "
+            f"{store.get('pinned', 0)} pinned"
+        )
+        lines.append(
+            f"  index: {index.get('record_reads', 0)} keyed reads, "
+            f"{index.get('full_scans', 0)} full scan(s), "
+            f"{index.get('tail_scans', 0)} tail scan(s), "
+            f"{index.get('rebuilds', 0)} rebuild(s)"
+            + (" [migrated pre-index store]" if index.get("lazy_reindexed") else "")
+        )
         lines.append("")
     supervisor = manifest.get("supervisor", {})
     sup_hists = supervisor.get("histograms", {})

@@ -1,0 +1,94 @@
+"""Prometheus text exposition for :class:`MetricsRegistry` snapshots.
+
+``GET /metrics`` on ``repro serve`` speaks the Prometheus text format
+(version 0.0.4) so a stock Prometheus/VictoriaMetrics scraper can watch a
+long-running campaign service without an exporter sidecar.  The renderer
+works from the registry's plain-dict :meth:`snapshot` form, so it needs no
+live registry and is trivially golden-testable.
+
+Mapping:
+
+* counters   -> ``counter`` families, verbatim;
+* gauges     -> two ``gauge`` families: the value and ``<name>_peak``;
+* histograms -> ``histogram`` families with *cumulative* ``_bucket``
+  series (``le`` = the shared log-bucket upper bounds), ``_sum`` and
+  ``_count``.
+
+Metric names are sanitized (dots and other illegal characters become
+``_``), so the per-job namespaced counters (``job.job-0001-ab12cd34.*``)
+come out as ``repro_job_job_0001_ab12cd34_*``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.obs.metrics import bucket_bound
+
+#: Content type a 0.0.4 text-format response must declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """A legal Prometheus metric name for one registry metric name."""
+    flat = _NAME_RE.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _fmt(value: Any) -> str:
+    """A Prometheus sample value ("1", "0.25", "1e-09", "NaN")."""
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Render one registry snapshot as Prometheus 0.0.4 text."""
+    lines: List[str] = []
+
+    def family(name: str, kind: str) -> str:
+        flat = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {flat} repro metric {name}")
+        lines.append(f"# TYPE {flat} {kind}")
+        return flat
+
+    for name in sorted(snapshot.get("counters", {})):
+        flat = family(name, "counter")
+        lines.append(f"{flat} {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        gauge = snapshot["gauges"][name]
+        flat = family(name, "gauge")
+        lines.append(f"{flat} {_fmt(gauge.get('value'))}")
+        flat_peak = family(name + ".peak", "gauge")
+        lines.append(f"{flat_peak} {_fmt(gauge.get('peak'))}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        histogram = snapshot["histograms"][name]
+        flat = family(name, "histogram")
+        buckets = histogram.get("buckets", {})
+        cumulative = 0
+        for key in sorted(buckets, key=int):
+            bound = bucket_bound(int(key))
+            if bound is None:
+                continue  # overflow lands in the explicit +Inf bucket below
+            cumulative += int(buckets[key])
+            lines.append(f'{flat}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        count = int(histogram.get("count", 0))
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{flat}_sum {_fmt(histogram.get('sum', 0.0))}")
+        lines.append(f"{flat}_count {count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

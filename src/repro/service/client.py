@@ -107,6 +107,29 @@ def fetch_matrix(url: str, job_id: str) -> Dict[str, Any]:
     return _expect(status, body, f"survival matrix of {job_id}")
 
 
+def fetch_events(url: str, job_id: str, cursor: int = 0) -> Dict[str, Any]:
+    """One page of the job's event log, starting after ``cursor``.
+
+    The returned ``cursor`` is the value to pass on the next poll; an
+    empty ``events`` list means nothing happened since.
+    """
+    status, body = request(url, f"/jobs/{job_id}/events?cursor={int(cursor)}")
+    return _expect(status, body, f"events of {job_id}")
+
+
+def fetch_metrics_text(url: str) -> str:
+    """The service's ``/metrics`` in Prometheus text format."""
+    full = url.rstrip("/") + "/metrics"
+    req = urllib.request.Request(full, headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.URLError as error:
+        raise ServiceError(
+            f"cannot reach repro service at {url!r}: {error}"
+        ) from None
+
+
 def wait_for_job(
     url: str,
     job_id: str,

@@ -17,8 +17,10 @@ Endpoints (all JSON unless noted)::
     GET  /jobs/<id>/result   the rendered report (text/plain)
     GET  /jobs/<id>/matrix   the survival matrix (chaos jobs)
     POST /jobs/<id>/cancel   cooperative cancel (also DELETE /jobs/<id>)
+    GET  /jobs/<id>/events   polling JSON cursor over lifecycle/progress deltas
     GET  /healthz            liveness probe
-    GET  /metrics            the service registry snapshot
+    GET  /metrics            Prometheus text (or the JSON snapshot with
+                             ``Accept: application/json``)
 
 Job execution happens on a small worker-thread pool; jobs that map to the
 same campaign directory serialize on a per-campaign lock because the
@@ -44,11 +46,17 @@ from repro.campaign.store import job_artifact_dir
 from repro.errors import JobTransitionError, ReproError, ServiceError
 from repro.obs.manifest import manifest_fingerprint
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.jobs import JobSpec, JobState
 
 #: Default bind address of ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8971
+
+#: Per-job event-log cap: older events are dropped from memory, but event
+#: sequence numbers stay monotonic so a cursor past the drop point still
+#: resumes correctly.
+EVENT_LOG_CAP = 1000
 
 
 class JobManager:
@@ -66,6 +74,9 @@ class JobManager:
         self.registry = registry if registry is not None else MetricsRegistry()
         self._jobs: Dict[str, JobState] = {}
         self._order: List[str] = []
+        #: job id -> append-only event log (seq-numbered, capped).
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+        self._event_seq: Dict[str, int] = {}
         self._lock = threading.RLock()
         self._run_queue: "queue_module.Queue" = queue_module.Queue()
         self._campaign_locks: Dict[str, threading.Lock] = {}
@@ -109,8 +120,61 @@ class JobManager:
             self.registry.counter("service.jobs_submitted").inc()
             self.registry.namespaced(f"job.{job_id}").counter("submitted").inc()
             self._persist(job)
+        self._log_event(job, "lifecycle", "submitted")
         self._run_queue.put(job_id)
         return job, False
+
+    # ------------------------------------------------------------------
+    # Event log (``GET /jobs/<id>/events``)
+    # ------------------------------------------------------------------
+
+    def _log_event(self, job: JobState, kind: str, event: str) -> None:
+        """Append one seq-numbered event to the job's in-memory log.
+
+        ``kind`` is ``"lifecycle"`` (state transitions) or ``"trial"``
+        (per-trial progress).  Every event snapshots the job's state and
+        progress counters, so a poller can rebuild progress from deltas
+        alone.
+        """
+        with self._lock:
+            seq = self._event_seq.get(job.job_id, 0) + 1
+            self._event_seq[job.job_id] = seq
+            log = self._events.setdefault(job.job_id, [])
+            log.append(
+                {
+                    "seq": seq,
+                    "kind": kind,
+                    "event": event,
+                    "state": job.state,
+                    "progress": dict(job.progress),
+                }
+            )
+            if len(log) > EVENT_LOG_CAP:
+                del log[: len(log) - EVENT_LOG_CAP]
+
+    def events(self, job_id: str, cursor: int = 0) -> Dict[str, Any]:
+        """Events with ``seq > cursor`` plus the new cursor to poll from.
+
+        The response's ``cursor`` always advances to the job's latest
+        sequence number, so ``GET /jobs/<id>/events?cursor=<last>`` is a
+        cheap no-news poll.  ``dropped`` flags a cursor that fell behind
+        the capped log (the poller missed events and should refetch the
+        job state wholesale).
+        """
+        job = self.get(job_id)  # raises on unknown id
+        with self._lock:
+            log = list(self._events.get(job_id, []))
+            seq = self._event_seq.get(job_id, 0)
+        fresh = [event for event in log if event["seq"] > cursor]
+        oldest = log[0]["seq"] if log else 1
+        return {
+            "job_id": job.job_id,
+            "state": job.state,
+            "terminal": job.terminal,
+            "cursor": seq,
+            "dropped": bool(cursor and cursor + 1 < oldest),
+            "events": fresh,
+        }
 
     def get(self, job_id: str) -> JobState:
         with self._lock:
@@ -131,6 +195,7 @@ class JobManager:
                 job.advance("cancelled")
                 self.registry.counter("service.jobs_cancelled").inc()
                 self._persist(job)
+                self._log_event(job, "lifecycle", "cancelled")
                 return job
             if job.state == "running":
                 job.cancel_event.set()
@@ -161,6 +226,7 @@ class JobManager:
                     continue  # cancelled while queued
                 job.advance("running")
                 self._persist(job)
+            self._log_event(job, "lifecycle", "running")
             try:
                 self._execute(job)
             except BaseException:  # never kill the worker loop
@@ -171,6 +237,7 @@ class JobManager:
                         job.advance("failed", error=traceback.format_exc(limit=10))
                         self.registry.counter("service.jobs_failed").inc()
                         self._persist(job)
+                        self._log_event(job, "lifecycle", "failed")
 
     def _execute(self, job: JobState) -> None:
         from repro.campaign.runner import run_campaign
@@ -187,6 +254,7 @@ class JobManager:
                     key = "retried" if event == "retry" else event
                     job.progress[key] = job.progress.get(key, 0) + 1
             ns.counter(f"trials_{'retried' if event == 'retry' else event}").inc()
+            self._log_event(job, "trial", event)
 
         error: Optional[str] = None
         result = None
@@ -243,6 +311,7 @@ class JobManager:
             ns.counter(f"state_{job.state}").inc()
             self.registry.histogram("service.job_wall_seconds").observe(wall)
             self._persist(job)
+        self._log_event(job, "lifecycle", job.state)
 
     # ------------------------------------------------------------------
     # Job-scoped artifacts
@@ -340,6 +409,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         return path, [part for part in path.split("/") if part]
 
+    def _query(self) -> Dict[str, str]:
+        """Last-wins query-string parameters of the request."""
+        if "?" not in self.path:
+            return {}
+        from urllib.parse import parse_qsl
+
+        return dict(parse_qsl(self.path.split("?", 1)[1]))
+
+    def _wants_json(self) -> bool:
+        accept = self.headers.get("Accept", "")
+        return "application/json" in accept
+
     # -- methods -------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
@@ -348,7 +429,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
             if parts == ["healthz"]:
                 self._json(200, {"ok": True, "jobs": len(self.manager.list())})
             elif parts == ["metrics"]:
-                self._json(200, self.manager.registry.snapshot())
+                # Content negotiation: scrapers get Prometheus 0.0.4 text,
+                # JSON clients (Accept: application/json) the raw snapshot.
+                snapshot = self.manager.registry.snapshot()
+                if self._wants_json():
+                    self._json(200, snapshot)
+                else:
+                    self._send(
+                        200,
+                        render_prometheus(snapshot).encode("utf-8"),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
             elif parts == ["jobs"]:
                 self._json(
                     200, {"jobs": [job.to_json() for job in self.manager.list()]}
@@ -366,6 +457,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._text(200, rendered)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                try:
+                    cursor = int(self._query().get("cursor", "0"))
+                except ValueError:
+                    raise ServiceError("cursor must be an integer")
+                self._json(200, self.manager.events(parts[1], cursor=cursor))
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "matrix":
                 manifest = self.manager.manifest(parts[1])
                 survival = manifest.get("survival")

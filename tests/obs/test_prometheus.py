@@ -1,0 +1,58 @@
+"""Prometheus text exposition of registry snapshots."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_prometheus, sanitize_metric_name
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("service.jobs_submitted") == (
+        "repro_service_jobs_submitted"
+    )
+    assert sanitize_metric_name("job.job-0001-ab12cd34.submitted") == (
+        "repro_job_job_0001_ab12cd34_submitted"
+    )
+    assert sanitize_metric_name("x", prefix="") == "x"
+    assert sanitize_metric_name("9lives", prefix="") == "_9lives"
+
+
+def test_counters_and_gauges_render():
+    registry = MetricsRegistry()
+    registry.counter("service.jobs_submitted").inc(3)
+    registry.gauge("queue.depth").set(2.0)
+    registry.gauge("queue.depth").set(1.0)
+    text = render_prometheus(registry.snapshot())
+    assert "# TYPE repro_service_jobs_submitted counter" in text
+    assert "repro_service_jobs_submitted 3" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_queue_depth 1" in text
+    assert "repro_queue_depth_peak 2" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_renders_cumulative_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("job.wall_seconds")
+    for value in (0.001, 0.001, 0.5, 2.0):
+        hist.observe(value)
+    text = render_prometheus(registry.snapshot())
+    lines = [l for l in text.splitlines() if l.startswith("repro_job_wall")]
+    bucket_lines = [l for l in lines if "_bucket" in l]
+    # cumulative counts are non-decreasing and end at +Inf == count
+    counts = [int(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+    assert counts == sorted(counts)
+    assert bucket_lines[-1] == 'repro_job_wall_seconds_bucket{le="+Inf"} 4'
+    assert 'le="+Inf"' not in "".join(bucket_lines[:-1])
+    assert "repro_job_wall_seconds_count 4" in lines
+    assert any(l.startswith("repro_job_wall_seconds_sum ") for l in lines)
+
+
+def test_overflow_sample_lands_only_in_inf_bucket():
+    registry = MetricsRegistry()
+    registry.histogram("h").observe(1e9)  # beyond the bucket table
+    text = render_prometheus(registry.snapshot())
+    assert 'repro_h_bucket{le="+Inf"} 1' in text
+    assert "repro_h_count 1" in text
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""

@@ -1,0 +1,148 @@
+"""Live telemetry endpoints: /metrics content negotiation, /jobs/<id>/events."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import client
+from repro.service.server import JobManager, make_server
+
+SPEC = {"kind": "campaign", "target": "E7", "seeds": 2, "jobs": 0,
+        "backend": "inline"}
+
+
+@pytest.fixture
+def service(tmp_path):
+    server, manager = make_server(
+        port=0, cache_dir=str(tmp_path / "cache"), max_workers=1
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", manager
+    server.shutdown()
+    server.server_close()
+    manager.shutdown()
+
+
+def finish_job(url, spec=SPEC):
+    state = client.submit_job(url, spec)
+    return client.wait_for_job(url, state["job_id"], timeout=60.0, poll=0.05)
+
+
+# ---------------------------------------------------------------------------
+# /metrics content negotiation
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_negotiates_prometheus_text(service):
+    url, _manager = service
+    finish_job(url)
+    request = urllib.request.Request(url + "/metrics")
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        assert response.headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        text = response.read().decode("utf-8")
+    # lifecycle counters and the per-job namespace are exposed
+    assert "repro_service_jobs_submitted 1" in text
+    assert "repro_service_jobs_completed 1" in text
+    assert "repro_job_job_0001_" in text
+    assert 'repro_service_job_wall_seconds_bucket{le="+Inf"} 1' in text
+    # every sample line is NAME VALUE or NAME{labels} VALUE
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        float(value)
+        assert name and " " not in name.split("{", 1)[0]
+
+
+def test_metrics_still_serves_json_snapshot(service):
+    url, _manager = service
+    finish_job(url)
+    status, body = client.request(url, "/metrics")  # Accept: application/json
+    assert status == 200 and isinstance(body, dict)
+    assert body["counters"]["service.jobs_submitted"] == 1
+
+
+def test_cache_hit_counter_in_prometheus_text(service):
+    url, _manager = service
+    finish_job(url)
+    state = finish_job(url)  # resubmit: pure cache hit
+    assert state["result"]["pure_cache_hit"]
+    text = client.fetch_metrics_text(url)
+    assert "repro_service_cache_hits 1" in text
+
+
+# ---------------------------------------------------------------------------
+# /jobs/<id>/events cursor
+# ---------------------------------------------------------------------------
+
+
+def test_events_cursor_covers_job_lifecycle(service):
+    url, _manager = service
+    state = finish_job(url)
+    job_id = state["job_id"]
+
+    page = client.fetch_events(url, job_id)
+    assert page["job_id"] == job_id and page["terminal"]
+    kinds = [(e["kind"], e["event"]) for e in page["events"]]
+    assert ("lifecycle", "submitted") == kinds[0]
+    assert ("lifecycle", "running") in kinds
+    assert kinds[-1] == ("lifecycle", "done")
+    assert ("trial", "done") in kinds
+    seqs = [e["seq"] for e in page["events"]]
+    assert seqs == sorted(seqs) and page["cursor"] == seqs[-1]
+    # progress snapshots are monotonic
+    dones = [e["progress"]["done"] for e in page["events"]]
+    assert dones == sorted(dones) and dones[-1] == 2
+
+    # cursor semantics: nothing new after the end
+    empty = client.fetch_events(url, job_id, cursor=page["cursor"])
+    assert empty["events"] == [] and empty["cursor"] == page["cursor"]
+    assert not empty["dropped"]
+
+    # partial cursor returns only the tail
+    tail = client.fetch_events(url, job_id, cursor=seqs[1])
+    assert [e["seq"] for e in tail["events"]] == seqs[2:]
+
+
+def test_events_unknown_job_404(service):
+    url, _manager = service
+    status, body = client.request(url, "/jobs/nope/events")
+    assert status == 404
+    with pytest.raises(ServiceError):
+        client.fetch_events(url, "nope")
+
+
+def test_events_bad_cursor_rejected(service):
+    url, _manager = service
+    state = finish_job(url)
+    status, body = client.request(
+        url, f"/jobs/{state['job_id']}/events?cursor=banana"
+    )
+    assert status == 409
+    assert "cursor" in body["error"]
+
+
+def test_event_log_cap_keeps_seq_and_flags_drop(tmp_path):
+    from repro.service import server as server_module
+
+    manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+    try:
+        job, _ = manager.submit(SPEC)
+        # flood the log past the cap with synthetic trial events
+        for _ in range(server_module.EVENT_LOG_CAP + 50):
+            manager._log_event(job, "trial", "done")
+        page = manager.events(job.job_id, cursor=0)
+        assert len(page["events"]) == server_module.EVENT_LOG_CAP
+        assert page["dropped"] is False  # cursor 0 = full refetch, not behind
+        stale = manager.events(job.job_id, cursor=1)
+        assert stale["dropped"] is True
+        fresh = manager.events(job.job_id, cursor=page["cursor"] - 1)
+        assert len(fresh["events"]) == 1 and not fresh["dropped"]
+    finally:
+        manager.shutdown()
