@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 #: changed workloads).  ``--check`` fails on a pinned file carrying a
 #: different version, so a stale baseline reads as an explicit error
 #: instead of a silent key-by-key pass.
-BENCH_VERSION = 7
+BENCH_VERSION = 9
 
 # ----------------------------------------------------------------------
 # Seed-style reference engine (the pre-overhaul design, kept verbatim in
@@ -434,39 +434,63 @@ def bench_boot_cache(seed: int = 77) -> Dict[str, Any]:
     }
 
 
-def bench_batch_kernels(rows: int = 64, size: int = 262144) -> Dict[str, Any]:
-    """Row-wise batched djb2 (one matmul per chunk) vs per-row hashing.
+def bench_batch_kernels(
+    rows: int = 64, large: int = 262144, small: int = 2048
+) -> Dict[str, Any]:
+    """Batched djb2 strategies across the break-even: matmul vs scalar.
 
-    The scalar side is already the vectorised one-shot ``djb2`` — this
-    measures the marginal win of folding all rows through one uint64
-    matmul, and asserts the digests are bit-identical.
+    BENCH_7 recorded the one-matmul-per-chunk kernel at 0.22x on 256 KiB
+    rows — the uint8->uint64 widening copy swamps the matmul once rows
+    fall out of cache.  ``batch_djb2`` now routes through
+    :func:`repro.sim.batch.batch_hash_strategy`; this bench times both
+    kernels on one shape each side of the threshold, records which side
+    the auto heuristic picked (and whether that fell back to scalar), and
+    asserts the digests are bit-identical regardless of strategy.  The
+    headline ``digests_identical`` covers every strategy on every shape.
     """
     import numpy as np
 
     from repro.secure.hashes import djb2
-    from repro.sim.batch import batch_djb2
-
-    matrix = np.random.RandomState(2019).randint(
-        0, 256, size=(rows, size), dtype=np.uint8
+    from repro.sim.batch import (
+        BATCH_HASH_MATMUL_MAX_BYTES,
+        batch_djb2,
+        batch_hash_strategy,
     )
 
-    gc.collect()
-    started = time.perf_counter()
-    batched = batch_djb2(matrix)
-    batch_wall = time.perf_counter() - started
-
-    gc.collect()
-    started = time.perf_counter()
-    scalar = [djb2(matrix[i].tobytes()) for i in range(rows)]
-    scalar_wall = time.perf_counter() - started
-
+    rng = np.random.RandomState(2019)
+    cases: Dict[str, Any] = {}
+    all_identical = True
+    for name, size in (("large", large), ("small", small)):
+        matrix = rng.randint(0, 256, size=(rows, size), dtype=np.uint8)
+        walls: Dict[str, float] = {}
+        digests: Dict[str, List[int]] = {}
+        for strategy in ("matmul", "scalar"):
+            gc.collect()
+            started = time.perf_counter()
+            digests[strategy] = [int(x) for x in batch_djb2(matrix, strategy=strategy)]
+            walls[strategy] = time.perf_counter() - started
+        reference = [djb2(matrix[i].tobytes()) for i in range(rows)]
+        identical = digests["matmul"] == digests["scalar"] == reference
+        all_identical = all_identical and identical
+        chosen = batch_hash_strategy(rows, size)
+        auto_wall = walls[chosen]
+        cases[name] = {
+            "bytes_per_row": size,
+            "matmul_wall_seconds": round(walls["matmul"], 4),
+            "scalar_wall_seconds": round(walls["scalar"], 4),
+            "auto_strategy": chosen,
+            "fell_back": chosen == "scalar",
+            # >= 1.0 means auto picked the right side of the break-even.
+            "speedup": (
+                round(walls["scalar"] / auto_wall, 2) if auto_wall else None
+            ),
+            "digests_identical": identical,
+        }
     return {
         "rows": rows,
-        "bytes_per_row": size,
-        "batch_wall_seconds": round(batch_wall, 4),
-        "scalar_wall_seconds": round(scalar_wall, 4),
-        "speedup": round(scalar_wall / batch_wall, 2) if batch_wall else None,
-        "digests_identical": [int(x) for x in batched] == scalar,
+        "break_even_bytes": BATCH_HASH_MATMUL_MAX_BYTES,
+        "cases": cases,
+        "digests_identical": all_identical,
     }
 
 
@@ -524,6 +548,115 @@ def bench_batch_campaign(
     return out
 
 
+def bench_planner(
+    seeds_count: int = 64,
+    ci_width: float = 75.0,
+    experiment_id: str = "E9",
+    min_seeds: int = 8,
+    round_size: int = 2,
+) -> Dict[str, Any]:
+    """Fixed-budget campaign vs the adaptive planner at the same CI target.
+
+    Runs the experiment twice from fresh caches: once over the full fixed
+    seed budget, once with ``--adaptive`` stopping as soon as the 95% CI
+    on the headline quantity narrows to ``ci_width``.  Reports the seeds
+    each run consumed, the CI width each achieved, and the wall-clock
+    ratio — the ISSUE acceptance number (``seed_reduction``) lives here.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.planning.planner import (
+        CONFIDENCE,
+        _ci_width,
+        select_quantity,
+    )
+    from repro.campaign.runner import CampaignSpec, run_campaign
+    from repro.obs.manifest import load_manifest
+
+    seeds = list(range(2019, 2019 + seeds_count))
+    out: Dict[str, Any] = {
+        "experiment_id": experiment_id,
+        "target_ci_width": ci_width,
+        "confidence": CONFIDENCE,
+    }
+
+    cache = tempfile.mkdtemp(prefix="repro-bench-plan-fixed-")
+    try:
+        spec = CampaignSpec(
+            experiment_id=experiment_id, seeds=seeds, jobs=0, cache_dir=cache
+        )
+        gc.collect()
+        started = time.perf_counter()
+        fixed = run_campaign(spec, progress=False)
+        fixed_wall = time.perf_counter() - started
+        quantity = select_quantity(fixed.records, None)
+        out["quantity"] = quantity
+        out["fixed"] = {
+            "seeds": seeds_count,
+            "wall_seconds": round(fixed_wall, 3),
+            "ci_width": (
+                round(_ci_width(fixed.records, quantity), 4) if quantity else None
+            ),
+        }
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+
+    cache = tempfile.mkdtemp(prefix="repro-bench-plan-adaptive-")
+    try:
+        spec = CampaignSpec(
+            experiment_id=experiment_id,
+            seeds=seeds,
+            jobs=0,
+            cache_dir=cache,
+            adaptive=True,
+            ci_width=ci_width,
+            min_seeds=min_seeds,
+            round_size=round_size,
+        )
+        gc.collect()
+        started = time.perf_counter()
+        adaptive = run_campaign(spec, progress=False)
+        adaptive_wall = time.perf_counter() - started
+        manifest = load_manifest(adaptive.manifest_path)
+        planner = manifest.get("planner", {})
+        seeds_used = max(
+            (entry["consumed"] for entry in planner.get("presets", {}).values()),
+            default=len(adaptive.records),
+        )
+        out["adaptive"] = {
+            "seeds_used": seeds_used,
+            "wall_seconds": round(adaptive_wall, 3),
+            "ci_width": (
+                round(_ci_width(adaptive.records, quantity), 4) if quantity else None
+            ),
+            "rounds": planner.get("rounds"),
+        }
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+
+    seeds_used = out["adaptive"]["seeds_used"]
+    out["seeds_saved"] = seeds_count - seeds_used  # the ISSUE headline
+    out["seed_reduction"] = (
+        round(seeds_count / seeds_used, 2) if seeds_used else None
+    )
+    adaptive_wall = out["adaptive"]["wall_seconds"]
+    out["speedup"] = (
+        round(out["fixed"]["wall_seconds"] / adaptive_wall, 2)
+        if adaptive_wall
+        else None
+    )
+    fixed_width = out["fixed"]["ci_width"]
+    adaptive_width = out["adaptive"]["ci_width"]
+    out["both_within_target"] = (
+        fixed_width is not None
+        and adaptive_width is not None
+        and fixed_width <= ci_width
+        and adaptive_width <= ci_width
+    )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Assembly, determinism pinning, CLI backend
 # ----------------------------------------------------------------------
@@ -550,12 +683,16 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = None,
     batch: bool = False,
     batch_seeds: int = 64,
+    planner: bool = False,
+    planner_seeds: int = 64,
+    planner_ci_width: float = 75.0,
 ) -> Dict[str, Any]:
     """Run every benchmark; returns the full result dict.
 
     ``batch=True`` adds the vectorized-dispatch sections (batched hashing
-    kernels and the scalar-vs-``--batch`` campaign differential) — they
-    are opt-in because the campaign pair runs ``2 * batch_seeds`` full
+    kernels and the scalar-vs-``--batch`` campaign differential);
+    ``planner=True`` adds the fixed-vs-adaptive campaign pair.  Both are
+    opt-in because each campaign pair runs up to ``2 * seeds`` full
     trials.
     """
 
@@ -577,10 +714,16 @@ def run_bench(
     note("trusted-boot digest cache...")
     results["boot_cache"] = bench_boot_cache()
     if batch:
-        note("batched hashing kernels...")
+        note("batched hashing kernels (matmul vs scalar, both break-even sides)...")
         results["batch_kernels"] = bench_batch_kernels()
         note(f"batch campaign differential ({batch_seeds} seeds, scalar vs --batch)...")
         results["batch_campaign"] = bench_batch_campaign(batch_seeds)
+    if planner:
+        note(
+            f"adaptive planner differential ({planner_seeds} seeds fixed vs "
+            f"--adaptive at width {planner_ci_width})..."
+        )
+        results["planner"] = bench_planner(planner_seeds, planner_ci_width)
     results["determinism"] = determinism_block(results)
     return results
 

@@ -19,6 +19,7 @@ run over the same seed set.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -46,6 +47,48 @@ TRIAL_FN = "repro.campaign.trials:run_experiment_trial"
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Batch dispatch must beat replaying its members through the scalar
+#: engine; warn when the super-task wall exceeds the members' summed
+#: wall by this factor plus a small absolute noise floor.
+_BATCH_OVERHEAD_TOLERANCE = 1.10
+_BATCH_OVERHEAD_FLOOR_SECONDS = 0.25
+
+#: One warning per process — a 64-group campaign must not print 64 lines.
+_batch_underperformance_warned = False
+
+
+def _note_batch_underperformance(batch_info: Dict[str, Any]) -> None:
+    """Record (and warn once about) batch dispatch losing to scalar.
+
+    ``member_seconds`` is the batch runner's own scalar estimate: each
+    member trial's wall time as measured inside the super-task.  When the
+    dispatch wall exceeds that estimate beyond noise, users are silently
+    paying for ``--batch`` — say so once, and leave a note in the
+    manifest's ``batch`` section (outside the fingerprint view).
+    """
+    global _batch_underperformance_warned
+    dispatch = batch_info.get("dispatch_seconds", 0.0)
+    members = batch_info.get("member_seconds", 0.0)
+    if not batch_info.get("batched"):
+        return
+    threshold = members * _BATCH_OVERHEAD_TOLERANCE + _BATCH_OVERHEAD_FLOOR_SECONDS
+    if dispatch <= threshold:
+        return
+    ratio = dispatch / members if members > 0 else float("inf")
+    batch_info["underperformance"] = {
+        "dispatch_seconds": round(dispatch, 3),
+        "member_seconds": round(members, 3),
+        "overhead_ratio": round(ratio, 3),
+    }
+    if not _batch_underperformance_warned:
+        _batch_underperformance_warned = True
+        print(
+            f"warning: --batch dispatch took {dispatch:.1f}s for trials its "
+            f"own members report as {members:.1f}s ({ratio:.2f}x) — the "
+            "scalar path would likely be faster for this workload",
+            file=sys.stderr,
+        )
 
 
 @dataclass
@@ -76,6 +119,24 @@ class CampaignSpec:
     batch: bool = False
     #: max member trials per batch super-task.
     batch_size: int = 16
+    #: sequential-CI adaptive dispatch: stop consuming seeds per preset
+    #: once the 95% CI of the headline quantity is narrower than
+    #: ``ci_width`` (see :mod:`repro.analysis.planning.planner`).  Like
+    #: ``backend``/``batch`` these knobs are excluded from
+    #: ``campaign_id`` — an adaptive run shares the fixed run's cache
+    #: (it consumes a prefix of the same seed stream), and its manifest
+    #: covers exactly the consumed trials.
+    adaptive: bool = False
+    #: target 95% CI width; required when ``adaptive`` is set.
+    ci_width: Optional[float] = None
+    #: comparison quantity the CI tracks (default: first quantity with
+    #: nonzero spread after the first round).
+    ci_quantity: Optional[str] = None
+    #: seeds dispatched per preset before the first stopping check.
+    min_seeds: int = 8
+    #: seeds added per preset per later round (doubled for presets the
+    #: solver flags as contested).
+    round_size: int = 4
 
     def __post_init__(self) -> None:
         from repro.service.executors import BACKENDS
@@ -84,6 +145,13 @@ class CampaignSpec:
             raise CampaignError("campaign needs at least one seed")
         if self.batch_size < 1:
             raise CampaignError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.adaptive:
+            if self.ci_width is None or self.ci_width <= 0:
+                raise CampaignError("--adaptive needs --ci-width > 0")
+            if self.min_seeds < 2:
+                raise CampaignError("adaptive min_seeds must be >= 2")
+            if self.round_size < 1:
+                raise CampaignError("adaptive round_size must be >= 1")
         if not self.presets:
             raise CampaignError("campaign needs at least one preset")
         if len(set(self.seeds)) != len(self.seeds):
@@ -388,6 +456,8 @@ def run_sweep(
             "batched": 0,
             "scalar_fallback": 0,
             "ejections": [],
+            "dispatch_seconds": 0.0,
+            "member_seconds": 0.0,
         }
 
         def on_final(task: Dict[str, Any], outcome: TrialOutcome) -> None:
@@ -395,11 +465,13 @@ def run_sweep(
             batch_info["batched"] += stats["batched"]
             batch_info["scalar_fallback"] += stats["scalar_fallback"]
             batch_info["ejections"].extend(stats["ejections"])
+            batch_info["dispatch_seconds"] += outcome.elapsed
             supervisor.counter("campaign.trials_batched").inc(stats["batched"])
             supervisor.counter("campaign.trials_scalar_fallback").inc(
                 stats["scalar_fallback"]
             )
             for member, member_outcome in batch_runner.split_outcome(task, outcome):
+                batch_info["member_seconds"] += member_outcome.elapsed
                 finalize_member(member, member_outcome)
 
     else:
@@ -433,6 +505,8 @@ def run_sweep(
     if cancelled:
         supervisor.counter("campaign.cancelled").inc()
         notify("cancelled", {"completed": len(outcomes), "pending": len(pending)})
+    if batch_info is not None:
+        _note_batch_underperformance(batch_info)
 
     records: List[Dict[str, Any]] = []
     for task in tasks:  # task order => deterministic aggregation
@@ -491,7 +565,23 @@ def run_campaign(
     ``cancel_event``) cancels cleanly: the pool is drained, completed
     shards stay flushed, and a partial manifest marked ``cancelled: true``
     is written before returning.
+
+    With ``spec.adaptive`` set, dispatch is handed to the sequential-CI
+    planner (lazy import: the planner itself drives rounds through
+    :func:`run_sweep`), which stops consuming seeds per preset the
+    moment the target CI width is met.
     """
+    if getattr(spec, "adaptive", False):
+        from repro.analysis.planning.planner import run_adaptive_campaign
+
+        return run_adaptive_campaign(
+            spec,
+            stream=stream,
+            progress=progress,
+            trial_fn=trial_fn,
+            observer=observer,
+            cancel_event=cancel_event,
+        )
     sweep = run_sweep(
         spec, trial_fn,
         stream=stream, progress=progress,

@@ -100,6 +100,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             queue_workers=args.queue_workers,
             batch=args.batch,
             batch_size=args.batch_size,
+            adaptive=args.adaptive,
+            ci_width=args.ci_width,
+            ci_quantity=args.ci_quantity,
+            min_seeds=args.min_seeds,
+            round_size=args.round_size,
         )
         if args.no_progress:
             progress = False
@@ -127,6 +132,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 130
     return 0 if result.records else 3
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.planning.search import render_plan, search_plan
+    from repro.errors import ReproError
+
+    try:
+        report = search_plan(
+            presets=tuple(args.preset) if args.preset else ("juno_r1",),
+            tgoals=tuple(args.tgoal) if args.tgoal else (76.0, 152.0),
+            deviations=(
+                tuple(args.deviation) if args.deviation else (0.5, 1.0)
+            ),
+            partitions=(
+                tuple(args.partition) if args.partition
+                else ("sections", "packed")
+            ),
+            overhead_budget=args.budget,
+            tie_break_seeds=args.tie_break_seeds,
+            tie_break_top=args.tie_break_top,
+            seed_base=args.seed_base,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    print(render_plan(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"plan report written to {args.json}", file=sys.stderr)
+    return 0 if report["winner"] is not None else 3
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -460,6 +500,13 @@ def _job_spec_from_args(args: argparse.Namespace) -> dict:
         spec["fault_seed_base"] = args.fault_seed_base
         if args.duration is not None:
             spec["duration"] = args.duration
+    if getattr(args, "adaptive", False):
+        spec["adaptive"] = True
+        spec["ci_width"] = args.ci_width
+        if args.ci_quantity is not None:
+            spec["ci_quantity"] = args.ci_quantity
+        spec["min_seeds"] = args.min_seeds
+        spec["round_size"] = args.round_size
     return spec
 
 
@@ -584,6 +631,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=lambda msg: print(msg, file=sys.stderr),
         batch=args.batch,
         batch_seeds=args.batch_seeds,
+        planner=args.planner,
+        planner_seeds=args.planner_seeds,
+        planner_ci_width=args.planner_ci_width,
     )
     rendered = json.dumps(results, indent=2, sort_keys=True) + "\n"
     if args.out:
@@ -704,7 +754,54 @@ def build_parser() -> argparse.ArgumentParser:
                                "kill switch REPRO_NO_BATCH)")
     campaign.add_argument("--batch-size", type=int, default=16, metavar="N",
                           help="max trials per batch group (default 16)")
+    campaign.add_argument("--adaptive", action="store_true",
+                          help="sequential-CI dispatch: stop consuming seeds "
+                               "per preset once the target CI width is met "
+                               "(needs --ci-width; --seeds is the budget)")
+    campaign.add_argument("--ci-width", type=float, default=None, metavar="W",
+                          help="target 95%% confidence-interval width for "
+                               "--adaptive")
+    campaign.add_argument("--ci-quantity", default=None, metavar="NAME",
+                          help="comparison quantity the CI tracks (default: "
+                               "first quantity with nonzero spread)")
+    campaign.add_argument("--min-seeds", type=int, default=8, metavar="N",
+                          help="seeds per preset before the first stopping "
+                               "check (default 8)")
+    campaign.add_argument("--round-size", type=int, default=4, metavar="N",
+                          help="seeds added per preset per round; doubled "
+                               "for solver-contested presets (default 4)")
     _add_backend_options(campaign)
+
+    plan = sub.add_parser(
+        "plan",
+        help="search SATIN parameters against an overhead budget "
+             "(solver bounds first, simulation only to break ties)",
+    )
+    plan.add_argument("--preset", action="append", metavar="NAME",
+                      help="platform preset / core set; repeatable "
+                           "(default juno_r1)")
+    plan.add_argument("--tgoal", action="append", type=float, metavar="S",
+                      help="full-pass period goal in seconds; repeatable "
+                           "(default 76 152)")
+    plan.add_argument("--deviation", action="append", type=float, metavar="D",
+                      help="wake-up deviation fraction; repeatable "
+                           "(default 0.5 1.0)")
+    plan.add_argument("--partition", action="append",
+                      choices=("sections", "packed", "whole"),
+                      help="partition mode; repeatable "
+                           "(default sections packed)")
+    plan.add_argument("--budget", type=float, default=0.002, metavar="F",
+                      help="max secure-world CPU fraction (default 0.002)")
+    plan.add_argument("--tie-break-seeds", type=int, default=0, metavar="N",
+                      help="seeds of E9 simulation per contested candidate "
+                           "(0 = purely analytical, the default)")
+    plan.add_argument("--tie-break-top", type=int, default=3, metavar="N",
+                      help="max contested candidates to simulate (default 3)")
+    plan.add_argument("--seed-base", type=int, default=2019)
+    plan.add_argument("--cache-dir", default=".repro-cache",
+                      help="result store root for tie-break simulations")
+    plan.add_argument("--json", metavar="FILE",
+                      help="write the full search report JSON here")
 
     chaos = sub.add_parser(
         "chaos",
@@ -851,6 +948,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch-seeds", type=int, default=64, metavar="N",
                        help="seeds for the batch campaign benchmark "
                             "(default 64; only with --batch)")
+    bench.add_argument("--planner", action="store_true",
+                       help="also benchmark adaptive dispatch: fixed-budget "
+                            "E9 campaign vs --adaptive at the same CI target")
+    bench.add_argument("--planner-seeds", type=int, default=64, metavar="N",
+                       help="fixed-budget seed count the adaptive run is "
+                            "measured against (default 64)")
+    bench.add_argument("--planner-ci-width", type=float, default=75.0,
+                       metavar="W",
+                       help="target 95%% CI width for the planner benchmark "
+                            "(default 75, on E9's avg area gap)")
 
     serve = sub.add_parser(
         "serve",
@@ -911,6 +1018,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="per-trial timeout in seconds (0 disables)")
     submit.add_argument("--retries", type=int, default=1)
+    submit.add_argument("--adaptive", action="store_true",
+                        help="sequential-CI adaptive dispatch (campaign "
+                             "jobs; needs --ci-width)")
+    submit.add_argument("--ci-width", type=float, default=None, metavar="W",
+                        help="target 95%% CI width for --adaptive")
+    submit.add_argument("--ci-quantity", default=None, metavar="NAME",
+                        help="comparison quantity the CI tracks")
+    submit.add_argument("--min-seeds", type=int, default=8, metavar="N")
+    submit.add_argument("--round-size", type=int, default=4, metavar="N")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes and print its report")
     submit.add_argument("--wait-timeout", type=float, default=None, metavar="S",
@@ -955,6 +1071,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "plan": _cmd_plan,
     "chaos": _cmd_chaos,
     "report": _cmd_report,
     "trace": _cmd_trace,

@@ -219,7 +219,15 @@ def dashboard_data_from_manifest(
         "lanes": lanes_from_trace(trace) if trace else {"available": False},
     }
     if "batch" in rollup:
-        data["batch"] = rollup["batch"]
+        # Wall-clock dispatch accounting (and the underperformance note
+        # derived from it) legitimately differs between serial and
+        # --jobs N runs — strip it so dashboard.json stays byte-identical
+        # across executors.
+        data["batch"] = {
+            key: value
+            for key, value in rollup["batch"].items()
+            if key not in ("dispatch_seconds", "member_seconds", "underperformance")
+        }
     return data
 
 

@@ -38,6 +38,7 @@ def build_manifest(
     cancelled: bool = False,
     batch: Optional[Dict[str, Any]] = None,
     store_health: Optional[Dict[str, Any]] = None,
+    planner: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one finished campaign run.
 
@@ -129,6 +130,14 @@ def build_manifest(
         # outside the fingerprint view because cache state (hits, reads)
         # legitimately differs between a cold and a resumed run.
         manifest["store"] = store_health
+    if planner is not None:
+        # Adaptive-dispatch provenance (seeds saved, stopping round and
+        # reason per preset, contested set, solver envelopes).  OUTSIDE
+        # the fingerprint view: the fingerprint covers the *consumed*
+        # trials and their results — which an adaptive and a fixed run
+        # over the same consumed seed set agree on — while the planner
+        # section explains why dispatch stopped where it did.
+        manifest["planner"] = planner
     return manifest
 
 
@@ -317,7 +326,7 @@ def manifest_rollup(
         "histograms": histograms,
         "trial_status": _status_counts(manifest),
     }
-    for section in ("survival", "store", "batch"):
+    for section in ("survival", "store", "batch", "planner"):
         if section in manifest:
             rollup[section] = manifest[section]
     return rollup
@@ -359,6 +368,26 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
             f"{batch.get('batched', 0)} trials batched, "
             f"{batch.get('scalar_fallback', 0)} scalar fallback"
             + (f" ({len(ejections)} ejection(s))" if ejections else ""),
+        )
+        under = batch.get("underperformance")
+        if under:
+            lines.insert(
+                -1,
+                f"  !! batch underperformed its scalar estimate: dispatch "
+                f"{under.get('dispatch_seconds')}s vs members "
+                f"{under.get('member_seconds')}s "
+                f"({under.get('overhead_ratio')}x)",
+            )
+    planner = manifest.get("planner")
+    if planner:
+        lines.insert(
+            -1,
+            f"adaptive planner: {planner.get('consumed_trials')}/"
+            f"{planner.get('budget_trials')} trials in "
+            f"{planner.get('rounds')} round(s), "
+            f"{planner.get('seeds_saved')} saved "
+            f"(target width {planner.get('ci_width')} on "
+            f"{planner.get('quantity')!r})",
         )
     failed = [t for t in manifest.get("trials", []) if t["status"] not in ("ok",)]
     if failed:

@@ -65,6 +65,13 @@ class JobSpec:
     plan: str = "smoke"
     fault_seed_base: int = 0
     duration: Optional[float] = None
+    # adaptive-planner fields (campaign-only; result-determining — they
+    # change which seeds are consumed — so they feed the digest when set)
+    adaptive: bool = False
+    ci_width: Optional[float] = None
+    ci_quantity: Optional[str] = None
+    min_seeds: int = 8
+    round_size: int = 4
     # execution fields (excluded from the digest)
     backend: str = "auto"
     jobs: int = 1
@@ -86,6 +93,11 @@ class JobSpec:
             raise ServiceError("job needs at least one preset")
         if self.backend == "queue" and not self.queue_dir:
             raise ServiceError("queue backend needs queue_dir")
+        if self.adaptive:
+            if self.kind != "campaign":
+                raise ServiceError("adaptive dispatch is campaign-only")
+            if self.ci_width is None or self.ci_width <= 0:
+                raise ServiceError("adaptive job needs ci_width > 0")
 
     def seed_list(self) -> List[int]:
         return [self.seed_base + i for i in range(self.seeds)]
@@ -110,6 +122,17 @@ class JobSpec:
                     "duration": self.duration,
                 }
             )
+        if self.adaptive:
+            # Adaptive dispatch consumes a data-dependent prefix of the
+            # seed stream, so the planner knobs determine the result set;
+            # non-adaptive jobs keep their digests unchanged.
+            body["planner"] = {
+                "adaptive": True,
+                "ci_width": self.ci_width,
+                "ci_quantity": self.ci_quantity,
+                "min_seeds": self.min_seeds,
+                "round_size": self.round_size,
+            }
         return stable_digest(body)
 
     def to_run_spec(self, cache_dir: str):
@@ -131,6 +154,11 @@ class JobSpec:
                 backend=self.backend,
                 queue_dir=self.queue_dir,
                 queue_workers=self.queue_workers,
+                adaptive=self.adaptive,
+                ci_width=self.ci_width,
+                ci_quantity=self.ci_quantity,
+                min_seeds=self.min_seeds,
+                round_size=self.round_size,
             )
         from repro.faults.chaos import ChaosSpec
 

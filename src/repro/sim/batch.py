@@ -135,19 +135,57 @@ def uniform_matrix(seeds: Sequence[int], n: int, skip: int = 0) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
-def batch_linear_hash(matrix: Any, mult: int, init: int) -> np.ndarray:
+#: Per-row byte count above which the one-matmul-per-chunk path loses to
+#: per-row scalar hashing.  The matmul widens every uint8 chunk to a
+#: uint64 copy (an 8x materialization) before the BLAS call, so once a
+#: row stops fitting in cache the scalar row loop — which folds each row
+#: through the same power table without the cross-row copy — wins by
+#: 3-5x; below it the shared-table matmul amortizes across rows and wins
+#: by up to an order of magnitude (measured: matmul 1.1-19x faster at
+#: <= 4 KiB/row, 0.19-0.28x at >= 16 KiB/row).
+BATCH_HASH_MATMUL_MAX_BYTES = 8192
+
+
+def batch_hash_strategy(rows: int, length: int) -> str:
+    """Break-even heuristic: ``"matmul"`` or ``"scalar"`` for this shape."""
+    if rows < 2 or length > BATCH_HASH_MATMUL_MAX_BYTES:
+        return "scalar"
+    return "matmul"
+
+
+def batch_linear_hash(
+    matrix: Any, mult: int, init: int, strategy: str = "auto"
+) -> np.ndarray:
     """Row-wise multiplier hash of a ``(rows, bytes)`` uint8 matrix.
 
-    One uint64 matmul against the precomputed descending power table per
-    64 KiB chunk; wrap-around multiply-add mod 2^64 is exact, so
-    ``batch_linear_hash(M, 33, 5381)[i] == djb2(M[i].tobytes())``.
+    ``strategy`` selects the kernel: ``"matmul"`` runs one uint64 matmul
+    against the precomputed descending power table per 64 KiB chunk;
+    ``"scalar"`` folds each row through :class:`repro.secure.hashes.
+    LinearHasher` (the thread-safe per-row path); ``"auto"`` picks by the
+    measured break-even (:func:`batch_hash_strategy`).  Wrap-around
+    multiply-add mod 2^64 is exact either way, so
+    ``batch_linear_hash(M, 33, 5381)[i] == djb2(M[i].tobytes())``
+    regardless of strategy.
     """
-    from repro.secure.hashes import _TABLE_LEN, _pow_table
+    from repro.secure.hashes import _TABLE_LEN, LinearHasher, _pow_table
 
     data = np.ascontiguousarray(matrix, dtype=np.uint8)
     if data.ndim != 2:
         raise ValueError(f"batch_linear_hash needs a 2-D matrix, got ndim={data.ndim}")
     rows, length = data.shape
+    if strategy == "auto":
+        strategy = batch_hash_strategy(rows, length)
+    if strategy not in ("matmul", "scalar"):
+        raise ValueError(f"unknown batch hash strategy {strategy!r}")
+
+    if strategy == "scalar":
+        out = np.empty(rows, dtype=np.uint64)
+        for i in range(rows):
+            hasher = LinearHasher(mult, init)
+            hasher.update(data[i].tobytes())
+            out[i] = hasher.digest()
+        return out
+
     h = np.full(rows, init, dtype=np.uint64)
     for start in range(0, length, _TABLE_LEN):
         chunk = data[:, start : start + _TABLE_LEN].astype(np.uint64)
@@ -158,11 +196,11 @@ def batch_linear_hash(matrix: Any, mult: int, init: int) -> np.ndarray:
     return h
 
 
-def batch_djb2(matrix: Any) -> np.ndarray:
+def batch_djb2(matrix: Any, strategy: str = "auto") -> np.ndarray:
     """Row-wise djb2 digests of a ``(rows, bytes)`` uint8 matrix."""
     from repro.secure.hashes import DJB2_INIT, DJB2_MULT
 
-    return batch_linear_hash(matrix, DJB2_MULT, DJB2_INIT)
+    return batch_linear_hash(matrix, DJB2_MULT, DJB2_INIT, strategy=strategy)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,113 @@
+"""``repro plan`` search engine and CLI: analytic-first, deterministic.
+
+The search must answer from the solver alone by default (milliseconds,
+no campaign runs), rank deterministically, mark the whole-kernel
+baseline infeasible for the same reason the paper rejects it, and only
+spend simulation seeds on tie-breaks when asked.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.planning.search import (
+    PlanCandidate,
+    evaluate_candidate,
+    render_plan,
+    search_plan,
+)
+from repro.cli import main
+from repro.config import preset_config
+from repro.errors import CampaignError
+
+
+def test_default_search_is_analytic_and_deterministic():
+    first = search_plan()
+    second = search_plan()
+    assert first == second  # pure function of the grid
+    assert first["feasible"] > 0
+    assert first["winner"] is not None
+    assert first["tie_break"] is None  # no seeds spent by default
+    # ranked ascending by worst-case latency; the winner is the head
+    his = [c["detection_latency"]["hi"] for c in first["candidates"]]
+    assert his == sorted(his)
+    assert first["winner"]["label"] == next(
+        c["label"] for c in first["candidates"] if c["feasible"]
+    )
+    json.dumps(first)  # JSON-safe throughout
+
+
+def test_whole_kernel_baseline_is_infeasible():
+    """The paper's TZ-Evader-defeated baseline: one 11.9 MB area cannot
+    respect the Eq. 2 safe-area bound."""
+    report = evaluate_candidate(
+        PlanCandidate("juno_r1", 76.0, 1.0, "whole"),
+        preset_config("juno_r1", seed=2019),
+        overhead_budget=0.002,
+    )
+    assert report["area_count"] == 1
+    assert not report["feasible"]
+    assert any("Eq. 2 bound" in r for r in report["infeasible_reasons"])
+
+
+def test_tight_budget_kills_everything():
+    report = search_plan(overhead_budget=1e-9)
+    assert report["feasible"] == 0
+    assert report["winner"] is None
+    assert "no feasible candidate" in render_plan(report)
+
+
+def test_budget_must_be_positive():
+    with pytest.raises(CampaignError):
+        search_plan(overhead_budget=0.0)
+    with pytest.raises(CampaignError):
+        search_plan(presets=())
+
+
+def test_tie_break_simulates_only_the_closest_contenders(tmp_path):
+    """With one seed, the tie-break measures the winner plus at most
+    ``tie_break_top`` contested candidates, re-ranking on the measured
+    gap — and stays deterministic on a re-run (warm cache)."""
+    kwargs = dict(
+        tgoals=(76.0,),
+        deviations=(0.5, 1.0),
+        tie_break_seeds=1,
+        tie_break_top=1,
+        cache_dir=str(tmp_path),
+    )
+    report = search_plan(**kwargs)
+    tie = report["tie_break"]
+    assert tie is not None and tie["quantity"] == "avg area gap"
+    assert len(tie["measured"]) <= 2  # winner + top-1 contested
+    assert all(value is not None for value in tie["measured"].values())
+    assert report["winner"]["label"] in tie["measured"]
+    again = search_plan(**kwargs)
+    assert again == report
+
+
+def test_cli_plan_smoke(tmp_path, capsys):
+    out_file = tmp_path / "plan.json"
+    code = main([
+        "plan", "--tgoal", "76", "--deviation", "0.5",
+        "--partition", "sections", "--partition", "whole",
+        "--json", str(out_file),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# repro plan" in out
+    assert "winner: juno_r1/sections/tgoal=76/dev=0.5" in out
+    assert "INFEASIBLE" in out  # the whole-kernel row
+    payload = json.loads(out_file.read_text())
+    assert payload["winner"]["label"] == "juno_r1/sections/tgoal=76/dev=0.5"
+
+
+def test_cli_plan_exit_3_when_nothing_feasible(capsys):
+    code = main(["plan", "--budget", "1e-9"])
+    assert code == 3
+    assert "no feasible candidate" in capsys.readouterr().out
+
+
+def test_cli_plan_rejects_bad_budget(capsys):
+    code = main(["plan", "--budget", "0"])
+    assert code == 2
+    assert "budget" in capsys.readouterr().err

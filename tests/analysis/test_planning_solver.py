@@ -1,0 +1,271 @@
+"""Contracts of the closed-form race solver against the E7 MC layer.
+
+The envelope functions promise *containment*: no Monte-Carlo estimate
+drawn from the calibrated distributions may fall outside the support
+corners (ISSUE acceptance: "analytical bounds contain the MC estimate
+on every tested config").  The quadrature estimate promises *accuracy*:
+within Monte-Carlo noise of the 20k-trial E7 number.  Both are checked
+here — the hypothesis sweep uses the Rao-Blackwellised conditional
+probability (exactly the MC indicator's conditional expectation) so the
+containment check is pathwise-exact and flake-free.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.planning.solver import (
+    DECISION_THRESHOLD,
+    Interval,
+    RaceModel,
+    conditional_escape_probability,
+    detection_latency_bounds,
+    escape_probability_bounds,
+    escape_probability_estimate,
+    safe_area_bounds,
+    scan_overhead_bounds,
+    solve_preset,
+)
+from repro.config import juno_r1_config, preset_config
+from repro.core.race import RaceParameters, evasion_succeeds, s_bound
+from repro.errors import ConfigurationError
+from repro.sim.rng import RngRegistry
+
+ALL_PRESETS = ("juno_r1", "generic_octa", "smm_like")
+
+
+@pytest.fixture(scope="module")
+def juno_model():
+    return RaceModel.from_machine(juno_r1_config(2019))
+
+
+# ----------------------------------------------------------------------
+# Interval: the bound type itself
+# ----------------------------------------------------------------------
+
+
+def test_interval_basic_properties():
+    iv = Interval(1.0, 3.0)
+    assert iv.width == 2.0 and iv.midpoint == 2.0
+    assert iv.contains(1.0) and iv.contains(3.0) and not iv.contains(3.01)
+    assert iv.contains(3.01, slack=0.02)
+    assert iv.straddles(2.0)
+    assert not iv.straddles(1.0) and not iv.straddles(3.0)  # strict
+    assert iv.overlaps(Interval(3.0, 4.0)) and not iv.overlaps(Interval(3.1, 4.0))
+    assert iv.as_dict() == {"lo": 1.0, "hi": 3.0}
+
+
+def test_interval_rejects_inverted_bounds():
+    with pytest.raises(ConfigurationError):
+        Interval(2.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# conditional probability == the MC indicator's expectation
+# ----------------------------------------------------------------------
+
+
+def test_conditional_probability_matches_indicator_fraction(juno_model):
+    """For a fixed timing tuple, the exact fraction of escaping positions
+    equals the closed form (the Rao-Blackwell identity, checked on a
+    dense deterministic position grid against ``evasion_succeeds``)."""
+    span = float(juno_model.kernel_size)
+    params = RaceParameters(
+        ts_switch=juno_model.ts_switch.mean,
+        ts_1byte=juno_model.ts_1byte.mean,
+        tns_sched=juno_model.tsleep / 3.0,
+        tns_threshold=juno_model.tns_threshold,
+        tns_recover=juno_model.tns_recover.mean,
+        kernel_size=int(span),
+    )
+    n = 200_001
+    hits = sum(
+        evasion_succeeds(params, span * (i + 0.5) / n) for i in range(n)
+    )
+    closed = conditional_escape_probability(
+        span,
+        params.ts_switch,
+        params.ts_1byte,
+        params.tns_sched,
+        params.tns_threshold,
+        params.tns_recover,
+    )
+    assert hits / n == pytest.approx(closed, abs=2.0 / n)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: pathwise containment across area size and wake-up law
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    span_fraction=st.floats(min_value=1e-4, max_value=1.0),
+    tsleep_scale=st.floats(min_value=0.1, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+    trials=st.integers(min_value=1, max_value=64),
+)
+def test_envelope_contains_every_sampled_probability(
+    span_fraction, tsleep_scale, seed, trials
+):
+    """ISSUE satellite: sweep the scan-area size and the wake-up
+    distribution's width; every per-trial conditional escape probability
+    sampled the E7 way must land inside the analytic envelope — so every
+    MC average does too, with zero sampling flake."""
+    base = RaceModel.from_machine(juno_r1_config(2019))
+    model = RaceModel(
+        ts_switch=base.ts_switch,
+        ts_1byte=base.ts_1byte,
+        tns_recover=base.tns_recover,
+        tsleep=base.tsleep * tsleep_scale,
+        tns_threshold=base.tns_threshold,
+        kernel_size=base.kernel_size,
+    )
+    span = max(model.kernel_size * span_fraction, 1.0)
+    envelope = escape_probability_bounds(model, span)
+    rng = RngRegistry(seed).stream("race.mc")
+    for _ in range(trials):
+        p = conditional_escape_probability(
+            span,
+            model.ts_switch.sample(rng),
+            model.ts_1byte.sample(rng),
+            rng.uniform(0.0, model.tsleep),
+            model.tns_threshold,
+            model.tns_recover.sample(rng),
+        )
+        assert envelope.contains(p, slack=1e-12)
+
+
+def test_envelope_contains_e7_monte_carlo_on_all_presets():
+    """The indicator-level check on the full E7 recipe (20k trials,
+    uniform positions) for every shipped preset: the whole-kernel MC
+    escape frequency sits inside the solver's envelope."""
+    for preset in ALL_PRESETS:
+        machine_cfg = preset_config(preset, seed=2019)
+        model = RaceModel.from_machine(machine_cfg)
+        envelope = escape_probability_bounds(model)
+        rng = RngRegistry(2019).stream("race.mc")
+        timing = machine_cfg.clusters[-1].timing
+        escapes = 0
+        trials = 20_000
+        for _ in range(trials):
+            params = RaceParameters(
+                ts_switch=timing.world_switch.sample(rng),
+                ts_1byte=timing.hash_byte.sample(rng),
+                tns_sched=rng.uniform(0.0, machine_cfg.prober.tsleep),
+                tns_threshold=machine_cfg.prober.detect_threshold,
+                tns_recover=timing.recover_trace_8b.sample(rng),
+                kernel_size=model.kernel_size,
+            )
+            if evasion_succeeds(params, rng.uniform(0, model.kernel_size)):
+                escapes += 1
+        assert envelope.contains(escapes / trials, slack=1e-9), preset
+
+
+# ----------------------------------------------------------------------
+# quadrature: accuracy against the E7 number, containment in envelope
+# ----------------------------------------------------------------------
+
+
+def test_quadrature_matches_e7_monte_carlo(juno_model):
+    from repro.experiments.race_analysis import run_race_analysis
+
+    estimate = escape_probability_estimate(juno_model)
+    mc = run_race_analysis(seed=2019).values["mc_escape_rate"]
+    # 20k-trial MC standard error is ~0.002; the quadrature should land
+    # well inside +-3 sigma of it.
+    assert estimate == pytest.approx(mc, abs=0.006)
+    assert escape_probability_bounds(juno_model).contains(estimate)
+
+
+def test_quadrature_estimate_inside_envelope_on_all_presets():
+    for preset in ALL_PRESETS:
+        model = RaceModel.from_machine(preset_config(preset, seed=2019))
+        envelope = escape_probability_bounds(model)
+        assert envelope.contains(
+            escape_probability_estimate(model), slack=1e-12
+        ), preset
+
+
+# ----------------------------------------------------------------------
+# safe-area envelope brackets the paper's Eq. 2 point value
+# ----------------------------------------------------------------------
+
+
+def test_safe_area_envelope_brackets_paper_bound(juno_model):
+    envelope = safe_area_bounds(juno_model)
+    point = s_bound(RaceParameters())  # the E7 mean-timing bound
+    assert envelope.contains(float(point))
+    assert envelope.lo > 0
+
+
+# ----------------------------------------------------------------------
+# detection-latency envelope contains the measured E9 metric
+# ----------------------------------------------------------------------
+
+
+def test_detection_latency_envelope_contains_measured_gaps(juno_model):
+    """ISSUE satellite: the E9 "avg area gap" per-seed values (full
+    simulated stack) must fall inside the analytic envelope built from
+    the same SATIN parameters."""
+    from repro.config import PAPER_AREA_COUNT
+    from repro.experiments.report import run_experiment
+
+    satin_cfg = juno_r1_config(2019).satin
+    envelope = detection_latency_bounds(
+        juno_model,
+        area_count=PAPER_AREA_COUNT,
+        tgoal=satin_cfg.tgoal,
+        deviation_fraction=satin_cfg.deviation_fraction,
+    )
+    for seed in (0, 1, 2019):
+        result = run_experiment("E9", seed=seed)
+        gap = next(
+            row["measured"]
+            for row in result.comparisons
+            if row["quantity"] == "avg area gap"
+        )
+        assert envelope.contains(gap), (seed, gap, envelope)
+
+
+def test_detection_latency_scales_with_round_period(juno_model):
+    tight = detection_latency_bounds(juno_model, 19, 76.0, 0.5)
+    loose = detection_latency_bounds(juno_model, 19, 152.0, 0.5)
+    assert loose.hi > tight.hi
+    assert tight.lo >= 0.0
+    with pytest.raises(ConfigurationError):
+        detection_latency_bounds(juno_model, 0, 76.0)
+
+
+def test_scan_overhead_bounds_are_ordered_and_small(juno_model):
+    overhead = scan_overhead_bounds(juno_model, 19, 76.0)
+    assert 0.0 < overhead.lo <= overhead.hi < 0.01
+    with pytest.raises(ConfigurationError):
+        scan_overhead_bounds(juno_model, 19, 0.0)
+
+
+# ----------------------------------------------------------------------
+# solve_preset: the planner-facing summary
+# ----------------------------------------------------------------------
+
+
+def test_solve_preset_juno_is_contested():
+    """Juno's envelope straddles the paper's 90% threshold — exactly why
+    the adaptive planner routes simulation seeds to it."""
+    solution = solve_preset("juno_r1", juno_r1_config(2019))
+    assert solution.contested
+    assert solution.escape.straddles(DECISION_THRESHOLD)
+    assert solution.escape.contains(solution.escape_estimate)
+    payload = solution.as_dict()
+    assert payload["preset"] == "juno_r1"
+    assert set(payload["escape"]) == {"lo", "hi"}
+
+
+def test_solve_preset_handles_unclipped_support():
+    """smm_like's per-byte cost has support down to zero; the bound
+    degenerates to [0, hi] rather than dividing by zero."""
+    solution = solve_preset("smm_like", preset_config("smm_like", seed=2019))
+    assert solution.escape.lo == 0.0
+    assert 0.0 <= solution.escape_estimate <= 1.0
+    assert not math.isnan(solution.safe_area.hi)

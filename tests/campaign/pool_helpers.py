@@ -54,3 +54,19 @@ def slow_double_seed(task):
     """double_seed with enough latency for cancel/progress races."""
     time.sleep(task.get("delay", 0.2))
     return {"value": task["seed"] * 2}
+
+
+def seeded_comparison(task):
+    """A comparison-shaped payload: one constant and one seed-dependent
+    quantity, so the adaptive planner's quantity selection and CI
+    tracking can run without a real experiment."""
+    return {
+        "comparisons": [
+            {"quantity": "rounds", "paper": 19, "measured": 19},
+            {
+                "quantity": "gap",
+                "paper": 150.0,
+                "measured": 100.0 + 10.0 * task["seed"],
+            },
+        ]
+    }

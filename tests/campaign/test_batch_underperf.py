@@ -1,0 +1,87 @@
+"""``--batch`` underperformance note: detection, one-time warning,
+manifest rendering, and dashboard byte-identity exclusion."""
+
+from repro.campaign import runner
+from repro.campaign.runner import _note_batch_underperformance
+from repro.obs.dashboard.data import dashboard_data_from_manifest
+from repro.obs.manifest import render_manifest
+
+
+def info(dispatch, members, batched=4):
+    return {
+        "enabled": True,
+        "groups": 1,
+        "batched": batched,
+        "scalar_fallback": 0,
+        "ejections": [],
+        "dispatch_seconds": dispatch,
+        "member_seconds": members,
+    }
+
+
+def test_underperformance_detected_and_warned_once(monkeypatch, capsys):
+    monkeypatch.setattr(runner, "_batch_underperformance_warned", False)
+    batch = info(dispatch=10.0, members=5.0)
+    _note_batch_underperformance(batch)
+    note = batch["underperformance"]
+    assert note["overhead_ratio"] == 2.0
+    assert note["dispatch_seconds"] == 10.0 and note["member_seconds"] == 5.0
+    err = capsys.readouterr().err
+    assert "warning: --batch dispatch took 10.0s" in err
+    assert "scalar path would likely be faster" in err
+    # one warning per process, however many campaigns notice it
+    _note_batch_underperformance(info(dispatch=10.0, members=5.0))
+    assert "warning" not in capsys.readouterr().err
+
+
+def test_no_note_within_tolerance(monkeypatch, capsys):
+    monkeypatch.setattr(runner, "_batch_underperformance_warned", False)
+    # inside the 10% + 0.25s noise envelope
+    batch = info(dispatch=5.7, members=5.0)
+    _note_batch_underperformance(batch)
+    assert "underperformance" not in batch
+    # nothing actually batched => nothing to compare
+    empty = info(dispatch=100.0, members=0.0, batched=0)
+    _note_batch_underperformance(empty)
+    assert "underperformance" not in empty
+    assert capsys.readouterr().err == ""
+
+
+def _manifest_with_batch(batch):
+    return {
+        "schema": "satin-campaign/v1",
+        "campaign_id": "E1-x",
+        "experiment_id": "E1",
+        "code_version": "test",
+        "cancelled": False,
+        "spec": {"seeds": 4, "presets": ["juno_r1"], "full": False},
+        "trials": [],
+        "totals": {"trials": 0, "quarantined": 0},
+        "metrics": {},
+        "batch": batch,
+    }
+
+
+def test_render_manifest_carries_the_note(monkeypatch):
+    monkeypatch.setattr(runner, "_batch_underperformance_warned", True)
+    batch = info(dispatch=10.0, members=5.0)
+    _note_batch_underperformance(batch)
+    rendered = render_manifest(_manifest_with_batch(batch))
+    assert "!! batch underperformed its scalar estimate" in rendered
+    assert "dispatch 10.0s vs members 5.0s (2.0x)" in rendered
+    clean = render_manifest(_manifest_with_batch(info(dispatch=5.0, members=5.0)))
+    assert "underperformed" not in clean
+
+
+def test_dashboard_strips_wall_clock_batch_fields(monkeypatch):
+    """dashboard.json must stay byte-identical between serial and
+    --jobs N runs, so the wall-clock dispatch accounting (and the note
+    derived from it) never reaches the dashboard data."""
+    monkeypatch.setattr(runner, "_batch_underperformance_warned", True)
+    batch = info(dispatch=10.0, members=5.0)
+    _note_batch_underperformance(batch)
+    data = dashboard_data_from_manifest(_manifest_with_batch(batch))
+    assert "dispatch_seconds" not in data["batch"]
+    assert "member_seconds" not in data["batch"]
+    assert "underperformance" not in data["batch"]
+    assert data["batch"]["batched"] == 4  # the rest survives

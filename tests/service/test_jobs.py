@@ -59,6 +59,50 @@ class TestJobSpec:
         assert clone == spec
         assert clone.config_digest() == spec.config_digest()
 
+    def test_adaptive_validation(self):
+        with pytest.raises(ServiceError, match="campaign-only"):
+            spec_for(kind="chaos", target="figure4", adaptive=True, ci_width=1.0)
+        with pytest.raises(ServiceError, match="ci_width"):
+            spec_for(adaptive=True)
+        with pytest.raises(ServiceError, match="ci_width"):
+            spec_for(adaptive=True, ci_width=0.0)
+
+    def test_digest_tracks_planner_fields_only_when_adaptive(self):
+        """Planner knobs are result-determining for adaptive jobs (they
+        change which seeds are consumed) but must leave non-adaptive
+        digests untouched — two users asking for the same fixed grid
+        still share a cache entry."""
+        base = spec_for().config_digest()
+        # non-adaptive: the knobs are inert and excluded
+        assert spec_for(ci_width=5.0).config_digest() == base
+        assert spec_for(min_seeds=3, round_size=9).config_digest() == base
+        # adaptive: every knob moves the digest
+        adaptive = spec_for(adaptive=True, ci_width=5.0).config_digest()
+        assert adaptive != base
+        assert spec_for(adaptive=True, ci_width=6.0).config_digest() != adaptive
+        assert (
+            spec_for(adaptive=True, ci_width=5.0, ci_quantity="gap").config_digest()
+            != adaptive
+        )
+        assert (
+            spec_for(adaptive=True, ci_width=5.0, min_seeds=2).config_digest()
+            != adaptive
+        )
+        assert (
+            spec_for(adaptive=True, ci_width=5.0, round_size=8).config_digest()
+            != adaptive
+        )
+
+    def test_adaptive_spec_round_trips_and_reaches_run_spec(self, tmp_path):
+        spec = spec_for(adaptive=True, ci_width=75.0, min_seeds=4, round_size=2)
+        clone = JobSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.config_digest() == spec.config_digest()
+        run = spec.to_run_spec(str(tmp_path))
+        assert run.adaptive is True
+        assert run.ci_width == 75.0
+        assert run.min_seeds == 4 and run.round_size == 2
+
     def test_from_json_rejects_unknown_fields(self):
         with pytest.raises(ServiceError, match="unknown job spec field"):
             JobSpec.from_json({"kind": "campaign", "target": "E9", "nope": 1})
