@@ -53,6 +53,7 @@ from repro.core import (
 )
 from repro.errors import (
     AttackError,
+    BackpressureError,
     CampaignError,
     ConfigurationError,
     FaultError,
@@ -96,6 +97,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttackError",
+    "BackpressureError",
     "CampaignError",
     "CampaignResult",
     "CampaignSpec",

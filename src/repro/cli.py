@@ -455,15 +455,23 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
     from repro.service.server import serve_forever
 
-    return serve_forever(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        max_workers=args.workers,
-        verbose=args.verbose,
-    )
+    try:
+        return serve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_workers=args.workers,
+            verbose=args.verbose,
+            recover=args.recover,
+            max_pending=args.max_pending,
+            max_inflight_per_client=args.max_inflight,
+        )
+    except ServiceError as error:
+        print(f"serve error: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
@@ -473,6 +481,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         args.queue,
         max_idle=args.max_idle if args.max_idle > 0 else None,
         max_tasks=1 if args.once else None,
+        lease_ttl=args.lease_ttl,
     )
     print(f"worker exiting after {count} task(s)", file=sys.stderr)
     return 0
@@ -973,6 +982,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="concurrent job executions (default 2)")
     serve.add_argument("-v", "--verbose", action="store_true",
                        help="log each HTTP request to stderr")
+    serve.add_argument("--no-recover", dest="recover", action="store_false",
+                       default=True,
+                       help="skip journal replay on startup (jobs from a "
+                            "previous run are forgotten, not resumed)")
+    serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                       help="pending-queue depth before submissions get "
+                            "HTTP 429 + Retry-After (default 64)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="non-terminal jobs one client may have in "
+                            "flight (default 8; 0 = unlimited)")
 
     worker = sub.add_parser(
         "worker",
@@ -985,6 +1004,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = wait forever)")
     worker.add_argument("--once", action="store_true",
                         help="process a single task and exit")
+    worker.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                        help="claim lease TTL; the worker heartbeats every "
+                             "TTL/3 so supervisors can reclaim dead claims "
+                             "(default 30, 0 disables leases)")
 
     submit = sub.add_parser(
         "submit",

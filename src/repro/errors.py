@@ -67,6 +67,23 @@ class JobTransitionError(ServiceError):
     """A job was asked to make an invalid lifecycle transition."""
 
 
+class BackpressureError(ServiceError):
+    """The service refused a submission to protect itself.
+
+    Raised when the pending queue is at capacity or a client exceeds its
+    in-flight cap (HTTP 429), or while the server is draining (HTTP 503).
+    ``retry_after`` is the suggested wait in seconds; the HTTP layer
+    forwards it as a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float = 1.0, status: int = 429
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.status = status
+
+
 class FaultError(ReproError):
     """Base class for the fault-injection subsystem (:mod:`repro.faults`)."""
 

@@ -142,11 +142,21 @@ def build_manifest(
 
 
 def write_manifest(directory: str, manifest: Dict[str, Any]) -> str:
-    """Write ``manifest.json`` into ``directory``; returns the path."""
+    """Write ``manifest.json`` into ``directory``; returns the path.
+
+    Crash-atomic (tmp-file + fsync + rename): a campaign killed mid-write
+    leaves either the previous manifest or the new one, never a torn
+    JSON document — the service's crash recovery reads manifests from
+    resumed runs and must be able to trust them.
+    """
     path = os.path.join(directory, MANIFEST_NAME)
-    with open(path, "w", encoding="utf-8") as handle:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, sort_keys=True, indent=1)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
     return path
 
 

@@ -32,6 +32,7 @@ from repro.service.executors import (
     make_executor,
 )
 from repro.service.jobs import JobSpec, JobState, JOB_STATES
+from repro.service.journal import JobJournal, ReplayResult
 from repro.service.queue import FileQueueExecutor, run_worker
 
 __all__ = [
@@ -42,8 +43,10 @@ __all__ = [
     "ForkExecutor",
     "InlineExecutor",
     "JOB_STATES",
+    "JobJournal",
     "JobSpec",
     "JobState",
+    "ReplayResult",
     "ThreadExecutor",
     "execute_tasks",
     "make_executor",

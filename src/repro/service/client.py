@@ -3,15 +3,22 @@
 ``repro submit/status/fetch/cancel`` are wrappers over these helpers;
 everything speaks JSON over ``urllib.request`` so the client has the
 same zero-dependency footprint as the server.
+
+The client is built to ride out a service that is overloaded (429),
+draining (503), or mid-restart (connection refused): :func:`request`
+retries those with capped exponential backoff and *deterministic* jitter
+(hash-derived, so behaviour is reproducible run-to-run), honouring any
+``Retry-After`` the server sends.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
@@ -22,6 +29,54 @@ DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
 #: Poll cadence of ``submit --wait`` / ``status --wait``.
 POLL_SECONDS = 0.25
 
+#: HTTP statuses worth retrying: overload backpressure and drain.
+RETRY_STATUSES = (429, 503)
+
+#: Default retry budget and backoff shape of :func:`request`.
+DEFAULT_RETRIES = 4
+BACKOFF_BASE = 0.25
+BACKOFF_CAP = 8.0
+
+
+def _jitter_fraction(token: str) -> float:
+    """Deterministic jitter in [0, 1): same token, same fraction.
+
+    Hash-derived instead of ``random`` so client behaviour (and every
+    test that exercises it) is reproducible, while distinct tokens still
+    de-synchronize a thundering herd of pollers.
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
+
+
+def _backoff_delay(
+    token: str,
+    attempt: int,
+    retry_after: Optional[float] = None,
+    base: float = BACKOFF_BASE,
+    cap: float = BACKOFF_CAP,
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    A server-provided ``Retry-After`` wins outright — the server knows
+    its queue depth better than any client-side guess.
+    """
+    if retry_after is not None and retry_after >= 0:
+        return min(cap, retry_after)
+    delay = min(cap, base * (2.0 ** attempt))
+    return delay * (0.5 + _jitter_fraction(f"{token}:{attempt}"))
+
+
+def _retry_after_seconds(headers: Any) -> Optional[float]:
+    """Parse a ``Retry-After`` header (delta-seconds form only)."""
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except (TypeError, ValueError):
+        return None
+
 
 def request(
     url: str,
@@ -29,12 +84,21 @@ def request(
     method: str = "GET",
     payload: Optional[Dict[str, Any]] = None,
     timeout: float = 30.0,
+    retries: int = DEFAULT_RETRIES,
+    backoff_base: float = BACKOFF_BASE,
+    backoff_cap: float = BACKOFF_CAP,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Tuple[int, Any]:
     """One API call; returns ``(http_status, decoded_body)``.
 
     Error responses (4xx/5xx) are returned, not raised — the server puts
-    the explanation in the body's ``error`` key.  Transport failures
-    (connection refused, DNS) raise :class:`ServiceError`.
+    the explanation in the body's ``error`` key.  Connection errors, 429
+    (overload) and 503 (draining) are retried up to ``retries`` times
+    with capped exponential backoff and deterministic jitter, honouring
+    ``Retry-After``; once the budget is spent, the last 429/503 body is
+    returned and a transport failure raises :class:`ServiceError`.
+    Submissions are safe to retry: specs are content-addressed, so a
+    replay dedupes against the in-flight job or hits the result cache.
     """
     full = url.rstrip("/") + path
     data = None
@@ -42,16 +106,33 @@ def request(
     if payload is not None:
         data = json.dumps(payload).encode("utf-8")
         headers["Content-Type"] = "application/json"
-    req = urllib.request.Request(full, data=data, headers=headers, method=method)
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as response:
-            return response.status, _decode(response)
-    except urllib.error.HTTPError as error:
-        return error.code, _decode(error)
-    except urllib.error.URLError as error:
-        raise ServiceError(
-            f"cannot reach repro service at {url!r}: {error.reason}"
-        ) from None
+    last_error: Optional[str] = None
+    for attempt in range(max(0, retries) + 1):
+        req = urllib.request.Request(
+            full, data=data, headers=headers, method=method
+        )
+        retry_after: Optional[float] = None
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                return response.status, _decode(response)
+        except urllib.error.HTTPError as error:
+            if error.code not in RETRY_STATUSES or attempt >= retries:
+                return error.code, _decode(error)
+            retry_after = _retry_after_seconds(error.headers)
+            _decode(error)  # fully drain the body before reconnecting
+        except urllib.error.URLError as error:
+            last_error = str(getattr(error, "reason", error))
+            if attempt >= retries:
+                break
+        sleep(
+            _backoff_delay(
+                path, attempt, retry_after=retry_after,
+                base=backoff_base, cap=backoff_cap,
+            )
+        )
+    raise ServiceError(
+        f"cannot reach repro service at {url!r}: {last_error}"
+    ) from None
 
 
 def _decode(response: Any) -> Any:
@@ -136,13 +217,20 @@ def wait_for_job(
     timeout: Optional[float] = None,
     poll: float = POLL_SECONDS,
     on_progress=None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Dict[str, Any]:
     """Poll until the job reaches a terminal state; returns the final state.
 
     ``on_progress(state_json)`` fires on every poll so callers can render
-    live trial counters.  Raises :class:`ServiceError` on deadline.
+    live trial counters.  Polling is jittered (deterministically, per
+    job id and attempt) so many waiting clients do not beat on the
+    service in lockstep, and the ``timeout`` is a real deadline: the
+    final sleep is clamped to whatever time remains, and the deadline is
+    re-checked against the clock rather than counting fixed sleeps.
+    Raises :class:`ServiceError` once the deadline passes.
     """
     deadline = None if timeout is None else time.monotonic() + timeout
+    attempt = 0
     while True:
         state = job_status(url, job_id)
         if on_progress is not None:
@@ -153,7 +241,11 @@ def wait_for_job(
             raise ServiceError(
                 f"job {job_id} still {state.get('state')!r} after {timeout:g}s"
             )
-        time.sleep(poll)
+        delay = poll * (0.75 + 0.5 * _jitter_fraction(f"{job_id}:{attempt}"))
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        sleep(delay)
+        attempt += 1
 
 
 def format_state_line(state: Dict[str, Any]) -> str:

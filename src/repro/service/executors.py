@@ -542,7 +542,8 @@ def make_executor(
         if not queue_dir:
             raise ServiceError("queue backend needs a queue directory")
         return FileQueueExecutor(
-            queue_dir, timeout=timeout, local_workers=queue_workers
+            queue_dir, timeout=timeout, local_workers=queue_workers,
+            metrics=metrics,
         )
     raise ServiceError(
         f"unknown executor backend {backend!r} (choose from {', '.join(BACKENDS)})"

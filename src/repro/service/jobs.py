@@ -213,6 +213,8 @@ class JobState:
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     manifest_path: Optional[str] = None
+    #: times this job was reset to pending by crash recovery.
+    recoveries: int = 0
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -244,6 +246,29 @@ class JobState:
         if error is not None:
             self.error = error
 
+    def mark_recovered(self) -> None:
+        """Reset an in-flight job to ``pending`` after a service restart.
+
+        Deliberately *not* a normal transition — ``running -> pending``
+        only makes sense when the process that was running the job is
+        gone.  Trial-level progress is reset (the re-dispatch recomputes
+        it; completed trials come back instantly as cache hits), the
+        cancel event is re-armed, and ``recoveries`` counts the resets.
+        """
+        if self.terminal:
+            raise JobTransitionError(
+                f"job {self.job_id} is {self.state}; terminal jobs are "
+                "served from the journal, not recovered"
+            )
+        self.state = "pending"
+        self.started_unix = None
+        self.recoveries += 1
+        total = self.progress.get("total", 0)
+        self.progress = {
+            "total": total, "cached": 0, "done": 0, "failed": 0, "retried": 0,
+        }
+        self.cancel_event = threading.Event()
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "job_id": self.job_id,
@@ -257,6 +282,7 @@ class JobState:
             "result": self.result,
             "error": self.error,
             "manifest_path": self.manifest_path,
+            "recoveries": self.recoveries,
         }
 
     @classmethod
@@ -280,4 +306,5 @@ class JobState:
         state.result = payload.get("result")
         state.error = payload.get("error")
         state.manifest_path = payload.get("manifest_path")
+        state.recoveries = int(payload.get("recoveries") or 0)
         return state

@@ -3,21 +3,28 @@
 Queue layout (any shared directory — local disk, NFS, ...)::
 
     <queue>/
-        tasks/<key>.json      submitted work (task dict + trial-fn path)
-        claimed/<key>.json    work a worker has taken (atomic rename claim)
-        results/<key>.json    finished attempts (tmp-file + rename, atomic)
-        control/stop          polite shutdown marker for workers
+        tasks/<key>.json        submitted work (task dict + trial-fn path)
+        claimed/<key>.json      work a worker has taken (atomic rename claim)
+        claimed/<key>.lease.json  the claim's lease: TTL + heartbeat renewals
+        results/<key>.json      finished attempts (tmp-file + rename, atomic)
+        control/stop            polite shutdown marker for workers
 
 Claiming is an atomic ``rename(tasks/k.json, claimed/k.json)`` — on POSIX
 exactly one worker wins, which is the whole concurrency story: no locks,
 no daemons, and the queue directory is inspectable with ``ls``.  Results
-are written to a temp file and renamed in, so a reader never sees a torn
-JSON document.
+are written to a temp file, renamed in, and the directory is fsync'd, so
+a reader never sees a torn JSON document and a host crash cannot lose a
+"committed" file.
 
-Crash/stall recovery lives supervisor-side: a claim older than the trial
-timeout (plus grace) is reclaimed — the claim file is deleted and the
-supervisor's retry budget re-enqueues the task; a late result from the
-stale worker is ignored because its attempt is no longer outstanding.
+Crash/stall recovery is lease-based: a claim carries a lease with a TTL
+that the worker renews from a heartbeat thread while the trial runs.  The
+supervisor reclaims a claim whose lease expired (worker SIGKILLed, host
+lost) by moving it back into ``tasks/`` — *at-least-once* delivery.  That
+is safe because trial results are idempotent: they are content-addressed
+by config/seed digest in the result store, so a re-run writes the same
+record, and a late result from the presumed-dead worker is detected and
+dropped (counted as ``queue.duplicate_results``).  The hard timeout
+(trial timeout + grace) remains the attempt-level backstop.
 
 ``python -m repro worker --queue DIR`` runs :func:`run_worker`.
 """
@@ -29,14 +36,26 @@ import os
 import threading
 import time
 import traceback
-from typing import Any, Dict, List, Optional
+import warnings
+from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import ServiceError
 from repro.service.executors import ExecMessage, Executor
+from repro.service.journal import fsync_dir
 from repro.campaign.pool import resolve_function
 
 #: Seconds past the trial timeout before a claim counts as abandoned.
 CLAIM_GRACE = 30.0
+
+#: Default lease TTL: a worker heartbeats every TTL/3, so an expired
+#: lease means the worker missed three consecutive renewals (dead or
+#: badly stalled), not just one slow trial.
+LEASE_TTL = 30.0
+
+#: A ``control/stop`` sentinel older than this is considered stale debris
+#: from a crashed ``stop_workers`` and is cleared by new workers, so an
+#: abandoned shutdown cannot brick the queue forever.
+STALE_STOP_SECONDS = 600.0
 
 #: Worker poll cadence when the tasks directory is empty.
 _IDLE_POLL = 0.05
@@ -44,10 +63,31 @@ _IDLE_POLL = 0.05
 _SUBDIRS = ("tasks", "claimed", "results", "control")
 
 
-def ensure_queue(queue_dir: str) -> str:
-    """Create the queue directory structure (idempotent)."""
+def ensure_queue(
+    queue_dir: str, stale_stop_after: Optional[float] = None
+) -> str:
+    """Create the queue directory structure (idempotent).
+
+    With ``stale_stop_after`` set, a ``control/stop`` sentinel older than
+    that many seconds is removed — it outlived any plausible shutdown and
+    would otherwise make every future worker exit on arrival.
+    """
     for name in _SUBDIRS:
         os.makedirs(os.path.join(queue_dir, name), exist_ok=True)
+    if stale_stop_after is not None:
+        stop_path = os.path.join(queue_dir, "control", "stop")
+        try:
+            age = time.time() - os.path.getmtime(stop_path)
+        except OSError:
+            age = None
+        if age is not None and age > stale_stop_after:
+            warnings.warn(
+                f"clearing stale stop sentinel ({age:.0f}s old) in "
+                f"{queue_dir!r} — a previous stop_workers never cleaned up",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            clear_stop(queue_dir)
     return queue_dir
 
 
@@ -59,6 +99,9 @@ def _atomic_write(path: str, payload: Dict[str, Any]) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # fsync the directory too: without it a host crash can roll back the
+    # rename and lose a file the caller was told is committed.
+    fsync_dir(os.path.dirname(path) or ".")
 
 
 def enqueue_task(queue_dir: str, task: Dict[str, Any], fn_path: str) -> str:
@@ -88,8 +131,87 @@ def claim_next(queue_dir: str) -> Optional[str]:
     return None
 
 
-def write_result(queue_dir: str, key: str, message: Dict[str, Any]) -> None:
-    _atomic_write(os.path.join(queue_dir, "results", f"{key}.json"), message)
+# ---------------------------------------------------------------------------
+# Leases
+# ---------------------------------------------------------------------------
+
+
+def lease_path(queue_dir: str, key: str) -> str:
+    return os.path.join(queue_dir, "claimed", f"{key}.lease.json")
+
+
+def write_lease(
+    queue_dir: str, key: str, ttl: float, worker: Optional[int] = None
+) -> None:
+    """(Re)write the lease for a claimed task; wall-clock expiry.
+
+    Wall time (not monotonic) because the supervisor and the worker may
+    be different processes on different machines sharing the queue.
+    """
+    now = time.time()
+    _atomic_write(
+        lease_path(queue_dir, key),
+        {
+            "worker": worker if worker is not None else os.getpid(),
+            "ttl": ttl,
+            "renewed_unix": now,
+            "expires_unix": now + ttl,
+        },
+    )
+
+
+def read_lease(queue_dir: str, key: str) -> Optional[Dict[str, Any]]:
+    """The claim's lease, or None when absent/torn (treated as expired)."""
+    try:
+        with open(lease_path(queue_dir, key), "r", encoding="utf-8") as handle:
+            lease = json.load(handle)
+    except (FileNotFoundError, ValueError, OSError):
+        return None
+    return lease if isinstance(lease, dict) else None
+
+
+def clear_lease(queue_dir: str, key: str) -> None:
+    try:
+        os.remove(lease_path(queue_dir, key))
+    except FileNotFoundError:
+        pass
+
+
+def _heartbeat(
+    queue_dir: str,
+    key: str,
+    claimed_path: str,
+    ttl: float,
+    stop: threading.Event,
+) -> None:
+    """Renew the lease every TTL/3 until the task finishes.
+
+    Stops renewing the moment the claim file disappears — that means the
+    supervisor reclaimed it (this worker looked dead) and the task now
+    belongs to someone else; finishing quietly avoids fighting over it.
+    """
+    interval = max(0.01, ttl / 3.0)
+    while not stop.wait(interval):
+        if not os.path.exists(claimed_path):
+            return
+        try:
+            write_lease(queue_dir, key, ttl)
+        except OSError:
+            return
+
+
+def write_result(queue_dir: str, key: str, message: Dict[str, Any]) -> bool:
+    """Publish one attempt's result; True when a result already existed.
+
+    An existing result means another attempt of the same task finished
+    first (this worker's lease was reclaimed mid-run) — the write still
+    happens (results are idempotent, keyed by config/seed digest), but
+    the caller can count the duplicate.
+    """
+    path = os.path.join(queue_dir, "results", f"{key}.json")
+    existed = os.path.exists(path)
+    _atomic_write(path, message)
+    return existed
 
 
 def stop_workers(queue_dir: str) -> None:
@@ -114,6 +236,7 @@ def run_worker(
     max_tasks: Optional[int] = None,
     stop_event: Optional[threading.Event] = None,
     progress=None,
+    lease_ttl: float = LEASE_TTL,
 ) -> int:
     """Drain tasks from ``queue_dir`` until told to stop; returns task count.
 
@@ -123,10 +246,17 @@ def run_worker(
     nothing to claim.  Trial functions are resolved per task from the
     queued ``fn_path``, so one queue can serve campaigns and chaos sweeps
     at once; resolved functions are memoised per path.
+
+    Each claim is covered by a lease (``lease_ttl`` seconds, 0 disables)
+    renewed from a heartbeat thread while the trial runs, so a supervisor
+    can tell a dead worker (lease expires) from a slow one (lease keeps
+    renewing).  A stale ``control/stop`` sentinel from a crashed shutdown
+    is cleared on startup.
     """
-    ensure_queue(queue_dir)
+    ensure_queue(queue_dir, stale_stop_after=STALE_STOP_SECONDS)
     functions: Dict[str, Any] = {}
     completed = 0
+    duplicates = 0
     idle_since = time.monotonic()
     while True:
         if _stop_requested(queue_dir):
@@ -140,6 +270,18 @@ def run_worker(
             time.sleep(_IDLE_POLL)
             continue
         idle_since = time.monotonic()
+        key = os.path.basename(claimed)[: -len(".json")]
+        heartbeat: Optional[threading.Thread] = None
+        heartbeat_stop = threading.Event()
+        if lease_ttl > 0:
+            write_lease(queue_dir, key, lease_ttl)
+            heartbeat = threading.Thread(
+                target=_heartbeat,
+                args=(queue_dir, key, claimed, lease_ttl, heartbeat_stop),
+                name=f"repro-lease-{key}",
+                daemon=True,
+            )
+            heartbeat.start()
         with open(claimed, "r", encoding="utf-8") as handle:
             entry = json.load(handle)
         task, fn_path = entry["task"], entry["fn_path"]
@@ -158,7 +300,13 @@ def run_worker(
                 "error": traceback.format_exc(limit=20),
                 "elapsed": time.monotonic() - started, "worker": os.getpid(),
             }
-        write_result(queue_dir, task["key"], message)
+        finally:
+            heartbeat_stop.set()
+            if heartbeat is not None:
+                heartbeat.join(timeout=1.0)
+        if write_result(queue_dir, task["key"], message):
+            duplicates += 1
+        clear_lease(queue_dir, key)
         try:
             os.remove(claimed)
         except FileNotFoundError:
@@ -177,6 +325,13 @@ class FileQueueExecutor(Executor):
     ``local_workers`` > 0 spawns that many in-process drain threads so a
     ``--backend queue`` run is self-contained; with 0, external
     ``repro worker --queue DIR`` processes must drain the queue.
+
+    Lease supervision: :meth:`poll` reclaims any outstanding claim whose
+    lease has expired (worker died or stalled past the heartbeat window)
+    by re-enqueueing the task — another worker re-runs it, the result
+    store deduplicates by config/seed digest, and a late duplicate result
+    file is dropped and counted.  The claim-age backstop still turns a
+    never-finishing task into a ``timeout`` failure for the retry budget.
     """
 
     name = "queue"
@@ -188,18 +343,28 @@ class FileQueueExecutor(Executor):
         timeout: Optional[float] = None,
         local_workers: int = 0,
         claim_grace: float = CLAIM_GRACE,
+        lease_ttl: float = LEASE_TTL,
+        metrics: Optional[Any] = None,
     ) -> None:
         if not queue_dir:
             raise ServiceError("queue backend needs a queue directory")
         self.queue_dir = ensure_queue(queue_dir)
         self.timeout = timeout
         self.claim_grace = claim_grace
+        self.lease_ttl = lease_ttl
+        self.metrics = metrics
         self._fn_path = ""
         #: key -> claim-observation deadline bookkeeping.
         self._outstanding: Dict[str, float] = {}
+        #: keys whose results this run already consumed (duplicate guard).
+        self._seen: Set[str] = set()
         self._stop_event = threading.Event()
         self._local_workers = local_workers
         self._threads: List[threading.Thread] = []
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def start(self, fn_path: str) -> None:
         resolve_function(fn_path)  # fail fast in the supervisor
@@ -209,7 +374,10 @@ class FileQueueExecutor(Executor):
             thread = threading.Thread(
                 target=run_worker,
                 args=(self.queue_dir,),
-                kwargs={"stop_event": self._stop_event},
+                kwargs={
+                    "stop_event": self._stop_event,
+                    "lease_ttl": self.lease_ttl,
+                },
                 name=f"repro-queue-worker-{index}",
                 daemon=True,
             )
@@ -229,6 +397,65 @@ class FileQueueExecutor(Executor):
             return None
         return self.timeout + self.claim_grace
 
+    def _remove_queue_files(self, key: str) -> None:
+        """Withdraw every on-disk trace of a task (idempotent)."""
+        for sub in ("claimed", "tasks"):
+            try:
+                os.remove(os.path.join(self.queue_dir, sub, f"{key}.json"))
+            except FileNotFoundError:
+                pass
+        clear_lease(self.queue_dir, key)
+
+    def _reclaim_expired_leases(self) -> None:
+        """Re-enqueue claims whose workers stopped heartbeating."""
+        if self.lease_ttl <= 0:
+            return
+        now = time.time()
+        for key in list(self._outstanding):
+            claim = os.path.join(self.queue_dir, "claimed", f"{key}.json")
+            if not os.path.exists(claim):
+                continue
+            lease = read_lease(self.queue_dir, key)
+            if lease is not None:
+                expired = now > float(lease.get("expires_unix") or 0.0)
+            else:
+                # Worker died between the claim rename and its first
+                # lease write: judge by the claim file's age instead.
+                try:
+                    expired = now - os.path.getmtime(claim) > self.lease_ttl
+                except OSError:
+                    continue  # finished in the race window
+            if not expired:
+                continue
+            target = os.path.join(self.queue_dir, "tasks", f"{key}.json")
+            try:
+                os.replace(claim, target)
+            except FileNotFoundError:
+                continue  # the worker finished after all
+            clear_lease(self.queue_dir, key)
+            # Same attempt, new worker: restart the backstop clock but do
+            # not charge the retry budget — at-least-once redelivery.
+            self._outstanding[key] = time.monotonic()
+            self._count("queue.leases_reclaimed")
+
+    def _drop_duplicate_results(self) -> None:
+        """Remove late results from reclaimed workers (count them)."""
+        results_dir = os.path.join(self.queue_dir, "results")
+        try:
+            names = os.listdir(results_dir)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            key = name[: -len(".json")]
+            if key in self._seen and key not in self._outstanding:
+                try:
+                    os.remove(os.path.join(results_dir, name))
+                except FileNotFoundError:
+                    continue
+                self._count("queue.duplicate_results")
+
     def poll(self, timeout: float) -> List[ExecMessage]:
         messages: List[ExecMessage] = []
         results_dir = os.path.join(self.queue_dir, "results")
@@ -243,6 +470,10 @@ class FileQueueExecutor(Executor):
                     continue
                 os.remove(path)
                 del self._outstanding[key]
+                self._seen.add(key)
+                # A reclaimed-then-finished task may have been re-enqueued;
+                # withdraw any leftover task/claim so nothing re-runs it.
+                self._remove_queue_files(key)
                 messages.append(
                     ExecMessage(
                         key=key,
@@ -252,6 +483,8 @@ class FileQueueExecutor(Executor):
                         elapsed=raw.get("elapsed", 0.0),
                     )
                 )
+            self._reclaim_expired_leases()
+            self._drop_duplicate_results()
             stale_after = self._stale_deadline()
             if stale_after is not None:
                 now = time.monotonic()
@@ -260,13 +493,7 @@ class FileQueueExecutor(Executor):
                         continue
                     # Reclaim: drop the claim/task file so nothing re-runs it
                     # under the old attempt, and report a timeout failure.
-                    for sub in ("claimed", "tasks"):
-                        try:
-                            os.remove(
-                                os.path.join(self.queue_dir, sub, f"{key}.json")
-                            )
-                        except FileNotFoundError:
-                            pass
+                    self._remove_queue_files(key)
                     del self._outstanding[key]
                     messages.append(
                         ExecMessage(

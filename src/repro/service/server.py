@@ -19,6 +19,7 @@ Endpoints (all JSON unless noted)::
     POST /jobs/<id>/cancel   cooperative cancel (also DELETE /jobs/<id>)
     GET  /jobs/<id>/events   polling JSON cursor over lifecycle/progress deltas
     GET  /healthz            liveness probe
+    GET  /readyz             readiness (503 while draining or replaying)
     GET  /metrics            Prometheus text (or the JSON snapshot with
                              ``Accept: application/json``)
 
@@ -27,6 +28,16 @@ same campaign directory serialize on a per-campaign lock because the
 JSONL store is single-writer.  Each job gets a per-job metric namespace
 (``job.<id>.*``) inside the service registry plus lifecycle counters
 (``service.jobs_submitted``, ``service.cache_hits``, ...).
+
+Durability (see :mod:`repro.service.journal`): every job transition is
+appended to a fsync'd write-ahead journal under the cache root before it
+is acknowledged, so a SIGKILL'd server restarted with ``--recover`` (the
+default) reconstructs all jobs — terminal ones serve their recorded
+results, in-flight ones are re-dispatched through the campaign resume
+path and converge to byte-identical manifest fingerprints.  Admission
+control keeps the pending queue bounded (HTTP 429 + ``Retry-After``), and
+SIGTERM flips the server into a graceful drain: new submissions get 503,
+running jobs finish and persist, the journal is compacted, exit code 0.
 """
 
 from __future__ import annotations
@@ -43,11 +54,17 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.runner import DEFAULT_CACHE_DIR
 from repro.campaign.store import job_artifact_dir
-from repro.errors import JobTransitionError, ReproError, ServiceError
+from repro.errors import (
+    BackpressureError,
+    JobTransitionError,
+    ReproError,
+    ServiceError,
+)
 from repro.obs.manifest import manifest_fingerprint
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.jobs import JobSpec, JobState
+from repro.service.journal import DEFAULT_COMPACT_EVERY, JobJournal
 
 #: Default bind address of ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -58,6 +75,11 @@ DEFAULT_PORT = 8971
 #: resumes correctly.
 EVENT_LOG_CAP = 1000
 
+#: Admission-control defaults: pending jobs the service will queue, and
+#: non-terminal jobs one client may have in flight (0 disables a cap).
+DEFAULT_MAX_PENDING = 64
+DEFAULT_MAX_INFLIGHT = 8
+
 
 class JobManager:
     """Owns job lifecycle, execution threads, and the shared cache root."""
@@ -67,21 +89,37 @@ class JobManager:
         cache_dir: str = DEFAULT_CACHE_DIR,
         registry: Optional[MetricsRegistry] = None,
         max_workers: int = 2,
+        recover: bool = True,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_inflight_per_client: int = DEFAULT_MAX_INFLIGHT,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"need max_workers >= 1, got {max_workers}")
+        if max_pending < 1:
+            raise ServiceError(f"need max_pending >= 1, got {max_pending}")
         self.cache_dir = cache_dir
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_pending = max_pending
+        self.max_inflight_per_client = max_inflight_per_client
+        self.compact_every = compact_every
         self._jobs: Dict[str, JobState] = {}
         self._order: List[str] = []
         #: job id -> append-only event log (seq-numbered, capped).
         self._events: Dict[str, List[Dict[str, Any]]] = {}
         self._event_seq: Dict[str, int] = {}
+        #: job id -> submitting client (in-memory only; caps reset on restart).
+        self._client_of: Dict[str, str] = {}
         self._lock = threading.RLock()
         self._run_queue: "queue_module.Queue" = queue_module.Queue()
         self._campaign_locks: Dict[str, threading.Lock] = {}
         self._ids = itertools.count(1)
         self._stopping = threading.Event()
+        self._draining = False
+        self._replaying = False
+        self._journal = JobJournal(cache_dir, registry=self.registry)
+        if recover:
+            self._recover()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
@@ -92,23 +130,112 @@ class JobManager:
             thread.start()
 
     # ------------------------------------------------------------------
+    # Crash recovery (``repro serve --recover``)
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal before serving.
+
+        Terminal jobs come back verbatim (their manifests and rendered
+        results still live in the store / job artifacts).  Pending and
+        running jobs — in flight when the previous process died — are
+        reset to ``pending`` and re-enqueued; because every job executes
+        with ``resume=True`` against the content-addressed store, the
+        re-run serves completed trials from cache and produces the same
+        ``manifest_fingerprint`` an uninterrupted run would have.
+        """
+        self._replaying = True
+        try:
+            replay = self._journal.replay()
+            max_id = 0
+            redispatch: List[JobState] = []
+            for job_json in replay.jobs:
+                try:
+                    job = JobState.from_json(job_json)
+                except ServiceError:
+                    self.registry.counter("journal.unreadable_jobs").inc()
+                    continue
+                parts = job.job_id.split("-")
+                if len(parts) >= 2 and parts[1].isdigit():
+                    max_id = max(max_id, int(parts[1]))
+                self._jobs[job.job_id] = job
+                self._order.append(job.job_id)
+                if not job.terminal:
+                    job.mark_recovered()
+                    redispatch.append(job)
+            self._ids = itertools.count(max_id + 1)
+            for job in redispatch:
+                self.registry.counter("service.jobs_recovered").inc()
+                self._persist(job)
+                self._log_event(job, "lifecycle", "recovered")
+                self._run_queue.put(job.job_id)
+            if replay.jobs:
+                self._journal.compact(self._job_table())
+        finally:
+            self._replaying = False
+
+    def _job_table(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [self._jobs[job_id].to_json() for job_id in self._order]
+
+    # ------------------------------------------------------------------
     # Submission / lookup
     # ------------------------------------------------------------------
 
-    def submit(self, payload: Dict[str, Any]) -> Tuple[JobState, bool]:
+    def submit(
+        self, payload: Dict[str, Any], client: Optional[str] = None
+    ) -> Tuple[JobState, bool]:
         """Queue a job; returns ``(state, deduped)``.
 
         ``deduped`` is True when an active (pending/running) job with the
-        same config digest already exists — the caller gets that job.
+        same config digest already exists — the caller gets that job (it
+        does not count against ``client``'s in-flight cap).  Admission
+        control raises :class:`~repro.errors.BackpressureError` when the
+        server is draining (503), the pending queue is at ``max_pending``
+        depth, or ``client`` already has ``max_inflight_per_client``
+        non-terminal jobs (both 429 with a ``Retry-After`` hint) — an
+        accepted job is never dropped, a rejected one is never queued.
         """
         spec = JobSpec.from_json(payload)
         digest = spec.config_digest()
         with self._lock:
+            if self._draining:
+                self.registry.counter("service.jobs_rejected").inc()
+                raise BackpressureError(
+                    "service is draining; resubmit to the restarted server",
+                    retry_after=5.0,
+                    status=503,
+                )
             for job_id in reversed(self._order):
                 job = self._jobs[job_id]
                 if job.digest == digest and not job.terminal:
                     self.registry.counter("service.jobs_deduped").inc()
                     return job, True
+            pending = sum(
+                1 for j in self._jobs.values() if j.state == "pending"
+            )
+            if pending >= self.max_pending:
+                self.registry.counter("service.jobs_rejected").inc()
+                raise BackpressureError(
+                    f"pending queue is full ({pending}/{self.max_pending} "
+                    "jobs); retry with backoff",
+                    retry_after=min(30.0, float(max(1, pending))),
+                    status=429,
+                )
+            if client is not None and self.max_inflight_per_client > 0:
+                inflight = sum(
+                    1
+                    for jid, owner in self._client_of.items()
+                    if owner == client and not self._jobs[jid].terminal
+                )
+                if inflight >= self.max_inflight_per_client:
+                    self.registry.counter("service.jobs_rejected").inc()
+                    raise BackpressureError(
+                        f"client {client!r} already has {inflight} job(s) "
+                        f"in flight (cap {self.max_inflight_per_client})",
+                        retry_after=2.0,
+                        status=429,
+                    )
             job_id = f"job-{next(self._ids):04d}-{digest[:8]}"
             job = JobState(job_id=job_id, spec=spec, digest=digest)
             job.progress = {
@@ -117,6 +244,8 @@ class JobManager:
             }
             self._jobs[job_id] = job
             self._order.append(job_id)
+            if client is not None:
+                self._client_of[job_id] = client
             self.registry.counter("service.jobs_submitted").inc()
             self.registry.namespaced(f"job.{job_id}").counter("submitted").inc()
             self._persist(job)
@@ -216,6 +345,10 @@ class JobManager:
 
     def _worker_loop(self) -> None:
         while not self._stopping.is_set():
+            if self._draining:
+                # Finish what is running elsewhere; pending jobs stay
+                # journaled and come back via --recover after restart.
+                return
             try:
                 job_id = self._run_queue.get(timeout=0.2)
             except queue_module.Empty:
@@ -226,7 +359,9 @@ class JobManager:
                     continue  # cancelled while queued
                 job.advance("running")
                 self._persist(job)
-            self._log_event(job, "lifecycle", "running")
+                # inside the lock: a poller that sees the new state must
+                # also see its lifecycle event (the lock is an RLock)
+                self._log_event(job, "lifecycle", "running")
             try:
                 self._execute(job)
             except BaseException:  # never kill the worker loop
@@ -311,18 +446,22 @@ class JobManager:
             ns.counter(f"state_{job.state}").inc()
             self.registry.histogram("service.job_wall_seconds").observe(wall)
             self._persist(job)
-        self._log_event(job, "lifecycle", job.state)
+            self._log_event(job, "lifecycle", job.state)
 
     # ------------------------------------------------------------------
     # Job-scoped artifacts
     # ------------------------------------------------------------------
 
     def _persist(self, job: JobState) -> None:
+        """Commit a job transition: journal first, then the job artifact."""
+        state = job.to_json()
+        self._journal.append(state)
         directory = job_artifact_dir(self.cache_dir, job.job_id)
         path = os.path.join(directory, "job.json")
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(job.to_json(), handle, sort_keys=True, indent=1)
+            json.dump(state, handle, sort_keys=True, indent=1)
             handle.write("\n")
+        self._journal.maybe_compact(self._job_table(), every=self.compact_every)
 
     def _write_artifact(self, job: JobState, name: str, text: str) -> None:
         directory = job_artifact_dir(self.cache_dir, job.job_id)
@@ -344,6 +483,51 @@ class JobManager:
         with open(job.manifest_path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
+    # ------------------------------------------------------------------
+    # Drain / readiness / shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def readiness(self) -> Dict[str, Any]:
+        """The ``/readyz`` payload; ``ready`` gates load-balancer traffic."""
+        return {
+            "ready": not self._draining and not self._replaying,
+            "draining": self._draining,
+            "replaying": self._replaying,
+        }
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; running jobs keep going (idempotent)."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        self.registry.counter("service.drains").inc()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful drain: finish in-flight jobs, flush the journal.
+
+        Blocks until every worker thread has finished its current job (or
+        ``timeout`` elapses), then compacts the journal so pending jobs
+        are snapshotted as resumable.  Returns True when all workers
+        exited in time.
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = True
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(timeout=remaining)
+            clean = clean and not thread.is_alive()
+        self._journal.compact(self._job_table())
+        self._journal.close()
+        return clean
+
     def shutdown(self, cancel_running: bool = True) -> None:
         self._stopping.set()
         if cancel_running:
@@ -354,6 +538,7 @@ class JobManager:
                     job.cancel_event.set()
         for thread in self._threads:
             thread.join(timeout=10.0)
+        self._journal.close()
 
 
 # ---------------------------------------------------------------------------
@@ -377,16 +562,44 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _json(self, code: int, payload: Any) -> None:
+    def _json(
+        self,
+        code: int,
+        payload: Any,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("utf-8")
-        self._send(code, body, "application/json")
+        self._send(code, body, "application/json", headers=headers)
+
+    def _backpressure(self, exc: BackpressureError) -> None:
+        """429/503 + Retry-After: the client's backoff loop understands both."""
+        self._json(
+            exc.status,
+            {"error": str(exc), "retry_after": exc.retry_after},
+            headers={"Retry-After": str(max(1, int(round(exc.retry_after))))},
+        )
+
+    def _client_id(self) -> str:
+        """Who is submitting: explicit header, else the peer address."""
+        return (
+            self.headers.get("X-Repro-Client")
+            or (self.client_address[0] if self.client_address else "unknown")
+        )
 
     def _text(self, code: int, text: str) -> None:
         self._send(code, text.encode("utf-8"), "text/plain; charset=utf-8")
@@ -428,6 +641,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["healthz"]:
                 self._json(200, {"ok": True, "jobs": len(self.manager.list())})
+            elif parts == ["readyz"]:
+                readiness = self.manager.readiness()
+                self._json(200 if readiness["ready"] else 503, readiness)
             elif parts == ["metrics"]:
                 # Content negotiation: scrapers get Prometheus 0.0.4 text,
                 # JSON clients (Accept: application/json) the raw snapshot.
@@ -480,7 +696,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["jobs"]:
                 payload = self._read_body()
-                job, deduped = self.manager.submit(payload)
+                job, deduped = self.manager.submit(payload, client=self._client_id())
                 body = job.to_json()
                 body["deduped"] = deduped
                 self._json(200, body)
@@ -488,6 +704,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._json(200, self.manager.cancel(parts[1]).to_json())
             else:
                 self._error(404, f"no such resource {self.path!r}")
+        except BackpressureError as exc:
+            self._backpressure(exc)
         except JobTransitionError as exc:
             self._error(409, str(exc))
         except ServiceError as exc:
@@ -514,9 +732,18 @@ def make_server(
     cache_dir: str = DEFAULT_CACHE_DIR,
     max_workers: int = 2,
     verbose: bool = False,
+    recover: bool = True,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    max_inflight_per_client: int = DEFAULT_MAX_INFLIGHT,
 ) -> Tuple[ThreadingHTTPServer, JobManager]:
     """Build the HTTP server + manager pair (caller runs serve_forever)."""
-    manager = JobManager(cache_dir=cache_dir, max_workers=max_workers)
+    manager = JobManager(
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+        recover=recover,
+        max_pending=max_pending,
+        max_inflight_per_client=max_inflight_per_client,
+    )
 
     class _Handler(ServiceHandler):
         pass
@@ -535,21 +762,57 @@ def serve_forever(
     max_workers: int = 2,
     verbose: bool = False,
     stream=None,
+    recover: bool = True,
+    max_pending: int = DEFAULT_MAX_PENDING,
+    max_inflight_per_client: int = DEFAULT_MAX_INFLIGHT,
 ) -> int:
-    """The ``repro serve`` entry point; blocks until SIGINT."""
+    """The ``repro serve`` entry point; blocks until SIGINT or SIGTERM.
+
+    SIGINT (Ctrl-C) keeps the historical fast-stop semantics: running
+    jobs are cancelled (their partial shards stay resumable).  SIGTERM —
+    what an orchestrator sends — drains gracefully instead: ``/readyz``
+    flips to 503, new submissions are rejected, running jobs finish and
+    persist, the journal is compacted, and the process exits 0.
+    """
+    import signal
     import sys
 
     stream = stream if stream is not None else sys.stderr
     server, manager = make_server(
         host=host, port=port, cache_dir=cache_dir,
-        max_workers=max_workers, verbose=verbose,
+        max_workers=max_workers, verbose=verbose, recover=recover,
+        max_pending=max_pending,
+        max_inflight_per_client=max_inflight_per_client,
     )
     bound_host, bound_port = server.server_address[:2]
+    recovered = sum(1 for job in manager.list() if job.recoveries)
+    note = f", {recovered} job(s) recovered" if recovered else ""
     print(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
-        f"(cache {cache_dir!r}, {max_workers} job worker(s))",
+        f"(cache {cache_dir!r}, {max_workers} job worker(s){note})",
         file=stream,
     )
+
+    drained = threading.Event()
+
+    def _drain_and_stop() -> None:
+        manager.begin_drain()
+        manager.drain()
+        drained.set()
+        server.shutdown()
+
+    def _on_sigterm(signum, frame) -> None:
+        print(
+            "repro serve: SIGTERM — draining (finishing in-flight jobs)",
+            file=stream,
+        )
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded in tests)
+
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
@@ -557,5 +820,13 @@ def serve_forever(
     finally:
         server.shutdown()
         server.server_close()
-        manager.shutdown(cancel_running=True)
+        if drained.is_set():
+            manager.shutdown(cancel_running=False)
+            print(
+                "repro serve: drain complete (journal flushed, "
+                "pending jobs resumable)",
+                file=stream,
+            )
+        else:
+            manager.shutdown(cancel_running=True)
     return 0

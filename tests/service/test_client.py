@@ -1,0 +1,155 @@
+"""Client resilience: retry/backoff on 429/503, Retry-After, deadlines."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import (
+    _backoff_delay,
+    _jitter_fraction,
+    request,
+    wait_for_job,
+)
+
+
+@pytest.fixture
+def stub():
+    """An HTTP server that plays back a scripted list of responses.
+
+    Each script entry is ``(status, headers, body_dict)``; the last entry
+    repeats once the script is exhausted.  All requests are recorded.
+    """
+    script = []
+    seen = []
+
+    class Handler(BaseHTTPRequestHandler):
+        def _respond(self):
+            seen.append((self.command, self.path))
+            index = min(len(seen) - 1, len(script) - 1)
+            status, headers, body = script[index]
+            payload = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        do_GET = do_POST = _respond
+
+        def log_message(self, fmt, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", script, seen
+    server.shutdown()
+    server.server_close()
+
+
+class TestBackoffMath:
+    def test_jitter_is_deterministic_and_bounded(self):
+        assert _jitter_fraction("abc") == _jitter_fraction("abc")
+        assert _jitter_fraction("abc") != _jitter_fraction("abd")
+        assert 0.0 <= _jitter_fraction("abc") < 1.0
+
+    def test_delay_grows_and_caps(self):
+        delays = [_backoff_delay("/jobs", attempt, base=1.0, cap=4.0)
+                  for attempt in range(6)]
+        assert all(d == _backoff_delay("/jobs", i, base=1.0, cap=4.0)
+                   for i, d in enumerate(delays))  # reproducible
+        assert all(0.5 <= d <= 6.0 for d in delays)
+        assert max(delays) <= 4.0 * 1.5  # cap × max jitter factor
+
+    def test_retry_after_wins_but_is_capped(self):
+        assert _backoff_delay("/jobs", 0, retry_after=3.0) == 3.0
+        assert _backoff_delay("/jobs", 0, retry_after=99.0, cap=8.0) == 8.0
+
+
+class TestRequestRetries:
+    def test_retries_429_until_success(self, stub):
+        url, script, seen = stub
+        script.extend([
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (429, {"Retry-After": "0"}, {"error": "full"}),
+            (200, {}, {"ok": True}),
+        ])
+        sleeps = []
+        status, body = request(url, "/jobs", retries=4, sleep=sleeps.append)
+        assert status == 200 and body == {"ok": True}
+        assert len(seen) == 3
+        assert sleeps == [0.0, 0.0]  # Retry-After: 0 honoured verbatim
+
+    def test_retry_after_header_drives_the_delay(self, stub):
+        url, script, seen = stub
+        script.extend([
+            (503, {"Retry-After": "2"}, {"error": "draining"}),
+            (200, {}, {"ok": True}),
+        ])
+        sleeps = []
+        status, _ = request(url, "/jobs", retries=1, sleep=sleeps.append)
+        assert status == 200 and sleeps == [2.0]
+
+    def test_budget_exhausted_returns_last_error_body(self, stub):
+        url, script, seen = stub
+        script.append((429, {"Retry-After": "0"}, {"error": "still full"}))
+        sleeps = []
+        status, body = request(url, "/jobs", retries=2, sleep=sleeps.append)
+        assert status == 429 and body["error"] == "still full"
+        assert len(seen) == 3 and len(sleeps) == 2
+
+    def test_retries_zero_returns_immediately(self, stub):
+        url, script, seen = stub
+        script.append((429, {"Retry-After": "9"}, {"error": "full"}))
+        status, _ = request(url, "/jobs", retries=0)
+        assert status == 429 and len(seen) == 1
+
+    def test_plain_4xx_is_not_retried(self, stub):
+        url, script, seen = stub
+        script.append((404, {}, {"error": "unknown job"}))
+        status, body = request(url, "/jobs/nope", retries=3)
+        assert status == 404 and len(seen) == 1
+
+    def test_connection_refused_retries_then_raises(self):
+        sleeps = []
+        with pytest.raises(ServiceError, match="cannot reach repro service"):
+            request("http://127.0.0.1:9", "/jobs", retries=2,
+                    timeout=1.0, sleep=sleeps.append)
+        assert len(sleeps) == 2  # backed off between connection attempts
+
+
+class TestWaitForJob:
+    def test_returns_on_terminal_state(self, stub):
+        url, script, _ = stub
+        script.extend([
+            (200, {}, {"job_id": "j", "state": "running"}),
+            (200, {}, {"job_id": "j", "state": "done"}),
+        ])
+        sleeps = []
+        state = wait_for_job(url, "j", timeout=30.0, poll=0.2,
+                             sleep=sleeps.append)
+        assert state["state"] == "done"
+        assert len(sleeps) == 1
+        assert 0.15 <= sleeps[0] <= 0.25  # poll × jitter in [0.75, 1.25]
+
+    def test_deadline_is_real(self, stub):
+        url, script, _ = stub
+        script.append((200, {}, {"job_id": "j", "state": "running"}))
+        with pytest.raises(ServiceError, match="still 'running'"):
+            wait_for_job(url, "j", timeout=0.2, poll=0.05)
+
+    def test_polls_are_jittered_per_attempt(self, stub):
+        url, script, _ = stub
+        script.extend(
+            [(200, {}, {"job_id": "j", "state": "running"})] * 5
+            + [(200, {}, {"job_id": "j", "state": "done"})]
+        )
+        sleeps = []
+        wait_for_job(url, "j", timeout=60.0, poll=1.0, sleep=sleeps.append)
+        assert len(set(sleeps)) == len(sleeps)  # every delay distinct

@@ -132,6 +132,11 @@ def test_event_log_cap_keeps_seq_and_flags_drop(tmp_path):
     from repro.service import server as server_module
 
     manager = JobManager(cache_dir=str(tmp_path), max_workers=1)
+    # stop the worker so it cannot interleave its own lifecycle/trial
+    # events with the synthetic flood below
+    manager._stopping.set()
+    for thread in manager._threads:
+        thread.join(timeout=5.0)
     try:
         job, _ = manager.submit(SPEC)
         # flood the log past the cap with synthetic trial events

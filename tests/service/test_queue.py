@@ -3,20 +3,29 @@
 import json
 import os
 import threading
+import time
 
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
 from repro.service.executors import execute_tasks
 from repro.service.queue import (
     FileQueueExecutor,
     claim_next,
+    clear_lease,
     clear_stop,
     enqueue_task,
     ensure_queue,
+    read_lease,
     run_worker,
     stop_workers,
+    write_lease,
+    write_result,
 )
 
 HELPERS = "tests.campaign.pool_helpers"
 FN = f"{HELPERS}:double_seed"
+FN_SLOW = f"{HELPERS}:slow_double_seed"
 
 
 def task_for(seed, **extra):
@@ -147,3 +156,144 @@ class TestFileQueueExecutor:
         executor.cancel()
         remaining = os.listdir(os.path.join(queue_dir, "tasks"))
         assert remaining == ["t99.json"]
+
+
+class TestLeases:
+    def test_lease_round_trip(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        assert read_lease(queue_dir, "t1") is None
+        write_lease(queue_dir, "t1", ttl=5.0, worker=123)
+        lease = read_lease(queue_dir, "t1")
+        assert lease["worker"] == 123 and lease["ttl"] == 5.0
+        assert lease["expires_unix"] > time.time()
+        clear_lease(queue_dir, "t1")
+        assert read_lease(queue_dir, "t1") is None
+        clear_lease(queue_dir, "t1")  # idempotent
+
+    def test_worker_heartbeat_renews_lease(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        enqueue_task(queue_dir, task_for(1, delay=0.6), FN_SLOW)
+        seen = []
+
+        def watch():
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                lease = read_lease(queue_dir, "t1")
+                if lease is not None:
+                    seen.append(lease["renewed_unix"])
+                    if len(set(seen)) >= 2:
+                        return
+                time.sleep(0.02)
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        assert run_worker(queue_dir, max_tasks=1, lease_ttl=0.3) == 1
+        watcher.join(timeout=10.0)
+        assert len(set(seen)) >= 2  # renewed at least once mid-trial
+        assert read_lease(queue_dir, "t1") is None  # cleared on completion
+
+    def test_expired_lease_is_reclaimed_without_retry_charge(self, tmp_path):
+        registry = MetricsRegistry()
+        queue_dir = str(tmp_path / "q")
+        executor = FileQueueExecutor(
+            queue_dir, timeout=60.0, lease_ttl=0.2, metrics=registry
+        )
+        executor.start(FN)
+        executor.submit(task_for(1))
+        # simulate a worker that claimed, leased, then died (SIGKILL)
+        claimed = claim_next(queue_dir)
+        assert claimed
+        write_lease(queue_dir, "t1", ttl=0.05)
+        time.sleep(0.1)
+
+        assert executor.poll(timeout=0.2) == []  # reclaim, not a timeout
+        assert os.path.exists(os.path.join(queue_dir, "tasks", "t1.json"))
+        assert not os.path.exists(claimed)
+        assert read_lease(queue_dir, "t1") is None
+        counters = registry.snapshot()["counters"]
+        assert counters["queue.leases_reclaimed"] == 1
+        # the re-enqueued task completes normally on a healthy worker
+        assert run_worker(queue_dir, max_tasks=1) == 1
+        messages = executor.poll(timeout=5.0)
+        assert [m.kind for m in messages] == ["ok"]
+
+    def test_claim_without_lease_reclaimed_by_age(self, tmp_path):
+        """Worker died between the claim rename and its first lease write."""
+        registry = MetricsRegistry()
+        queue_dir = str(tmp_path / "q")
+        executor = FileQueueExecutor(
+            queue_dir, timeout=60.0, lease_ttl=0.2, metrics=registry
+        )
+        executor.start(FN)
+        executor.submit(task_for(1))
+        assert claim_next(queue_dir)  # no lease ever written
+        time.sleep(0.3)  # claim mtime now older than the lease TTL
+        executor.poll(timeout=0.1)
+        assert os.path.exists(os.path.join(queue_dir, "tasks", "t1.json"))
+        assert registry.snapshot()["counters"]["queue.leases_reclaimed"] == 1
+
+    def test_live_lease_is_not_reclaimed(self, tmp_path):
+        registry = MetricsRegistry()
+        queue_dir = str(tmp_path / "q")
+        executor = FileQueueExecutor(
+            queue_dir, timeout=60.0, lease_ttl=0.2, metrics=registry
+        )
+        executor.start(FN)
+        executor.submit(task_for(1))
+        claim_next(queue_dir)
+        write_lease(queue_dir, "t1", ttl=60.0)  # healthy heartbeat
+        executor.poll(timeout=0.1)
+        assert not os.path.exists(os.path.join(queue_dir, "tasks", "t1.json"))
+        assert "queue.leases_reclaimed" not in registry.snapshot()["counters"]
+
+    def test_duplicate_late_result_dropped_and_counted(self, tmp_path):
+        registry = MetricsRegistry()
+        queue_dir = str(tmp_path / "q")
+        executor = FileQueueExecutor(queue_dir, metrics=registry)
+        executor.start(FN)
+        executor.submit(task_for(1))
+        assert run_worker(queue_dir, max_tasks=1) == 1
+        assert [m.kind for m in executor.poll(timeout=5.0)] == ["ok"]
+        # a presumed-dead worker finishes after all and writes again
+        assert not write_result(
+            queue_dir, "t1", {"key": "t1", "ok": True, "payload": {}}
+        )
+        executor.poll(timeout=0.1)
+        assert os.listdir(os.path.join(queue_dir, "results")) == []
+        counters = registry.snapshot()["counters"]
+        assert counters["queue.duplicate_results"] == 1
+
+    def test_write_result_reports_existing_file(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        message = {"key": "t1", "ok": True, "payload": {}}
+        assert not write_result(queue_dir, "t1", message)
+        assert write_result(queue_dir, "t1", message)  # duplicate attempt
+
+
+class TestStaleStop:
+    def test_stale_stop_sentinel_cleared_with_warning(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        stop_workers(queue_dir)
+        stop_path = os.path.join(queue_dir, "control", "stop")
+        old = time.time() - 3600
+        os.utime(stop_path, (old, old))
+        with pytest.warns(RuntimeWarning, match="stale stop sentinel"):
+            ensure_queue(queue_dir, stale_stop_after=600.0)
+        assert not os.path.exists(stop_path)
+
+    def test_fresh_stop_sentinel_is_honoured(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        stop_workers(queue_dir)
+        ensure_queue(queue_dir, stale_stop_after=600.0)
+        assert os.path.exists(os.path.join(queue_dir, "control", "stop"))
+
+    def test_worker_startup_clears_stale_stop(self, tmp_path):
+        queue_dir = ensure_queue(str(tmp_path / "q"))
+        stop_workers(queue_dir)
+        stop_path = os.path.join(queue_dir, "control", "stop")
+        old = time.time() - 3600
+        os.utime(stop_path, (old, old))
+        enqueue_task(queue_dir, task_for(1), FN)
+        with pytest.warns(RuntimeWarning):
+            done = run_worker(queue_dir, max_tasks=1)
+        assert done == 1  # the stale sentinel did not brick the queue

@@ -8,7 +8,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import JobTransitionError, ServiceError
+from repro.errors import BackpressureError, JobTransitionError, ServiceError
 from repro.service import client
 from repro.service.jobs import JobState
 from repro.service.server import JobManager, make_server
@@ -177,6 +177,38 @@ class TestHttpApi:
             status = error.code
         assert status == 400
 
+    def test_submit_during_drain_is_503_and_readyz_flips(self, service):
+        url, manager = service
+        status, readiness = client.request(url, "/readyz")
+        assert status == 200 and readiness["ready"]
+        manager.begin_drain()
+        status, readiness = client.request(url, "/readyz", retries=0)
+        assert status == 503 and readiness["draining"]
+        status, health = client.request(url, "/healthz")
+        assert status == 200 and health["ok"]  # alive, just not ready
+        status, body = client.request(
+            url, "/jobs", method="POST", payload=SPEC, retries=0
+        )
+        assert status == 503 and "draining" in body["error"]
+
+    def test_backpressure_sends_retry_after_header(self, service):
+        url, manager = service
+        manager._stopping.set()  # freeze: submissions pile up as pending
+        for thread in manager._threads:
+            thread.join(timeout=5.0)
+        manager.max_pending = 1
+        client.submit_job(url, SPEC)
+        req = urllib.request.Request(
+            url + "/jobs", data=json.dumps(dict(SPEC, seeds=3)).encode(),
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req)
+        assert info.value.code == 429
+        assert int(info.value.headers["Retry-After"]) >= 1
+        body = json.loads(info.value.read().decode("utf-8"))
+        assert "pending queue is full" in body["error"]
+
     def test_chaos_job_serves_survival_matrix(self, service):
         url, _ = service
         spec = {"kind": "chaos", "target": "baseline", "seeds": 1,
@@ -190,3 +222,85 @@ class TestHttpApi:
         campaign = wait_terminal(url, client.submit_job(url, SPEC)["job_id"])
         status, body = client.request(url, f"/jobs/{campaign['job_id']}/matrix")
         assert status == 409
+
+
+def frozen(tmp_path, **kwargs):
+    """A JobManager with exited workers, so submissions stay pending."""
+    manager = JobManager(cache_dir=str(tmp_path), max_workers=1, **kwargs)
+    manager._stopping.set()
+    for thread in manager._threads:
+        thread.join(timeout=5.0)
+    return manager
+
+
+class TestAdmissionControl:
+    def test_pending_queue_depth_cap(self, tmp_path):
+        manager = frozen(tmp_path, max_pending=2)
+        manager.submit(SPEC)
+        manager.submit(dict(SPEC, seeds=3))
+        with pytest.raises(BackpressureError) as info:
+            manager.submit(dict(SPEC, seeds=4))
+        assert info.value.status == 429 and info.value.retry_after >= 1.0
+        counters = manager.registry.snapshot()["counters"]
+        assert counters["service.jobs_rejected"] == 1
+        # an accepted job is never dropped: both queued jobs still exist
+        assert len(manager.list()) == 2
+
+    def test_per_client_inflight_cap(self, tmp_path):
+        manager = frozen(tmp_path, max_inflight_per_client=1)
+        manager.submit(SPEC, client="alice")
+        with pytest.raises(BackpressureError, match="'alice'"):
+            manager.submit(dict(SPEC, seeds=3), client="alice")
+        # other clients are unaffected, and dedupe does not charge the cap
+        manager.submit(dict(SPEC, seeds=4), client="bob")
+        _, deduped = manager.submit(dict(SPEC, jobs=2), client="alice")
+        assert deduped
+
+    def test_draining_rejects_with_503(self, tmp_path):
+        manager = frozen(tmp_path)
+        manager.begin_drain()
+        with pytest.raises(BackpressureError) as info:
+            manager.submit(SPEC)
+        assert info.value.status == 503
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_running_and_keeps_pending_resumable(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manager = JobManager(cache_dir=cache, max_workers=1)
+        job, _ = manager.submit(SPEC)
+        deadline = time.monotonic() + 30
+        while job.state == "pending" and time.monotonic() < deadline:
+            time.sleep(0.005)  # wait until the job is genuinely in flight
+        assert manager.drain(timeout=60.0)
+        assert job.state == "done"  # in-flight work finished, not cancelled
+        assert not manager.readiness()["ready"]
+        manager.shutdown(cancel_running=False)
+
+        # pending-at-drain jobs come back through --recover
+        second = frozen(tmp_path / "cache")
+        assert second.get(job.job_id).state == "done"
+
+    def test_pending_job_survives_drain_for_recovery(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        manager = frozen(cache)
+        job, _ = manager.submit(SPEC)
+        manager.begin_drain()
+        assert manager.drain(timeout=10.0)
+        manager.shutdown(cancel_running=False)
+
+        second = JobManager(cache_dir=cache, max_workers=1)
+        try:
+            recovered = second.get(job.job_id)
+            deadline = time.monotonic() + 60
+            while not recovered.terminal and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert recovered.state == "done" and recovered.recoveries == 1
+        finally:
+            second.shutdown()
+
+    def test_begin_drain_is_idempotent(self, tmp_path):
+        manager = frozen(tmp_path)
+        manager.begin_drain()
+        manager.begin_drain()
+        assert manager.registry.snapshot()["counters"]["service.drains"] == 1
